@@ -1,0 +1,174 @@
+// Ablation study: what each Happy Eyeballs design choice buys, measured as
+// user-visible time-to-connect on a fixed set of impairment scenarios.
+//
+//   (a) Resolution Delay on/off under a slow AAAA answer
+//   (b) wait-for-A on/off under a slow A answer (the §5.2 deviation)
+//   (c) CAD value sweep under broken IPv6 (fallback latency)
+//   (d) address interlacing under partially dead address sets
+#include <cstdio>
+
+#include "dns/auth_server.h"
+#include "dns/test_params.h"
+#include "he/engine.h"
+#include "simnet/network.h"
+#include "util/table.h"
+
+using namespace lazyeye;
+
+namespace {
+
+struct World {
+  simnet::Network net{77};
+  simnet::Host* client = nullptr;
+  simnet::Host* server = nullptr;
+  std::unique_ptr<transport::TcpStack> server_tcp;
+  std::unique_ptr<dns::AuthServer> auth;
+  dns::Zone* zone = nullptr;
+};
+
+std::unique_ptr<World> make_world() {
+  auto w = std::make_unique<World>();
+  w->client = &w->net.add_host("client");
+  w->client->add_address(simnet::IpAddress::must_parse("10.0.0.2"));
+  w->client->add_address(simnet::IpAddress::must_parse("2001:db8::2"));
+  w->server = &w->net.add_host("server");
+  w->server->add_address(simnet::IpAddress::must_parse("10.0.0.80"));
+  w->server->add_address(simnet::IpAddress::must_parse("2001:db8::80"));
+  w->server_tcp = std::make_unique<transport::TcpStack>(*w->server);
+  w->server_tcp->listen(443);
+  w->auth = std::make_unique<dns::AuthServer>(*w->server);
+  w->zone = &w->auth->add_zone(dns::DnsName::must_parse("ab.lab"));
+  return w;
+}
+
+/// Runs one session; returns (ok, elapsed).
+std::pair<bool, SimTime> run(World& w, const dns::DnsName& name,
+                             const he::HeOptions& options) {
+  dns::StubOptions stub_options;
+  stub_options.servers = {{simnet::IpAddress::must_parse("10.0.0.80"), 53}};
+  dns::StubResolver stub{*w.client, stub_options};
+  transport::TcpStack client_tcp{*w.client};
+  he::HappyEyeballsEngine engine{*w.client, stub, client_tcp};
+  engine.set_options(options);
+  bool ok = false;
+  SimTime elapsed{0};
+  engine.connect(name, 443, [&](const he::HeResult& r) {
+    ok = r.ok;
+    elapsed = r.elapsed();
+  });
+  w.net.loop().run();
+  return {ok, elapsed};
+}
+
+std::string cell(std::pair<bool, SimTime> outcome) {
+  if (!outcome.first) return "FAIL";
+  return format_duration(outcome.second);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: time-to-connect under impairments\n");
+  std::printf("===========================================\n\n");
+
+  // (a) Resolution Delay under slow AAAA (400 ms), healthy server.
+  {
+    TextTable t{{"AAAA delay", "RD = 50 ms", "no RD (resolver timeout 5 s)"}};
+    for (const int d : {100, 400, 1000, 3000}) {
+      auto w = make_world();
+      const auto name = dns::make_test_name(
+          dns::DnsName::must_parse("a.ab.lab"), "x",
+          {{dns::RrType::kAaaa, ms(d)}});
+      w->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+      w->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
+      he::HeOptions with_rd = he::HeOptions::rfc8305();
+      he::HeOptions no_rd = he::HeOptions::rfc8305();
+      no_rd.resolution_delay = std::nullopt;
+      const auto r1 = run(*w, name, with_rd);
+      auto w2 = make_world();
+      w2->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+      w2->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
+      const auto r2 = run(*w2, name, no_rd);
+      t.add_row({format_duration(ms(d)), cell(r1), cell(r2)});
+    }
+    std::printf("(a) Resolution Delay vs slow AAAA answers\n%s\n",
+                t.render().c_str());
+  }
+
+  // (b) wait-for-A under slow A (the §5.2 deviation), healthy IPv6.
+  {
+    TextTable t{{"A delay", "RFC behaviour", "wait-for-A (Chromium)"}};
+    for (const int d : {100, 800, 2000}) {
+      const auto name = dns::make_test_name(
+          dns::DnsName::must_parse("b.ab.lab"), "x",
+          {{dns::RrType::kA, ms(d)}});
+      he::HeOptions rfc = he::HeOptions::rfc8305();
+      he::HeOptions wait = he::HeOptions::rfc8305();
+      wait.wait_for_a_record = true;
+      auto w1 = make_world();
+      w1->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+      w1->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
+      const auto r1 = run(*w1, name, rfc);
+      auto w2 = make_world();
+      w2->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+      w2->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
+      const auto r2 = run(*w2, name, wait);
+      t.add_row({format_duration(ms(d)), cell(r1), cell(r2)});
+    }
+    std::printf("(b) wait-for-A deviation vs slow A answers (IPv6 healthy)\n%s\n",
+                t.render().c_str());
+  }
+
+  // (c) CAD value vs fallback latency with blackholed IPv6.
+  {
+    TextTable t{{"CAD", "time-to-connect (IPv6 dead)"}};
+    for (const int cad : {100, 250, 300, 2000}) {
+      auto w = make_world();
+      const auto name = dns::DnsName::must_parse("c.ab.lab");
+      w->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+      w->zone->add_aaaa(name,
+                        *simnet::Ipv6Address::parse("2001:db8:dead::1"));
+      he::HeOptions o = he::HeOptions::rfc8305();
+      o.connection_attempt_delay = ms(cad);
+      t.add_row({format_duration(ms(cad)), cell(run(*w, name, o))});
+    }
+    std::printf("(c) CAD choice vs fallback latency (IPv6 blackholed)\n%s\n",
+                t.render().c_str());
+  }
+
+  // (d) Interlacing when the first half of the v6 set is dead.
+  {
+    TextTable t{{"interlace mode", "time-to-connect (3 dead v6, 1 live v4)"}};
+    for (const auto mode :
+         {he::InterlaceMode::kNone, he::InterlaceMode::kAlternate,
+          he::InterlaceMode::kFirstOtherThenRest}) {
+      auto w = make_world();
+      const auto name = dns::DnsName::must_parse("d.ab.lab");
+      for (int i = 1; i <= 3; ++i) {
+        w->zone->add_aaaa(name, *simnet::Ipv6Address::parse(
+                                    "2001:db8:dead::" + std::to_string(i)));
+      }
+      w->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+      he::HeOptions o = he::HeOptions::rfc8305();
+      o.interlace = mode;
+      o.max_addresses_per_family = 10;
+      o.connection_attempt_delay = ms(250);
+      o.tcp.syn_rto = sec(2);
+      const char* label =
+          mode == he::InterlaceMode::kNone
+              ? "none (v6 then v4)"
+              : mode == he::InterlaceMode::kAlternate ? "alternate (RFC 8305)"
+                                                      : "Safari-style";
+      t.add_row({label, cell(run(*w, name, o))});
+    }
+    std::printf("(d) interlacing vs a dead IPv6 address set\n%s\n",
+                t.render().c_str());
+  }
+
+  std::printf(
+      "Takeaways: RD bounds the AAAA wait at 50 ms; wait-for-A couples\n"
+      "IPv6 latency to the A lookup; a smaller CAD cuts fallback latency\n"
+      "linearly; interlacing reaches the working family after one CAD\n"
+      "regardless of how many preferred-family addresses are dead.\n");
+  return 0;
+}

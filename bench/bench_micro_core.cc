@@ -1,0 +1,128 @@
+// Core micro-benchmarks (google-benchmark): DNS wire codec, event loop,
+// netem processing, TCP handshake simulation, full HE session.
+#include <benchmark/benchmark.h>
+
+#include "capture/capture.h"
+#include "dns/auth_server.h"
+#include "dns/message.h"
+#include "he/address_selection.h"
+#include "he/engine.h"
+#include "simnet/network.h"
+
+using namespace lazyeye;
+
+namespace {
+
+dns::DnsMessage sample_message() {
+  dns::DnsMessage msg;
+  msg.header.id = 0x4242;
+  msg.header.qr = true;
+  const auto name = dns::DnsName::must_parse("www.he-test.lab");
+  msg.questions.push_back({name, dns::RrType::kAaaa});
+  msg.answers.push_back(dns::ResourceRecord::aaaa(
+      name, *simnet::Ipv6Address::parse("2001:db8::80")));
+  msg.answers.push_back(dns::ResourceRecord::aaaa(
+      name, *simnet::Ipv6Address::parse("2001:db8::81")));
+  msg.authorities.push_back(dns::ResourceRecord::ns(
+      dns::DnsName::must_parse("he-test.lab"),
+      dns::DnsName::must_parse("ns1.he-test.lab")));
+  return msg;
+}
+
+void BM_DnsEncode(benchmark::State& state) {
+  const auto msg = sample_message();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msg.encode());
+  }
+}
+BENCHMARK(BM_DnsEncode);
+
+void BM_DnsDecode(benchmark::State& state) {
+  const auto wire = sample_message().encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::DnsMessage::decode(wire));
+  }
+}
+BENCHMARK(BM_DnsDecode);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    simnet::EventLoop loop;
+    int counter = 0;
+    for (int i = 0; i < n; ++i) {
+      loop.schedule_at(ms(i % 100), [&counter] { ++counter; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_EventLoopScheduleRun)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_NetemProcess(benchmark::State& state) {
+  simnet::NetemQdisc qdisc;
+  qdisc.add_rule(simnet::PacketFilter::for_family(simnet::Family::kIpv6),
+                 simnet::NetemSpec{ms(100), ms(10), 0.01});
+  Rng rng{1};
+  simnet::Packet packet;
+  packet.src = {simnet::IpAddress::must_parse("2001:db8::1"), 1};
+  packet.dst = {simnet::IpAddress::must_parse("2001:db8::2"), 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qdisc.process(packet, rng));
+  }
+}
+BENCHMARK(BM_NetemProcess);
+
+void BM_AddressSelection(benchmark::State& state) {
+  he::SelectionInput input;
+  for (int i = 1; i <= 10; ++i) {
+    input.ipv6.push_back({simnet::IpAddress::must_parse(
+        "2001:db8::" + std::to_string(i)), std::nullopt, false});
+    input.ipv4.push_back({simnet::IpAddress::must_parse(
+        "10.0.0." + std::to_string(i)), std::nullopt, false});
+  }
+  he::HeOptions options;
+  options.first_address_family_count = 2;
+  options.interlace = he::InterlaceMode::kFirstOtherThenRest;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(he::select_addresses(input, options));
+  }
+}
+BENCHMARK(BM_AddressSelection);
+
+void BM_FullHappyEyeballsSession(benchmark::State& state) {
+  for (auto _ : state) {
+    simnet::Network net{1};
+    simnet::Host& client_host = net.add_host("client");
+    client_host.add_address(simnet::IpAddress::must_parse("10.0.0.2"));
+    client_host.add_address(simnet::IpAddress::must_parse("2001:db8::2"));
+    simnet::Host& server_host = net.add_host("server");
+    server_host.add_address(simnet::IpAddress::must_parse("10.0.0.80"));
+    server_host.add_address(simnet::IpAddress::must_parse("2001:db8::80"));
+
+    transport::TcpStack server_tcp{server_host};
+    server_tcp.listen(443);
+    dns::AuthServer auth{server_host};
+    dns::Zone& zone = auth.add_zone(dns::DnsName::must_parse("he.lab"));
+    const auto name = dns::DnsName::must_parse("www.he.lab");
+    zone.add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+    zone.add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
+
+    dns::StubOptions stub_options;
+    stub_options.servers = {{simnet::IpAddress::must_parse("10.0.0.80"), 53}};
+    dns::StubResolver stub{client_host, stub_options};
+    transport::TcpStack client_tcp{client_host};
+    he::HappyEyeballsEngine engine{client_host, stub, client_tcp};
+    engine.set_options(he::HeOptions::rfc8305());
+
+    bool ok = false;
+    engine.connect(name, 443, [&ok](const he::HeResult& r) { ok = r.ok; });
+    net.loop().run();
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_FullHappyEyeballsSession);
+
+}  // namespace
+
+BENCHMARK_MAIN();

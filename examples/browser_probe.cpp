@@ -1,0 +1,76 @@
+// Probe a single client's Happy Eyeballs behaviour on the local testbed:
+// binary-search its CAD, then run the RD and address-selection cases.
+//
+//   $ ./examples/browser_probe "Chrome 130.0"
+//   $ ./examples/browser_probe "Safari 17.6"
+//   $ ./examples/browser_probe            # lists available clients
+#include <cstdio>
+
+#include "clients/profiles.h"
+#include "testbed/features.h"
+#include "testbed/testbed.h"
+
+using namespace lazyeye;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: %s \"<client display name>\"\n\navailable clients:\n",
+                argv[0]);
+    for (const auto& p : clients::all_client_profiles()) {
+      std::printf("  %s\n", p.display_name().c_str());
+    }
+    return 1;
+  }
+
+  const auto profile = clients::find_client_profile(argv[1]);
+  if (!profile) {
+    std::fprintf(stderr, "unknown client: %s (run without arguments for the "
+                         "list)\n", argv[1]);
+    return 1;
+  }
+
+  testbed::LocalTestbed bed;
+  std::printf("Probing %s (%s)\n\n", profile->display_name().c_str(),
+              clients::client_kind_name(profile->kind));
+
+  // Binary-search the CAD between 0 and 6 s (millisecond resolution).
+  SimTime lo = ms(0);
+  SimTime hi = sec(6);
+  bool any_fallback = false;
+  {
+    const auto probe = bed.run_cad_case(*profile, hi);
+    any_fallback = probe.established_family == simnet::Family::kIpv4;
+  }
+  if (any_fallback) {
+    while (hi - lo > ms(1)) {
+      const SimTime mid = (lo + hi) / 2;
+      const auto rec = bed.run_cad_case(*profile, mid);
+      if (rec.established_family == simnet::Family::kIpv6) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    std::printf("Connection Attempt Delay: ~%s (IPv6 up to %s, IPv4 from "
+                "%s)\n",
+                format_duration(hi).c_str(), format_duration(lo).c_str(),
+                format_duration(hi).c_str());
+  } else {
+    std::printf("Connection Attempt Delay: none observed (no IPv4 fallback "
+                "within 6 s)\n");
+  }
+
+  const auto row = testbed::detect_features(*profile, bed);
+  std::printf("Prefers IPv6:             %s\n",
+              testbed::feature_symbol(row.prefers_ipv6));
+  std::printf("AAAA query first:         %s\n",
+              testbed::feature_symbol(row.aaaa_first));
+  std::printf("Resolution Delay:         %s\n",
+              testbed::feature_symbol(row.rd_impl));
+  std::printf("Address selection:        %s\n",
+              testbed::feature_symbol(row.addr_selection));
+  std::printf("Addresses used (v6/v4):   %d / %d\n", row.ipv6_addrs_used,
+              row.ipv4_addrs_used);
+  std::printf("\n(* observed, ~ deviation, o not observed)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Emulate a visit to the web-based testing tool (happy-eyeballs.net) with a
+// chosen browser: run the 18-bucket CAD test and the RD test, print what
+// the website would show the user.
+//
+//   $ ./examples/webtool_session "Safari 17.6"
+//   $ ./examples/webtool_session "Chrome 130.0"
+#include <cstdio>
+
+#include "clients/profiles.h"
+#include "webtool/webtool.h"
+
+using namespace lazyeye;
+
+int main(int argc, char** argv) {
+  const std::string wanted = argc > 1 ? argv[1] : "Safari 17.6";
+  const auto profile = clients::find_client_profile(wanted);
+  if (!profile) {
+    std::fprintf(stderr, "unknown client: %s\n", wanted.c_str());
+    return 1;
+  }
+
+  webtool::WebToolConfig config = webtool::WebToolConfig::paper_default();
+  config.repetitions = 10;
+  webtool::WebTool tool{config};
+
+  std::printf("www.happy-eyeballs.net — connection attempt delay test\n");
+  std::printf("======================================================\n");
+  const auto cad = tool.run_cad_test(*profile, "Mac OS X", "10.15.7");
+  std::printf("Your browser: %s %s on %s %s\n\n",
+              cad.parsed_agent.browser.c_str(),
+              cad.parsed_agent.browser_version.c_str(),
+              cad.parsed_agent.os_name.c_str(),
+              cad.parsed_agent.os_version.c_str());
+  std::printf("%-10s %-14s %s\n", "delay", "IPv6 / IPv4", "");
+  for (const auto& obs : cad.per_delay) {
+    std::string bar;
+    for (int i = 0; i < obs.v6_used; ++i) bar += '6';
+    for (int i = 0; i < obs.v4_used; ++i) bar += '4';
+    for (int i = 0; i < obs.failures; ++i) bar += 'x';
+    std::printf("%-10s %2d / %-2d        %s\n",
+                format_duration(obs.delay).c_str(), obs.v6_used, obs.v4_used,
+                bar.c_str());
+  }
+  if (cad.interval_low && cad.interval_high) {
+    std::printf("\nYour browser's Connection Attempt Delay is in (%s, %s].\n",
+                format_duration(*cad.interval_low).c_str(),
+                format_duration(*cad.interval_high).c_str());
+  } else {
+    std::printf("\nNo IPv4 fallback observed up to 5 s.\n");
+  }
+  if (cad.inconsistent_repetitions > 2) {
+    std::printf("Behaviour was inconsistent in %d of %d repetitions — your "
+                "browser appears to use a dynamic delay.\n",
+                cad.inconsistent_repetitions, cad.total_repetitions);
+  }
+
+  std::printf("\nwww.happy-eyeballs.net — resolution delay test\n");
+  std::printf("==============================================\n");
+  const auto rd = tool.run_rd_test(*profile, dns::RrType::kAaaa,
+                                   "Mac OS X", "10.15.7");
+  std::printf("%-10s %s\n", "AAAA delay", "IPv6 / IPv4 / failed");
+  for (const auto& obs : rd.per_delay) {
+    std::printf("%-10s %2d / %-2d / %d\n", format_duration(obs.delay).c_str(),
+                obs.v6_used, obs.v4_used, obs.failures);
+  }
+  if (rd.interval_high) {
+    std::printf("\nYour browser abandons a slow AAAA lookup after ~%s.\n",
+                format_duration(*rd.interval_high).c_str());
+  } else {
+    std::printf("\nYour browser waits for the resolver's own timeout "
+                "(no Resolution Delay).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Capture analysis: the inference rules the paper applies to client packet
+// captures (§4.3):
+//   * CAD  = time between the first IPv6 TCP SYN and the first IPv4 TCP SYN
+//   * established family = family of the handshake that completed
+//   * connection attempt sequence = egress SYNs in order (Figure 5)
+//   * DNS timings (per record type) for Resolution Delay inference
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "capture/capture.h"
+#include "dns/message.h"
+
+namespace lazyeye::capture {
+
+/// One connection attempt (unique client port + destination).
+struct ConnectionAttempt {
+  SimTime first_syn{0};
+  simnet::Endpoint local;
+  simnet::Endpoint remote;
+  int syn_count = 0;
+  bool established = false;  // a SYN-ACK for this attempt arrived
+  bool refused = false;      // an RST for this attempt arrived
+
+  simnet::Family family() const { return remote.addr.family(); }
+};
+
+/// A DNS query/response pair seen on the wire (client side).
+struct DnsExchange {
+  SimTime query_time{0};
+  std::optional<SimTime> response_time;
+  dns::RrType qtype = dns::RrType::kA;
+  dns::DnsName qname;
+  simnet::Family transport_family = simnet::Family::kIpv4;
+  std::size_t answer_count = 0;
+
+  std::optional<SimTime> latency() const {
+    if (!response_time) return std::nullopt;
+    return *response_time - query_time;
+  }
+};
+
+/// Timestamp of the first egress TCP SYN of `family`, if any.
+std::optional<SimTime> first_syn_time(const PacketCapture& capture,
+                                      simnet::Family family);
+
+/// Paper CAD inference: t(first IPv4 SYN) - t(first IPv6 SYN).
+/// nullopt when either family never attempted. Negative values indicate an
+/// IPv4-first client.
+std::optional<SimTime> infer_cad(const PacketCapture& capture);
+
+/// Family of the first completed handshake (ingress SYN-ACK answered by this
+/// host's ACK is approximated by: first ingress SYN-ACK).
+std::optional<simnet::Family> established_family(const PacketCapture& capture);
+
+/// All egress connection attempts in start order (deduplicated by 4-tuple,
+/// counting SYN retransmissions).
+std::vector<ConnectionAttempt> connection_attempts(
+    const PacketCapture& capture);
+
+/// Distinct destination addresses attempted, per family.
+int distinct_destinations(const std::vector<ConnectionAttempt>& attempts,
+                          simnet::Family family);
+
+/// Client-side DNS exchanges (queries on port 53 matched to responses by
+/// transaction id + qtype).
+std::vector<DnsExchange> dns_exchanges(const PacketCapture& capture);
+
+/// Time between receiving the A response and sending the first IPv6 SYN —
+/// non-null only when the A answer arrived before any v6 SYN. Used to detect
+/// the "waits for A before connecting via IPv6" deviation (§5.2).
+std::optional<SimTime> a_response_to_v6_syn_gap(const PacketCapture& capture);
+
+/// Resolution Delay inference: gap between the A response arrival and the
+/// first IPv4 SYN when the AAAA answer never arrived before it.
+std::optional<SimTime> infer_resolution_delay(const PacketCapture& capture);
+
+}  // namespace lazyeye::capture

@@ -1,0 +1,27 @@
+#include "capture/capture.h"
+
+#include "simnet/network.h"
+
+namespace lazyeye::capture {
+
+PacketCapture::PacketCapture(simnet::Host& host) : host_{host} {
+  tap_id_ = host_.add_tap(
+      [this](const simnet::Packet& packet, simnet::TapDirection dir) {
+        if (!running_) return;
+        packets_.push_back(
+            CapturedPacket{host_.network().loop().now(), dir, packet});
+      });
+}
+
+PacketCapture::~PacketCapture() { host_.remove_tap(tap_id_); }
+
+std::vector<CapturedPacket> PacketCapture::filter(
+    const std::function<bool(const CapturedPacket&)>& pred) const {
+  std::vector<CapturedPacket> out;
+  for (const auto& p : packets_) {
+    if (pred(p)) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace lazyeye::capture

@@ -1,0 +1,48 @@
+// Packet capture: a host tap that records every packet with its virtual
+// timestamp (the simulated equivalent of tcpdump on the client node,
+// paper §4.3 (i)).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "simnet/host.h"
+
+namespace lazyeye::capture {
+
+struct CapturedPacket {
+  SimTime time{0};
+  simnet::TapDirection direction = simnet::TapDirection::kEgress;
+  simnet::Packet packet;
+
+  bool egress() const { return direction == simnet::TapDirection::kEgress; }
+};
+
+class PacketCapture {
+ public:
+  /// Attaches to the host and starts capturing immediately.
+  explicit PacketCapture(simnet::Host& host);
+  ~PacketCapture();
+
+  PacketCapture(const PacketCapture&) = delete;
+  PacketCapture& operator=(const PacketCapture&) = delete;
+
+  void start() { running_ = true; }
+  void stop() { running_ = false; }
+  void clear() { packets_.clear(); }
+
+  const std::vector<CapturedPacket>& packets() const { return packets_; }
+  std::size_t size() const { return packets_.size(); }
+
+  /// Returns packets matching a predicate.
+  std::vector<CapturedPacket> filter(
+      const std::function<bool(const CapturedPacket&)>& pred) const;
+
+ private:
+  simnet::Host& host_;
+  int tap_id_ = 0;
+  bool running_ = true;
+  std::vector<CapturedPacket> packets_;
+};
+
+}  // namespace lazyeye::capture

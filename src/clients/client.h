@@ -1,0 +1,75 @@
+// SimulatedClient: binds a ClientProfile to a simulated host — owns the
+// transport stacks, stub resolver and HE engine, and performs black-box
+// "fetches" (connect + one request/response round trip), which is what the
+// testbed and the web tool drive.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "clients/profiles.h"
+#include "dns/stub_resolver.h"
+#include "he/engine.h"
+#include "transport/quic.h"
+#include "transport/tcp.h"
+#include "util/rng.h"
+
+namespace lazyeye::clients {
+
+struct FetchResult {
+  he::HeResult connection;
+  bool response_received = false;
+  std::vector<std::uint8_t> response;  // e.g. the web tool's source-addr echo
+
+  std::string response_text() const {
+    return std::string{response.begin(), response.end()};
+  }
+};
+
+class SimulatedClient {
+ public:
+  using FetchHandler = std::function<void(const FetchResult&)>;
+
+  /// `resolver` configures where the client's stub resolver points.
+  SimulatedClient(simnet::Host& host, ClientProfile profile,
+                  dns::StubOptions resolver, std::uint64_t seed = 1);
+
+  const ClientProfile& profile() const { return profile_; }
+  he::HappyEyeballsEngine& engine() { return *engine_; }
+  transport::TcpStack& tcp() { return *tcp_; }
+
+  /// Emulates real-world ("web") conditions: Safari's dynamic CAD engages
+  /// via RTT history instead of the 2 s lab default.
+  void set_web_conditions(bool web) { web_conditions_ = web; }
+
+  /// Container-style reset between test runs (§4.3: fresh client state):
+  /// clears the HE outcome cache and RTT history.
+  void reset_state();
+
+  /// Full fetch: Happy Eyeballs connect, then one request and one response
+  /// over the winning transport. The handler runs once.
+  void fetch(const dns::DnsName& hostname, std::uint16_t port,
+             FetchHandler handler);
+
+ private:
+  void configure_session_options();
+
+  simnet::Host& host_;
+  ClientProfile profile_;
+  Rng rng_;
+  std::unique_ptr<transport::TcpStack> tcp_;
+  std::unique_ptr<transport::QuicStack> quic_;
+  std::unique_ptr<dns::StubResolver> stub_;
+  std::unique_ptr<he::HappyEyeballsEngine> engine_;
+  bool web_conditions_ = false;
+
+  struct PendingFetch {
+    FetchHandler handler;
+    he::HeResult connection;
+    simnet::TimerId response_timer;
+  };
+  std::map<std::uint64_t, PendingFetch> pending_;  // by connection id+proto key
+  std::uint64_t next_fetch_key_ = 1;
+};
+
+}  // namespace lazyeye::clients

@@ -1,0 +1,159 @@
+#include "clients/user_agent.h"
+
+#include "util/strings.h"
+
+namespace lazyeye::clients {
+
+namespace {
+
+std::string underscored(const std::string& version) {
+  std::string out = version;
+  for (char& c : out) {
+    if (c == '.') c = '_';
+  }
+  return out;
+}
+
+std::string dotted(const std::string& version) {
+  std::string out = version;
+  for (char& c : out) {
+    if (c == '_') c = '.';
+  }
+  return out;
+}
+
+std::string os_token(const std::string& os_name,
+                     const std::string& os_version) {
+  if (os_name == "Windows 10" || (os_name == "Windows" && os_version == "10")) {
+    return "Windows NT 10.0; Win64; x64";
+  }
+  if (os_name == "Mac OS X") {
+    return "Macintosh; Intel Mac OS X " + underscored(os_version);
+  }
+  if (os_name == "iOS") {
+    return "iPhone; CPU iPhone OS " + underscored(os_version) +
+           " like Mac OS X";
+  }
+  if (os_name == "Android") return "Linux; Android " + os_version + "; K";
+  if (os_name == "Chrome OS") return "X11; CrOS x86_64 " + os_version;
+  if (os_name == "Ubuntu") return "X11; Ubuntu; Linux x86_64";
+  return "X11; Linux x86_64";
+}
+
+}  // namespace
+
+std::string make_user_agent(const std::string& browser,
+                            const std::string& browser_version,
+                            const std::string& os_name,
+                            const std::string& os_version) {
+  const std::string os = os_token(os_name, os_version);
+
+  if (browser == "Firefox" || browser == "Firefox Mobile") {
+    if (os_name == "Android") {
+      return "Mozilla/5.0 (Android " + os_version + "; Mobile; rv:" +
+             browser_version + ") Gecko/" + browser_version + " Firefox/" +
+             browser_version;
+    }
+    return "Mozilla/5.0 (" + os + "; rv:" + browser_version +
+           ") Gecko/20100101 Firefox/" + browser_version;
+  }
+  if (browser == "Safari") {
+    return "Mozilla/5.0 (" + os +
+           ") AppleWebKit/605.1.15 (KHTML, like Gecko) Version/" +
+           browser_version + " Safari/605.1.15";
+  }
+  if (browser == "Mobile Safari") {
+    return "Mozilla/5.0 (" + os +
+           ") AppleWebKit/605.1.15 (KHTML, like Gecko) Version/" +
+           browser_version + " Mobile/15E148 Safari/604.1";
+  }
+
+  // Chromium family.
+  std::string ua = "Mozilla/5.0 (" + os +
+                   ") AppleWebKit/537.36 (KHTML, like Gecko) Chrome/" +
+                   browser_version;
+  if (browser == "Chrome Mobile") {
+    ua += " Mobile Safari/537.36";
+  } else {
+    ua += " Safari/537.36";
+  }
+  if (browser == "Edge") ua += " Edg/" + browser_version;
+  if (browser == "Opera") ua += " OPR/" + browser_version;
+  if (browser == "Samsung Internet") {
+    // Samsung places its token before Chrome's in real UAs; keeping it
+    // appended is fine for parsing purposes.
+    ua += " SamsungBrowser/" + browser_version;
+  }
+  return ua;
+}
+
+namespace {
+
+/// Returns the version following `token` (up to the next space/paren).
+std::string version_after(const std::string& ua, const std::string& token) {
+  const auto pos = ua.find(token);
+  if (pos == std::string::npos) return {};
+  std::size_t start = pos + token.size();
+  std::size_t end = start;
+  while (end < ua.size() && ua[end] != ' ' && ua[end] != ')' &&
+         ua[end] != ';') {
+    ++end;
+  }
+  return ua.substr(start, end - start);
+}
+
+}  // namespace
+
+UserAgentInfo parse_user_agent(const std::string& ua) {
+  UserAgentInfo info;
+
+  // ---- Operating system ----------------------------------------------------
+  if (ua.find("Windows NT 10.0") != std::string::npos) {
+    info.os_name = "Windows";
+    info.os_version = "10";
+  } else if (ua.find("CrOS") != std::string::npos) {
+    info.os_name = "Chrome OS";
+    info.os_version = version_after(ua, "CrOS x86_64 ");
+  } else if (ua.find("iPhone OS ") != std::string::npos) {
+    info.os_name = "iOS";
+    info.os_version = dotted(version_after(ua, "iPhone OS "));
+  } else if (ua.find("Mac OS X ") != std::string::npos) {
+    info.os_name = "Mac OS X";
+    info.os_version = dotted(version_after(ua, "Mac OS X "));
+  } else if (ua.find("Android ") != std::string::npos) {
+    info.os_name = "Android";
+    info.os_version = version_after(ua, "Android ");
+  } else if (ua.find("Ubuntu") != std::string::npos) {
+    info.os_name = "Ubuntu";  // no version in the UA (Table 5 note)
+  } else if (ua.find("Linux") != std::string::npos ||
+             ua.find("X11") != std::string::npos) {
+    info.os_name = "Linux";  // no version in the UA (Table 5 note)
+  }
+
+  // ---- Browser ---------------------------------------------------------------
+  if (ua.find("Edg/") != std::string::npos) {
+    info.browser = "Edge";
+    info.browser_version = version_after(ua, "Edg/");
+  } else if (ua.find("OPR/") != std::string::npos) {
+    info.browser = "Opera";
+    info.browser_version = version_after(ua, "OPR/");
+  } else if (ua.find("SamsungBrowser/") != std::string::npos) {
+    info.browser = "Samsung Internet";
+    info.browser_version = version_after(ua, "SamsungBrowser/");
+  } else if (ua.find("Firefox/") != std::string::npos) {
+    info.browser = (info.os_name == "Android") ? "Firefox Mobile" : "Firefox";
+    info.browser_version = version_after(ua, "Firefox/");
+  } else if (ua.find("Chrome/") != std::string::npos) {
+    info.browser = (ua.find("Mobile") != std::string::npos) ? "Chrome Mobile"
+                                                            : "Chrome";
+    info.browser_version = version_after(ua, "Chrome/");
+  } else if (ua.find("Version/") != std::string::npos &&
+             ua.find("Safari/") != std::string::npos) {
+    info.browser =
+        (info.os_name == "iOS") ? "Mobile Safari" : "Safari";
+    info.browser_version = version_after(ua, "Version/");
+  }
+  return info;
+}
+
+}  // namespace lazyeye::clients

@@ -1,0 +1,33 @@
+// User-Agent construction and parsing.
+//
+// The paper's web campaign attributes results to browser/OS combinations
+// extracted from the user agent (Table 5, Appendix E). We synthesise
+// realistic UA strings for simulated web clients and parse them back with
+// the same heuristics the study uses (Linux/Ubuntu UAs carry no OS version).
+#pragma once
+
+#include <string>
+
+namespace lazyeye::clients {
+
+struct UserAgentInfo {
+  std::string os_name;
+  std::string os_version;  // may be empty (Linux/Ubuntu)
+  std::string browser;
+  std::string browser_version;
+};
+
+/// Builds a User-Agent string for a browser/OS combination.
+/// Recognised browsers: Chrome, Chrome Mobile, Chromium, Edge, Firefox,
+/// Firefox Mobile, Safari, Mobile Safari, Opera, Samsung Internet.
+/// Recognised OSes: "Windows 10", "Mac OS X <v>", "Linux", "Ubuntu",
+/// "Android <v>", "iOS <v>", "Chrome OS <v>".
+std::string make_user_agent(const std::string& browser,
+                            const std::string& browser_version,
+                            const std::string& os_name,
+                            const std::string& os_version);
+
+/// Extracts browser/OS from a UA string (Table 5 extraction).
+UserAgentInfo parse_user_agent(const std::string& user_agent);
+
+}  // namespace lazyeye::clients

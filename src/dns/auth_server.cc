@@ -1,0 +1,125 @@
+#include "dns/auth_server.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace lazyeye::dns {
+
+AuthServer::AuthServer(simnet::Host& host, std::uint16_t port)
+    : host_{host}, port_{port} {
+  host_.udp_bind(port_, [this](const simnet::Packet& p) { on_query(p); });
+}
+
+AuthServer::~AuthServer() { host_.udp_unbind(port_); }
+
+Zone& AuthServer::add_zone(DnsName origin) {
+  zones_.push_back(std::make_unique<Zone>(std::move(origin)));
+  return *zones_.back();
+}
+
+Zone& AuthServer::add_zone(std::unique_ptr<Zone> zone) {
+  zones_.push_back(std::move(zone));
+  return *zones_.back();
+}
+
+void AuthServer::on_query(const simnet::Packet& packet) {
+  ++queries_received_;
+  auto decoded = DnsMessage::decode(packet.payload);
+  if (!decoded.ok() || decoded.value().questions.empty()) {
+    return;  // not a parsable query: ignore
+  }
+  const DnsMessage query = std::move(decoded).value();
+  const Question& q = query.questions.front();
+
+  query_log_.push_back(QueryLogEntry{host_.network().loop().now(),
+                                     packet.family(), packet.src, packet.dst,
+                                     q.name, q.type, query.header.id});
+  if (unresponsive_) return;
+
+  const DnsMessage response = build_response(query);
+  const SimTime delay = response_delay(q.name, q.type);
+  const simnet::Endpoint from = packet.dst;
+  const simnet::Endpoint to = packet.src;
+  auto wire = response.encode();
+  if (delay.count() == 0) {
+    host_.udp_send(from, to, std::move(wire));
+    return;
+  }
+  host_.network().loop().schedule_after(
+      delay, [this, from, to, wire = std::move(wire)]() mutable {
+        host_.udp_send(from, to, std::move(wire));
+      });
+}
+
+SimTime AuthServer::response_delay(const DnsName& qname, RrType qtype) const {
+  SimTime total{0};
+  for (const DelayRule& rule : delay_rules_) {
+    if (rule.qtype && *rule.qtype != qtype) continue;
+    if (rule.suffix && !qname.is_subdomain_of(*rule.suffix)) continue;
+    total += rule.delay;
+  }
+  if (test_params_enabled_) {
+    if (const auto params = parse_test_params(qname)) {
+      total += params->delay_for(qtype);
+    }
+  }
+  return total;
+}
+
+DnsMessage AuthServer::build_response(const DnsMessage& query) const {
+  const Question& q = query.questions.front();
+
+  // Find the most specific zone containing the qname.
+  const Zone* best = nullptr;
+  for (const auto& zone : zones_) {
+    if (!q.name.is_subdomain_of(zone->origin())) continue;
+    if (best == nullptr ||
+        zone->origin().label_count() > best->origin().label_count()) {
+      best = zone.get();
+    }
+  }
+  if (best == nullptr) {
+    return DnsMessage::make_response(query, Rcode::kRefused);
+  }
+
+  DnsMessage response = DnsMessage::make_response(query);
+  response.header.aa = true;
+
+  DnsName current = q.name;
+  for (int chase = 0; chase < 8; ++chase) {
+    const Zone::LookupResult result = best->lookup(current, q.type);
+    switch (result.kind) {
+      case Zone::RcodeKind::kAnswer:
+        for (const auto& rr : result.records) response.answers.push_back(rr);
+        return response;
+      case Zone::RcodeKind::kCname: {
+        response.answers.push_back(result.records.front());
+        current = std::get<CnameRdata>(result.records.front().rdata).target;
+        if (!current.is_subdomain_of(best->origin())) return response;
+        continue;
+      }
+      case Zone::RcodeKind::kDelegation:
+        response.header.aa = false;
+        for (const auto& rr : result.records) {
+          response.authorities.push_back(rr);
+        }
+        for (const auto& rr : result.additional) {
+          response.additionals.push_back(rr);
+        }
+        return response;
+      case Zone::RcodeKind::kNoData:
+        if (result.soa) response.authorities.push_back(*result.soa);
+        return response;
+      case Zone::RcodeKind::kNxDomain:
+        response.header.rcode = Rcode::kNxDomain;
+        if (result.soa) response.authorities.push_back(*result.soa);
+        return response;
+      case Zone::RcodeKind::kNotInZone:
+        response.header.rcode = Rcode::kRefused;
+        return response;
+    }
+  }
+  return response;  // CNAME chain too long; return what we have
+}
+
+}  // namespace lazyeye::dns

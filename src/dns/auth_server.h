@@ -1,0 +1,86 @@
+// Authoritative DNS server (paper §4.1 (ii)).
+//
+// Serves one or more zones over simulated UDP and supports the paper's two
+// delay mechanisms:
+//  * static delay rules configured by the operator (qtype and/or name-suffix
+//    matched), used for resolver CAD/RD measurements, and
+//  * per-query delays encoded in the qname (TestParams), used by the client
+//    testbed so a single deployment supports every test configuration.
+//
+// Every query is appended to a query log with its arrival timestamp and
+// transport family — the resolver study (§5.3) evaluates resolvers purely
+// from this authoritative-side log.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/test_params.h"
+#include "dns/zone.h"
+#include "simnet/host.h"
+#include "simnet/network.h"
+
+namespace lazyeye::dns {
+
+struct DelayRule {
+  std::optional<RrType> qtype;       // unset = all types
+  std::optional<DnsName> suffix;     // unset = all names; else qname must be
+                                     // at/below this name
+  SimTime delay{0};
+};
+
+struct QueryLogEntry {
+  SimTime time{0};
+  simnet::Family family = simnet::Family::kIpv4;
+  simnet::Endpoint client;
+  simnet::Endpoint server;  // which of our addresses was queried
+  DnsName qname;
+  RrType qtype = RrType::kA;
+  std::uint16_t txn_id = 0;
+};
+
+class AuthServer {
+ public:
+  /// Binds to `port` on all of the host's addresses.
+  explicit AuthServer(simnet::Host& host, std::uint16_t port = 53);
+  ~AuthServer();
+
+  AuthServer(const AuthServer&) = delete;
+  AuthServer& operator=(const AuthServer&) = delete;
+
+  /// Adds a zone this server is authoritative for.
+  Zone& add_zone(DnsName origin);
+  Zone& add_zone(std::unique_ptr<Zone> zone);
+
+  /// Static delay rules (evaluated additively with qname-encoded params).
+  void add_delay_rule(DelayRule rule) { delay_rules_.push_back(std::move(rule)); }
+  void clear_delay_rules() { delay_rules_.clear(); }
+
+  /// Enables qname-encoded TestParams handling (default on).
+  void set_test_params_enabled(bool enabled) { test_params_enabled_ = enabled; }
+
+  /// When set, queries are dropped entirely (unresponsive server).
+  void set_unresponsive(bool unresponsive) { unresponsive_ = unresponsive; }
+
+  const std::vector<QueryLogEntry>& query_log() const { return query_log_; }
+  void clear_query_log() { query_log_.clear(); }
+
+  std::uint64_t queries_received() const { return queries_received_; }
+
+ private:
+  void on_query(const simnet::Packet& packet);
+  DnsMessage build_response(const DnsMessage& query) const;
+  SimTime response_delay(const DnsName& qname, RrType qtype) const;
+
+  simnet::Host& host_;
+  std::uint16_t port_;
+  std::vector<std::unique_ptr<Zone>> zones_;
+  std::vector<DelayRule> delay_rules_;
+  std::vector<QueryLogEntry> query_log_;
+  bool test_params_enabled_ = true;
+  bool unresponsive_ = false;
+  std::uint64_t queries_received_ = 0;
+};
+
+}  // namespace lazyeye::dns

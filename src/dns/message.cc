@@ -1,0 +1,204 @@
+#include "dns/message.h"
+
+#include "util/strings.h"
+
+namespace lazyeye::dns {
+
+namespace {
+constexpr std::uint16_t kClassIn = 1;
+
+void encode_record(const ResourceRecord& rr, ByteWriter& w,
+                   CompressionMap* compression) {
+  rr.name.encode(w, compression);
+  w.u16(static_cast<std::uint16_t>(rr.type));
+  if (rr.type == RrType::kOpt) {
+    // For OPT the class field carries the advertised UDP payload size.
+    const auto* opt = std::get_if<OptRdata>(&rr.rdata);
+    w.u16(opt != nullptr ? opt->udp_payload_size : 1232);
+  } else {
+    w.u16(kClassIn);
+  }
+  w.u32(rr.ttl);
+  const std::size_t len_at = w.size();
+  w.u16(0);  // placeholder rdlength
+  encode_rdata(rr, w, compression);
+  w.patch_u16(len_at, static_cast<std::uint16_t>(w.size() - len_at - 2));
+}
+
+bool decode_record(ByteReader& r, ResourceRecord& rr) {
+  rr.name = DnsName::decode(r);
+  const std::uint16_t type = r.u16();
+  const std::uint16_t klass = r.u16();
+  rr.ttl = r.u32();
+  const std::uint16_t rdlength = r.u16();
+  if (!r.ok()) return false;
+  const std::size_t end = r.pos() + rdlength;
+  rr.type = static_cast<RrType>(type);
+  rr.rdata = decode_rdata(rr.type, rdlength, r);
+  if (rr.type == RrType::kOpt) {
+    std::get<OptRdata>(rr.rdata).udp_payload_size = klass;
+  }
+  if (!r.ok()) return false;
+  // Tolerate rdata decoders that did not consume exactly rdlength (e.g.
+  // unknown trailing params) but never read past it.
+  if (r.pos() > end) return false;
+  r.seek(end);
+  return r.ok();
+}
+
+}  // namespace
+
+const char* rcode_name(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::kNoError: return "NOERROR";
+    case Rcode::kFormErr: return "FORMERR";
+    case Rcode::kServFail: return "SERVFAIL";
+    case Rcode::kNxDomain: return "NXDOMAIN";
+    case Rcode::kNotImp: return "NOTIMP";
+    case Rcode::kRefused: return "REFUSED";
+  }
+  return "RCODE?";
+}
+
+std::vector<std::uint8_t> DnsMessage::encode() const {
+  ByteWriter w;
+  CompressionMap compression;
+
+  w.u16(header.id);
+  std::uint16_t flags = 0;
+  if (header.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>((header.opcode & 0x0F) << 11);
+  if (header.aa) flags |= 0x0400;
+  if (header.tc) flags |= 0x0200;
+  if (header.rd) flags |= 0x0100;
+  if (header.ra) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(header.rcode) & 0x0F;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(static_cast<std::uint16_t>(additionals.size()));
+
+  for (const Question& q : questions) {
+    q.name.encode(w, &compression);
+    w.u16(static_cast<std::uint16_t>(q.type));
+    w.u16(kClassIn);
+  }
+  for (const auto& rr : answers) encode_record(rr, w, &compression);
+  for (const auto& rr : authorities) encode_record(rr, w, &compression);
+  for (const auto& rr : additionals) encode_record(rr, w, &compression);
+  return w.take();
+}
+
+Result<DnsMessage> DnsMessage::decode(std::span<const std::uint8_t> wire) {
+  ByteReader r{wire};
+  DnsMessage msg;
+
+  msg.header.id = r.u16();
+  const std::uint16_t flags = r.u16();
+  msg.header.qr = (flags & 0x8000) != 0;
+  msg.header.opcode = static_cast<std::uint8_t>((flags >> 11) & 0x0F);
+  msg.header.aa = (flags & 0x0400) != 0;
+  msg.header.tc = (flags & 0x0200) != 0;
+  msg.header.rd = (flags & 0x0100) != 0;
+  msg.header.ra = (flags & 0x0080) != 0;
+  msg.header.rcode = static_cast<Rcode>(flags & 0x0F);
+
+  const std::uint16_t qdcount = r.u16();
+  const std::uint16_t ancount = r.u16();
+  const std::uint16_t nscount = r.u16();
+  const std::uint16_t arcount = r.u16();
+  if (!r.ok()) return Result<DnsMessage>::failure("truncated header");
+
+  for (int i = 0; i < qdcount; ++i) {
+    Question q;
+    q.name = DnsName::decode(r);
+    q.type = static_cast<RrType>(r.u16());
+    r.u16();  // class
+    if (!r.ok()) return Result<DnsMessage>::failure("truncated question");
+    msg.questions.push_back(std::move(q));
+  }
+
+  auto read_section = [&](std::vector<ResourceRecord>& out,
+                          std::uint16_t count, const char* what) -> bool {
+    for (int i = 0; i < count; ++i) {
+      ResourceRecord rr;
+      if (!decode_record(r, rr)) {
+        (void)what;
+        return false;
+      }
+      out.push_back(std::move(rr));
+    }
+    return true;
+  };
+  if (!read_section(msg.answers, ancount, "answer")) {
+    return Result<DnsMessage>::failure("truncated answer section");
+  }
+  if (!read_section(msg.authorities, nscount, "authority")) {
+    return Result<DnsMessage>::failure("truncated authority section");
+  }
+  if (!read_section(msg.additionals, arcount, "additional")) {
+    return Result<DnsMessage>::failure("truncated additional section");
+  }
+  return msg;
+}
+
+DnsMessage DnsMessage::make_query(std::uint16_t id, DnsName name, RrType type,
+                                  bool recursion_desired) {
+  DnsMessage msg;
+  msg.header.id = id;
+  msg.header.rd = recursion_desired;
+  msg.questions.push_back(Question{std::move(name), type});
+  return msg;
+}
+
+DnsMessage DnsMessage::make_response(const DnsMessage& query, Rcode rcode) {
+  DnsMessage msg;
+  msg.header.id = query.header.id;
+  msg.header.qr = true;
+  msg.header.rd = query.header.rd;
+  msg.header.rcode = rcode;
+  msg.questions = query.questions;
+  return msg;
+}
+
+bool DnsMessage::has_answer_for(const DnsName& name, RrType type) const {
+  for (const auto& rr : answers) {
+    if (rr.type == type && rr.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<simnet::IpAddress> DnsMessage::addresses_for(const DnsName& name,
+                                                         RrType type) const {
+  std::vector<simnet::IpAddress> out;
+  DnsName current = name;
+  // Chase CNAMEs inside the message (bounded by the answer count).
+  for (std::size_t hops = 0; hops <= answers.size(); ++hops) {
+    bool chased = false;
+    for (const auto& rr : answers) {
+      if (rr.name != current) continue;
+      if (rr.type == type) {
+        if (const auto addr = rr.address()) out.push_back(*addr);
+      } else if (const auto* cn = std::get_if<CnameRdata>(&rr.rdata)) {
+        current = cn->target;
+        chased = true;
+      }
+    }
+    if (!chased || !out.empty()) break;
+  }
+  return out;
+}
+
+std::string DnsMessage::summary() const {
+  std::string q = questions.empty()
+                      ? "-"
+                      : questions.front().name.to_string() + "/" +
+                            rr_type_name(questions.front().type);
+  return lazyeye::str_format("%s id=%u %s an=%zu ns=%zu ar=%zu %s",
+                             header.qr ? "response" : "query", header.id,
+                             q.c_str(), answers.size(), authorities.size(),
+                             additionals.size(), rcode_name(header.rcode));
+}
+
+}  // namespace lazyeye::dns

@@ -1,0 +1,79 @@
+// DNS message: header + sections, RFC 1035 wire encode/decode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/rr.h"
+#include "util/result.h"
+
+namespace lazyeye::dns {
+
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+const char* rcode_name(Rcode rcode);
+
+struct DnsHeader {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  std::uint8_t opcode = 0;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  Rcode rcode = Rcode::kNoError;
+
+  bool operator==(const DnsHeader&) const = default;
+};
+
+struct Question {
+  DnsName name;
+  RrType type = RrType::kA;
+  // Class is always IN for this library.
+
+  bool operator==(const Question&) const = default;
+};
+
+struct DnsMessage {
+  DnsHeader header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  bool operator==(const DnsMessage&) const = default;
+
+  /// Serialises to RFC 1035 wire format (with name compression).
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parses wire bytes; fails on truncated/garbage input.
+  static Result<DnsMessage> decode(std::span<const std::uint8_t> wire);
+
+  /// Builds a query for `name`/`type` with the given transaction id.
+  static DnsMessage make_query(std::uint16_t id, DnsName name, RrType type,
+                               bool recursion_desired = false);
+
+  /// Builds a response skeleton echoing the query's id and question.
+  static DnsMessage make_response(const DnsMessage& query,
+                                  Rcode rcode = Rcode::kNoError);
+
+  /// True if any answer record matches (qname, qtype).
+  bool has_answer_for(const DnsName& name, RrType type) const;
+
+  /// All A/AAAA addresses found in the answer section for `name`
+  /// (follows CNAME indirection inside the message).
+  std::vector<simnet::IpAddress> addresses_for(const DnsName& name,
+                                               RrType type) const;
+
+  std::string summary() const;
+};
+
+}  // namespace lazyeye::dns

@@ -1,0 +1,146 @@
+#include "dns/name.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace lazyeye::dns {
+
+namespace {
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxName = 255;
+constexpr int kMaxPointerJumps = 32;
+}  // namespace
+
+Result<DnsName> DnsName::from_string(std::string_view text) {
+  DnsName name;
+  if (text.empty() || text == ".") return name;
+  if (text.back() == '.') text.remove_suffix(1);
+  for (const std::string& raw : lazyeye::split(text, '.')) {
+    if (raw.empty()) {
+      return Result<DnsName>::failure("empty label in name: " +
+                                      std::string{text});
+    }
+    if (raw.size() > kMaxLabel) {
+      return Result<DnsName>::failure("label longer than 63 octets");
+    }
+    name.labels_.push_back(lazyeye::to_lower(raw));
+  }
+  if (name.wire_length() > kMaxName) {
+    return Result<DnsName>::failure("name longer than 255 octets");
+  }
+  return name;
+}
+
+DnsName DnsName::must_parse(std::string_view text) {
+  auto r = from_string(text);
+  if (!r.ok()) throw std::invalid_argument(r.error());
+  return std::move(r).value();
+}
+
+std::string DnsName::to_string() const {
+  if (labels_.empty()) return ".";
+  return lazyeye::join(labels_, ".");
+}
+
+std::size_t DnsName::wire_length() const {
+  std::size_t n = 1;  // root length byte
+  for (const auto& l : labels_) n += 1 + l.size();
+  return n;
+}
+
+bool DnsName::is_subdomain_of(const DnsName& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  const std::size_t offset = labels_.size() - ancestor.labels_.size();
+  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i) {
+    if (labels_[offset + i] != ancestor.labels_[i]) return false;
+  }
+  return true;
+}
+
+DnsName DnsName::parent() const {
+  DnsName p;
+  if (labels_.size() <= 1) return p;
+  p.labels_.assign(labels_.begin() + 1, labels_.end());
+  return p;
+}
+
+DnsName DnsName::prepend(std::string_view label) const {
+  DnsName p;
+  p.labels_.reserve(labels_.size() + 1);
+  p.labels_.push_back(lazyeye::to_lower(label));
+  p.labels_.insert(p.labels_.end(), labels_.begin(), labels_.end());
+  return p;
+}
+
+DnsName DnsName::concat(const DnsName& suffix) const {
+  DnsName p;
+  p.labels_ = labels_;
+  p.labels_.insert(p.labels_.end(), suffix.labels_.begin(),
+                   suffix.labels_.end());
+  return p;
+}
+
+void DnsName::encode(ByteWriter& w, CompressionMap* compression) const {
+  // Emit labels left to right; at each suffix, check for a prior occurrence.
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (compression != nullptr) {
+      DnsName suffix;
+      suffix.labels_.assign(labels_.begin() + static_cast<std::ptrdiff_t>(i),
+                            labels_.end());
+      const std::string key = suffix.to_string();
+      if (const auto it = compression->find(key); it != compression->end()) {
+        w.u16(static_cast<std::uint16_t>(0xC000 | it->second));
+        return;
+      }
+      if (w.size() <= 0x3FFF) {
+        compression->emplace(key, static_cast<std::uint16_t>(w.size()));
+      }
+    }
+    w.u8(static_cast<std::uint8_t>(labels_[i].size()));
+    w.bytes(std::string_view{labels_[i]});
+  }
+  w.u8(0);  // root
+}
+
+DnsName DnsName::decode(ByteReader& r) {
+  DnsName name;
+  int jumps = 0;
+  std::optional<std::size_t> resume;  // position after the first pointer
+  std::size_t total = 0;
+
+  for (;;) {
+    const std::uint8_t len = r.u8();
+    if (!r.ok()) return {};
+    if ((len & 0xC0) == 0xC0) {
+      const std::uint8_t low = r.u8();
+      if (!r.ok()) return {};
+      if (++jumps > kMaxPointerJumps) {
+        r.mark_bad();
+        return {};
+      }
+      if (!resume) resume = r.pos();
+      r.seek(static_cast<std::size_t>((len & 0x3F) << 8 | low));
+      if (!r.ok()) return {};
+      continue;
+    }
+    if ((len & 0xC0) != 0) {  // 0x40/0x80 label types are unsupported
+      r.mark_bad();
+      return {};
+    }
+    if (len == 0) break;
+    total += 1 + len;
+    if (total > kMaxName) {
+      r.mark_bad();
+      return {};
+    }
+    std::string label = r.str(len);
+    if (!r.ok()) return {};
+    name.labels_.push_back(lazyeye::to_lower(label));
+  }
+
+  if (resume) r.seek(*resume);
+  return name;
+}
+
+}  // namespace lazyeye::dns

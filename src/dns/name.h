@@ -1,0 +1,72 @@
+// DNS domain names: label sequences with RFC 1035 wire encoding, including
+// message compression (0xC0 pointers) on decode and encode.
+//
+// Names are stored lowercase (DNS comparisons are case-insensitive) as a
+// label vector without the root label; the root name has zero labels.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace lazyeye::dns {
+
+/// Offsets of already-encoded names, used for compression on encode.
+/// Key is the canonical dotted representation of a name suffix.
+using CompressionMap = std::map<std::string, std::uint16_t>;
+
+class DnsName {
+ public:
+  DnsName() = default;  // root
+
+  /// Parses dotted text ("www.example.com", trailing dot optional).
+  /// Enforces label <= 63 octets and total wire length <= 255.
+  static Result<DnsName> from_string(std::string_view text);
+
+  /// from_string or throws std::invalid_argument — for literals.
+  static DnsName must_parse(std::string_view text);
+
+  /// Dotted form; "." for the root name.
+  std::string to_string() const;
+
+  bool is_root() const { return labels_.empty(); }
+  std::size_t label_count() const { return labels_.size(); }
+  const std::vector<std::string>& labels() const { return labels_; }
+  const std::string& label(std::size_t i) const { return labels_[i]; }
+
+  /// Wire length of the encoded name without compression.
+  std::size_t wire_length() const;
+
+  /// True if this name equals `ancestor` or is below it.
+  bool is_subdomain_of(const DnsName& ancestor) const;
+
+  /// Name with the leftmost label removed; root stays root.
+  DnsName parent() const;
+
+  /// New name with `label` prepended (leftmost).
+  DnsName prepend(std::string_view label) const;
+
+  /// Concatenation: this.labels + suffix.labels.
+  DnsName concat(const DnsName& suffix) const;
+
+  /// Encodes at the current writer position. If `compression` is non-null,
+  /// uses/records pointer targets (offsets must fit 14 bits to be recorded).
+  void encode(ByteWriter& w, CompressionMap* compression) const;
+
+  /// Decodes from the reader (follows compression pointers; caps the jump
+  /// count to defeat pointer loops). On failure marks the reader bad.
+  static DnsName decode(ByteReader& r);
+
+  auto operator<=>(const DnsName&) const = default;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+}  // namespace lazyeye::dns

@@ -1,0 +1,132 @@
+// Recursive resolver engine: iterative resolution from root hints with
+// profile-driven IP version preference and fallback behaviour.
+//
+// The engine is deliberately observable: every packet it emits crosses the
+// simulated network and lands in the authoritative servers' query logs, which
+// is where the resolver study (paper §5.3) takes all of its measurements.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/client.h"
+#include "dns/resolver_profile.h"
+
+namespace lazyeye::dns {
+
+/// A name server with its (possibly partial) address knowledge.
+struct NsServerInfo {
+  DnsName name;
+  std::vector<simnet::IpAddress> v4;
+  std::vector<simnet::IpAddress> v6;
+  /// Set once the deferred (Google-style) AAAA query has been issued.
+  bool deferred_aaaa_sent = false;
+
+  bool has_family(simnet::Family f) const {
+    return f == simnet::Family::kIpv4 ? !v4.empty() : !v6.empty();
+  }
+};
+
+/// Internal step log (useful for tests; the lab uses auth-side logs).
+struct ResolveStep {
+  enum class Kind {
+    kQuerySent,
+    kResponse,
+    kTimeout,
+    kFamilySwitch,
+    kNsAddrQuery,
+    kAnswer,
+    kFailure,
+  };
+  Kind kind;
+  SimTime time{0};
+  simnet::Family family = simnet::Family::kIpv4;
+  DnsName qname;
+  RrType qtype = RrType::kA;
+  std::string note;
+};
+
+class RecursiveResolver {
+ public:
+  using Handler = std::function<void(const QueryOutcome&)>;
+
+  /// `root_hints`: addresses of the root name server(s).
+  RecursiveResolver(simnet::Host& host, ResolverProfile profile,
+                    std::vector<simnet::IpAddress> root_hints);
+
+  /// Starts answering RD queries from clients on `port`.
+  void serve(std::uint16_t port = 53);
+  void stop_serving();
+
+  /// Resolves qname/qtype iteratively; invokes handler exactly once.
+  std::uint64_t resolve(const DnsName& qname, RrType qtype, Handler handler);
+
+  const ResolverProfile& profile() const { return profile_; }
+  const std::vector<ResolveStep>& steps() const { return steps_; }
+  void clear_steps() { steps_.clear(); }
+
+  /// Minimal positive cache (zone -> servers) reuse across queries can be
+  /// disabled to keep measurement campaigns cache-free like the paper's.
+  void set_delegation_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    DnsName qname;
+    RrType qtype = RrType::kA;
+    Handler handler;
+
+    std::vector<NsServerInfo> servers;  // current delegation's servers
+    DnsName zone;                       // current delegation owner
+
+    // NS-address acquisition state.
+    int pending_ns_queries = 0;
+    simnet::TimerId ns_timer;
+    int delegation_depth = 0;
+
+    // Attempt state for the current zone.
+    simnet::Family family = simnet::Family::kIpv4;
+    bool family_chosen = false;
+    int packets_this_family = 0;
+    int total_attempts = 0;
+    SimTime timeout{0};
+
+    std::uint64_t client_handle = 0;
+    simnet::TimerId overall_timer;
+    int cname_chase = 0;
+    bool done = false;
+  };
+
+  void start_iteration(std::uint64_t job_id);
+  void send_main_query(std::uint64_t job_id);
+  void on_main_response(std::uint64_t job_id, const QueryOutcome& outcome);
+  void on_main_timeout(std::uint64_t job_id);
+  void handle_referral(std::uint64_t job_id, const DnsMessage& response);
+  void acquire_ns_addresses(std::uint64_t job_id);
+  void finish(std::uint64_t job_id, QueryOutcome outcome);
+
+  /// Picks the next (family, address) to contact; nullopt => no usable
+  /// address at all.
+  std::optional<simnet::Endpoint> pick_address(Job& job);
+
+  void log_step(ResolveStep::Kind kind, simnet::Family family,
+                const DnsName& qname, RrType qtype, std::string note = {});
+
+  simnet::Host& host_;
+  ResolverProfile profile_;
+  std::vector<simnet::IpAddress> root_hints_;
+  DnsClient client_;
+  std::map<std::uint64_t, Job> jobs_;
+  std::vector<ResolveStep> steps_;
+  std::map<DnsName, std::vector<NsServerInfo>> delegation_cache_;
+  bool cache_enabled_ = false;
+  bool global_either_or_toggle_ = false;
+  std::uint64_t next_job_id_ = 1;
+  std::uint16_t serve_port_ = 0;
+};
+
+}  // namespace lazyeye::dns

@@ -1,0 +1,298 @@
+#include "dns/rr.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace lazyeye::dns {
+
+const char* rr_type_name(RrType t) {
+  switch (t) {
+    case RrType::kA: return "A";
+    case RrType::kNs: return "NS";
+    case RrType::kCname: return "CNAME";
+    case RrType::kSoa: return "SOA";
+    case RrType::kTxt: return "TXT";
+    case RrType::kAaaa: return "AAAA";
+    case RrType::kOpt: return "OPT";
+    case RrType::kSvcb: return "SVCB";
+    case RrType::kHttps: return "HTTPS";
+  }
+  return "TYPE?";
+}
+
+std::optional<RrType> rr_type_from_name(std::string_view name) {
+  const std::string lower = lazyeye::to_lower(name);
+  if (lower == "a") return RrType::kA;
+  if (lower == "ns") return RrType::kNs;
+  if (lower == "cname") return RrType::kCname;
+  if (lower == "soa") return RrType::kSoa;
+  if (lower == "txt") return RrType::kTxt;
+  if (lower == "aaaa") return RrType::kAaaa;
+  if (lower == "opt") return RrType::kOpt;
+  if (lower == "svcb") return RrType::kSvcb;
+  if (lower == "https") return RrType::kHttps;
+  return std::nullopt;
+}
+
+// ------------------------------------------------------ SVCB parameters ----
+
+void SvcbRdata::set_alpn(const std::vector<std::string>& protocols) {
+  ByteWriter w;
+  for (const auto& p : protocols) {
+    w.u8(static_cast<std::uint8_t>(p.size()));
+    w.bytes(std::string_view{p});
+  }
+  params[static_cast<std::uint16_t>(SvcParamKey::kAlpn)] = w.take();
+}
+
+std::vector<std::string> SvcbRdata::alpn() const {
+  std::vector<std::string> out;
+  const auto it = params.find(static_cast<std::uint16_t>(SvcParamKey::kAlpn));
+  if (it == params.end()) return out;
+  ByteReader r{it->second};
+  while (r.ok() && r.remaining() > 0) {
+    const std::uint8_t len = r.u8();
+    out.push_back(r.str(len));
+  }
+  return out;
+}
+
+void SvcbRdata::set_port(std::uint16_t port) {
+  ByteWriter w;
+  w.u16(port);
+  params[static_cast<std::uint16_t>(SvcParamKey::kPort)] = w.take();
+}
+
+std::optional<std::uint16_t> SvcbRdata::port() const {
+  const auto it = params.find(static_cast<std::uint16_t>(SvcParamKey::kPort));
+  if (it == params.end() || it->second.size() != 2) return std::nullopt;
+  return static_cast<std::uint16_t>(it->second[0] << 8 | it->second[1]);
+}
+
+void SvcbRdata::set_ipv4_hints(const std::vector<simnet::Ipv4Address>& addrs) {
+  ByteWriter w;
+  for (const auto& a : addrs) w.u32(a.value);
+  params[static_cast<std::uint16_t>(SvcParamKey::kIpv4Hint)] = w.take();
+}
+
+std::vector<simnet::Ipv4Address> SvcbRdata::ipv4_hints() const {
+  std::vector<simnet::Ipv4Address> out;
+  const auto it =
+      params.find(static_cast<std::uint16_t>(SvcParamKey::kIpv4Hint));
+  if (it == params.end()) return out;
+  ByteReader r{it->second};
+  while (r.ok() && r.remaining() >= 4) {
+    out.push_back(simnet::Ipv4Address{r.u32()});
+  }
+  return out;
+}
+
+void SvcbRdata::set_ipv6_hints(const std::vector<simnet::Ipv6Address>& addrs) {
+  ByteWriter w;
+  for (const auto& a : addrs) w.bytes(a.bytes);
+  params[static_cast<std::uint16_t>(SvcParamKey::kIpv6Hint)] = w.take();
+}
+
+std::vector<simnet::Ipv6Address> SvcbRdata::ipv6_hints() const {
+  std::vector<simnet::Ipv6Address> out;
+  const auto it =
+      params.find(static_cast<std::uint16_t>(SvcParamKey::kIpv6Hint));
+  if (it == params.end()) return out;
+  ByteReader r{it->second};
+  while (r.ok() && r.remaining() >= 16) {
+    simnet::Ipv6Address a;
+    const auto bytes = r.bytes(16);
+    std::copy(bytes.begin(), bytes.end(), a.bytes.begin());
+    out.push_back(a);
+  }
+  return out;
+}
+
+void SvcbRdata::set_ech(std::vector<std::uint8_t> config) {
+  params[static_cast<std::uint16_t>(SvcParamKey::kEch)] = std::move(config);
+}
+
+bool SvcbRdata::has_ech() const {
+  return params.count(static_cast<std::uint16_t>(SvcParamKey::kEch)) > 0;
+}
+
+// -------------------------------------------------------- constructors ----
+
+ResourceRecord ResourceRecord::a(DnsName name, simnet::Ipv4Address addr,
+                                 std::uint32_t ttl) {
+  return {std::move(name), RrType::kA, ttl, ARdata{addr}};
+}
+
+ResourceRecord ResourceRecord::aaaa(DnsName name, simnet::Ipv6Address addr,
+                                    std::uint32_t ttl) {
+  return {std::move(name), RrType::kAaaa, ttl, AaaaRdata{addr}};
+}
+
+ResourceRecord ResourceRecord::ns(DnsName name, DnsName nsdname,
+                                  std::uint32_t ttl) {
+  return {std::move(name), RrType::kNs, ttl, NsRdata{std::move(nsdname)}};
+}
+
+ResourceRecord ResourceRecord::cname(DnsName name, DnsName target,
+                                     std::uint32_t ttl) {
+  return {std::move(name), RrType::kCname, ttl,
+          CnameRdata{std::move(target)}};
+}
+
+ResourceRecord ResourceRecord::soa(DnsName name, SoaRdata soa,
+                                   std::uint32_t ttl) {
+  return {std::move(name), RrType::kSoa, ttl, std::move(soa)};
+}
+
+ResourceRecord ResourceRecord::txt(DnsName name,
+                                   std::vector<std::string> strings,
+                                   std::uint32_t ttl) {
+  return {std::move(name), RrType::kTxt, ttl, TxtRdata{std::move(strings)}};
+}
+
+ResourceRecord ResourceRecord::svcb(DnsName name, SvcbRdata rdata, bool https,
+                                    std::uint32_t ttl) {
+  return {std::move(name), https ? RrType::kHttps : RrType::kSvcb, ttl,
+          std::move(rdata)};
+}
+
+std::optional<simnet::IpAddress> ResourceRecord::address() const {
+  if (const auto* a = std::get_if<ARdata>(&rdata)) {
+    return simnet::IpAddress{a->addr};
+  }
+  if (const auto* aaaa = std::get_if<AaaaRdata>(&rdata)) {
+    return simnet::IpAddress{aaaa->addr};
+  }
+  return std::nullopt;
+}
+
+std::string ResourceRecord::to_string() const {
+  std::string rd;
+  if (const auto* a = std::get_if<ARdata>(&rdata)) {
+    rd = a->addr.to_string();
+  } else if (const auto* aaaa = std::get_if<AaaaRdata>(&rdata)) {
+    rd = aaaa->addr.to_string();
+  } else if (const auto* ns = std::get_if<NsRdata>(&rdata)) {
+    rd = ns->ns.to_string();
+  } else if (const auto* cn = std::get_if<CnameRdata>(&rdata)) {
+    rd = cn->target.to_string();
+  } else if (const auto* soa = std::get_if<SoaRdata>(&rdata)) {
+    rd = soa->mname.to_string() + " " + soa->rname.to_string();
+  } else if (const auto* txt = std::get_if<TxtRdata>(&rdata)) {
+    rd = lazyeye::join(txt->strings, " ");
+  } else if (const auto* svcb = std::get_if<SvcbRdata>(&rdata)) {
+    rd = lazyeye::str_format("%u %s (+%zu params)", svcb->priority,
+                             svcb->target.to_string().c_str(),
+                             svcb->params.size());
+  } else if (std::get_if<OptRdata>(&rdata) != nullptr) {
+    rd = "EDNS0";
+  } else if (const auto* raw = std::get_if<RawRdata>(&rdata)) {
+    rd = lazyeye::str_format("\\# %zu", raw->data.size());
+  }
+  return lazyeye::str_format("%s %u IN %s %s", name.to_string().c_str(), ttl,
+                             rr_type_name(type), rd.c_str());
+}
+
+// --------------------------------------------------------- wire codecs ----
+
+void encode_rdata(const ResourceRecord& rr, ByteWriter& w,
+                  CompressionMap* compression) {
+  if (const auto* a = std::get_if<ARdata>(&rr.rdata)) {
+    w.u32(a->addr.value);
+  } else if (const auto* aaaa = std::get_if<AaaaRdata>(&rr.rdata)) {
+    w.bytes(aaaa->addr.bytes);
+  } else if (const auto* ns = std::get_if<NsRdata>(&rr.rdata)) {
+    ns->ns.encode(w, compression);
+  } else if (const auto* cn = std::get_if<CnameRdata>(&rr.rdata)) {
+    cn->target.encode(w, compression);
+  } else if (const auto* soa = std::get_if<SoaRdata>(&rr.rdata)) {
+    soa->mname.encode(w, compression);
+    soa->rname.encode(w, compression);
+    w.u32(soa->serial);
+    w.u32(soa->refresh);
+    w.u32(soa->retry);
+    w.u32(soa->expire);
+    w.u32(soa->minimum);
+  } else if (const auto* txt = std::get_if<TxtRdata>(&rr.rdata)) {
+    for (const auto& s : txt->strings) {
+      w.u8(static_cast<std::uint8_t>(s.size()));
+      w.bytes(std::string_view{s});
+    }
+  } else if (const auto* svcb = std::get_if<SvcbRdata>(&rr.rdata)) {
+    w.u16(svcb->priority);
+    svcb->target.encode(w, nullptr);  // RFC 9460: target is never compressed
+    for (const auto& [key, value] : svcb->params) {
+      w.u16(key);
+      w.u16(static_cast<std::uint16_t>(value.size()));
+      w.bytes(value);
+    }
+  } else if (const auto* opt = std::get_if<OptRdata>(&rr.rdata)) {
+    (void)opt;  // OPT rdata is empty; udp size lives in the class field
+  } else if (const auto* raw = std::get_if<RawRdata>(&rr.rdata)) {
+    w.bytes(raw->data);
+  }
+}
+
+Rdata decode_rdata(RrType type, std::uint16_t rdlength, ByteReader& r) {
+  const std::size_t end = r.pos() + rdlength;
+  switch (type) {
+    case RrType::kA: {
+      ARdata a{simnet::Ipv4Address{r.u32()}};
+      return a;
+    }
+    case RrType::kAaaa: {
+      AaaaRdata a;
+      const auto bytes = r.bytes(16);
+      if (bytes.size() == 16) {
+        std::copy(bytes.begin(), bytes.end(), a.addr.bytes.begin());
+      }
+      return a;
+    }
+    case RrType::kNs:
+      return NsRdata{DnsName::decode(r)};
+    case RrType::kCname:
+      return CnameRdata{DnsName::decode(r)};
+    case RrType::kSoa: {
+      SoaRdata soa;
+      soa.mname = DnsName::decode(r);
+      soa.rname = DnsName::decode(r);
+      soa.serial = r.u32();
+      soa.refresh = r.u32();
+      soa.retry = r.u32();
+      soa.expire = r.u32();
+      soa.minimum = r.u32();
+      return soa;
+    }
+    case RrType::kTxt: {
+      TxtRdata txt;
+      while (r.ok() && r.pos() < end) {
+        const std::uint8_t len = r.u8();
+        txt.strings.push_back(r.str(len));
+      }
+      return txt;
+    }
+    case RrType::kSvcb:
+    case RrType::kHttps: {
+      SvcbRdata svcb;
+      svcb.priority = r.u16();
+      svcb.target = DnsName::decode(r);
+      while (r.ok() && r.pos() + 4 <= end) {
+        const std::uint16_t key = r.u16();
+        const std::uint16_t len = r.u16();
+        svcb.params[key] = r.bytes(len);
+      }
+      return svcb;
+    }
+    case RrType::kOpt: {
+      r.skip(rdlength);
+      return OptRdata{};
+    }
+  }
+  RawRdata raw;
+  raw.type = static_cast<std::uint16_t>(type);
+  raw.data = r.bytes(rdlength);
+  return raw;
+}
+
+}  // namespace lazyeye::dns

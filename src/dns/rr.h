@@ -1,0 +1,152 @@
+// Resource records: typed rdata for every record the experiments need
+// (A, AAAA, NS, CNAME, SOA, TXT, OPT, and the RFC 9460 SVCB/HTTPS types
+// that HEv3 consumes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.h"
+#include "simnet/ip.h"
+
+namespace lazyeye::dns {
+
+enum class RrType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kTxt = 16,
+  kAaaa = 28,
+  kOpt = 41,
+  kSvcb = 64,
+  kHttps = 65,
+};
+
+const char* rr_type_name(RrType t);
+std::optional<RrType> rr_type_from_name(std::string_view name);
+
+struct ARdata {
+  simnet::Ipv4Address addr;
+  bool operator==(const ARdata&) const = default;
+};
+
+struct AaaaRdata {
+  simnet::Ipv6Address addr;
+  bool operator==(const AaaaRdata&) const = default;
+};
+
+struct NsRdata {
+  DnsName ns;
+  bool operator==(const NsRdata&) const = default;
+};
+
+struct CnameRdata {
+  DnsName target;
+  bool operator==(const CnameRdata&) const = default;
+};
+
+struct SoaRdata {
+  DnsName mname;
+  DnsName rname;
+  std::uint32_t serial = 1;
+  std::uint32_t refresh = 7200;
+  std::uint32_t retry = 900;
+  std::uint32_t expire = 1209600;
+  std::uint32_t minimum = 60;
+  bool operator==(const SoaRdata&) const = default;
+};
+
+struct TxtRdata {
+  std::vector<std::string> strings;
+  bool operator==(const TxtRdata&) const = default;
+};
+
+/// RFC 9460 SvcParamKeys used by HEv3.
+enum class SvcParamKey : std::uint16_t {
+  kMandatory = 0,
+  kAlpn = 1,
+  kNoDefaultAlpn = 2,
+  kPort = 3,
+  kIpv4Hint = 4,
+  kEch = 5,
+  kIpv6Hint = 6,
+};
+
+struct SvcbRdata {
+  std::uint16_t priority = 1;  // 0 = AliasMode, >0 = ServiceMode
+  DnsName target;
+  std::map<std::uint16_t, std::vector<std::uint8_t>> params;
+
+  // Typed param helpers (encode/decode the raw param value).
+  void set_alpn(const std::vector<std::string>& protocols);
+  std::vector<std::string> alpn() const;
+  void set_port(std::uint16_t port);
+  std::optional<std::uint16_t> port() const;
+  void set_ipv4_hints(const std::vector<simnet::Ipv4Address>& addrs);
+  std::vector<simnet::Ipv4Address> ipv4_hints() const;
+  void set_ipv6_hints(const std::vector<simnet::Ipv6Address>& addrs);
+  std::vector<simnet::Ipv6Address> ipv6_hints() const;
+  void set_ech(std::vector<std::uint8_t> config);
+  bool has_ech() const;
+
+  bool operator==(const SvcbRdata&) const = default;
+};
+
+/// EDNS(0) OPT pseudo-record payload (we only need the UDP size).
+struct OptRdata {
+  std::uint16_t udp_payload_size = 1232;
+  bool operator==(const OptRdata&) const = default;
+};
+
+/// Raw bytes for types we do not model (kept for wire fidelity).
+struct RawRdata {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> data;
+  bool operator==(const RawRdata&) const = default;
+};
+
+using Rdata = std::variant<ARdata, AaaaRdata, NsRdata, CnameRdata, SoaRdata,
+                           TxtRdata, SvcbRdata, OptRdata, RawRdata>;
+
+struct ResourceRecord {
+  DnsName name;
+  RrType type = RrType::kA;
+  std::uint32_t ttl = 60;
+  Rdata rdata;
+
+  bool operator==(const ResourceRecord&) const = default;
+
+  std::string to_string() const;
+
+  // Convenience constructors.
+  static ResourceRecord a(DnsName name, simnet::Ipv4Address addr,
+                          std::uint32_t ttl = 60);
+  static ResourceRecord aaaa(DnsName name, simnet::Ipv6Address addr,
+                             std::uint32_t ttl = 60);
+  static ResourceRecord ns(DnsName name, DnsName nsdname,
+                           std::uint32_t ttl = 60);
+  static ResourceRecord cname(DnsName name, DnsName target,
+                              std::uint32_t ttl = 60);
+  static ResourceRecord soa(DnsName name, SoaRdata soa, std::uint32_t ttl = 60);
+  static ResourceRecord txt(DnsName name, std::vector<std::string> strings,
+                            std::uint32_t ttl = 60);
+  static ResourceRecord svcb(DnsName name, SvcbRdata rdata, bool https,
+                             std::uint32_t ttl = 60);
+
+  /// The address carried by an A/AAAA record, if this is one.
+  std::optional<simnet::IpAddress> address() const;
+};
+
+/// Encodes the rdata portion (without the length prefix) of `rr`.
+void encode_rdata(const ResourceRecord& rr, ByteWriter& w,
+                  CompressionMap* compression);
+
+/// Decodes rdata given the already-parsed type and rdlength.
+Rdata decode_rdata(RrType type, std::uint16_t rdlength, ByteReader& r);
+
+}  // namespace lazyeye::dns

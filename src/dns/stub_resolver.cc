@@ -1,0 +1,114 @@
+#include "dns/stub_resolver.h"
+
+#include <stdexcept>
+
+namespace lazyeye::dns {
+
+StubResolver::StubResolver(simnet::Host& host, StubOptions options)
+    : host_{host}, options_{std::move(options)}, client_{host} {
+  if (options_.servers.empty()) {
+    throw std::invalid_argument("StubResolver needs at least one server");
+  }
+}
+
+void StubResolver::start_query(std::uint64_t handle, const DnsName& name,
+                               RrType type,
+                               std::function<void(const QueryOutcome&)> done) {
+  auto req_it = requests_.find(handle);
+  if (req_it == requests_.end()) return;
+  PendingQuery& pending = req_it->second.queries[type];
+
+  if (pending.server_index >= options_.servers.size()) {
+    QueryOutcome outcome;
+    outcome.error = "all servers failed";
+    done(outcome);
+    return;
+  }
+
+  const simnet::Endpoint server = options_.servers[pending.server_index];
+  DnsClientOptions copts;
+  copts.timeout = options_.timeout;
+  copts.attempts = options_.attempts_per_server;
+
+  const std::uint64_t client_handle = client_.query(
+      server, name, type, copts,
+      [this, handle, name, type, done](const QueryOutcome& outcome) {
+        auto it = requests_.find(handle);
+        if (it == requests_.end()) return;
+        if (outcome.ok || outcome.rcode == Rcode::kNxDomain) {
+          // NXDOMAIN is a definitive (negative) answer, not a server failure.
+          done(outcome);
+          return;
+        }
+        // Failover to the next server.
+        it->second.queries[type].server_index++;
+        start_query(handle, name, type, done);
+      },
+      /*recursion_desired=*/true);
+
+  // The query may have completed synchronously (and erased state): re-lookup
+  // before recording the client handle.
+  if (auto it = requests_.find(handle); it != requests_.end()) {
+    if (auto qit = it->second.queries.find(type);
+        qit != it->second.queries.end()) {
+      qit->second.client_handle = client_handle;
+    }
+  }
+}
+
+std::uint64_t StubResolver::resolve(
+    const DnsName& name, RrType type,
+    std::function<void(const QueryOutcome&)> handler) {
+  const std::uint64_t handle = next_handle_++;
+  requests_[handle];  // create
+  start_query(handle, name, type,
+              [this, handle, handler = std::move(handler)](
+                  const QueryOutcome& outcome) {
+                requests_.erase(handle);
+                handler(outcome);
+              });
+  return handle;
+}
+
+std::uint64_t StubResolver::resolve_dual(const DnsName& name,
+                                         DualHandlers handlers,
+                                         bool aaaa_first) {
+  const std::uint64_t handle = next_handle_++;
+  requests_[handle];  // create
+
+  auto make_done = [this, handle, name, handlers](RrType type) {
+    return [this, handle, name, type, handlers](const QueryOutcome& outcome) {
+      auto it = requests_.find(handle);
+      if (it == requests_.end()) return;
+      it->second.queries.erase(type);
+      const bool finished = it->second.queries.empty();
+      if (outcome.ok || outcome.rcode == Rcode::kNxDomain) {
+        if (handlers.on_records) {
+          handlers.on_records(type, outcome.response.addresses_for(name, type),
+                              outcome.rtt);
+        }
+      } else {
+        if (handlers.on_error) handlers.on_error(type, outcome.error);
+      }
+      if (finished) requests_.erase(handle);
+    };
+  };
+
+  const RrType first = aaaa_first ? RrType::kAaaa : RrType::kA;
+  const RrType second = aaaa_first ? RrType::kA : RrType::kAaaa;
+  // RFC 8305: AAAA first, A immediately after (same instant, ordered sends).
+  start_query(handle, name, first, make_done(first));
+  start_query(handle, name, second, make_done(second));
+  return handle;
+}
+
+void StubResolver::cancel(std::uint64_t handle) {
+  const auto it = requests_.find(handle);
+  if (it == requests_.end()) return;
+  for (auto& [type, pending] : it->second.queries) {
+    client_.cancel(pending.client_handle);
+  }
+  requests_.erase(it);
+}
+
+}  // namespace lazyeye::dns

@@ -1,0 +1,75 @@
+// Stub resolver used by HE clients.
+//
+// HEv2 (RFC 8305 §3) behaviour: issue the AAAA query first, immediately
+// followed by the A query, and surface each response to the caller the
+// moment it arrives (the Happy Eyeballs engine reacts per-record-type).
+// Server failover and per-query timeout/retry mirror common OS stub
+// behaviour; the timeout is the knob the paper shows browsers delegate to
+// (§5.2: browsers without their own Resolution Delay wait for the resolver's
+// timeout).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "dns/client.h"
+
+namespace lazyeye::dns {
+
+struct StubOptions {
+  /// Resolver endpoints, tried in order when a query fails; the transport
+  /// family follows each server's address (A lookups may ride IPv6 — a fact
+  /// the paper's delayed-A experiment leans on).
+  std::vector<simnet::Endpoint> servers;
+  SimTime timeout = lazyeye::sec(5);
+  int attempts_per_server = 2;
+};
+
+class StubResolver {
+ public:
+  StubResolver(simnet::Host& host, StubOptions options);
+
+  /// Single-type lookup with server failover.
+  std::uint64_t resolve(const DnsName& name, RrType type,
+                        std::function<void(const QueryOutcome&)> handler);
+
+  struct DualHandlers {
+    /// Called once per record type as soon as its response arrives.
+    /// `addresses` may be empty (NODATA / NXDOMAIN).
+    std::function<void(RrType, const std::vector<simnet::IpAddress>&,
+                       SimTime rtt)>
+        on_records;
+    /// Called on timeout / server failure for that record type.
+    std::function<void(RrType, const std::string& error)> on_error;
+  };
+
+  /// AAAA + A resolution for Happy Eyeballs. Returns a request handle.
+  std::uint64_t resolve_dual(const DnsName& name, DualHandlers handlers,
+                             bool aaaa_first = true);
+
+  void cancel(std::uint64_t handle);
+
+  const StubOptions& options() const { return options_; }
+
+ private:
+  struct PendingQuery {
+    std::size_t server_index = 0;
+    std::uint64_t client_handle = 0;
+  };
+  struct Request {
+    std::map<RrType, PendingQuery> queries;
+  };
+
+  void start_query(std::uint64_t handle, const DnsName& name, RrType type,
+                   std::function<void(const QueryOutcome&)> done);
+
+  simnet::Host& host_;
+  StubOptions options_;
+  DnsClient client_;
+  std::map<std::uint64_t, Request> requests_;
+  std::uint64_t next_handle_ = 1;
+};
+
+}  // namespace lazyeye::dns

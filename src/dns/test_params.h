@@ -1,0 +1,53 @@
+// Test parameters encoded in query names (paper §4.1 (ii)).
+//
+// The paper's authoritative server derives per-query behaviour from labels in
+// the qname: the delay to apply, the record type to delay, and a nonce that
+// defeats caching. Grammar used here (one or more parameter labels anywhere
+// in the name):
+//
+//   d<ms>-<type>     delay responses to queries of <type> by <ms> milliseconds
+//                    (<type> in {a, aaaa, ns, svcb, https, all})
+//   n<alnum>         nonce label (ignored by the server, unique per test run)
+//
+// Example: n42x7.d250-aaaa.rd-test.he.lab
+//   -> AAAA queries for this name are answered after 250 ms; other types
+//      immediately. The nonce makes the name unique per repetition.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "util/time.h"
+
+namespace lazyeye::dns {
+
+struct TestParams {
+  /// Per-type response delays (absent type => no delay).
+  std::map<RrType, SimTime> delays;
+  /// Delay applied to all types (combined additively with per-type delays).
+  SimTime all_delay{0};
+  /// Nonce label, if present.
+  std::string nonce;
+
+  /// Effective delay for a query of `type`.
+  SimTime delay_for(RrType type) const;
+
+  /// True if any parameter label was present.
+  bool any() const { return all_delay.count() > 0 || !delays.empty() || !nonce.empty(); }
+};
+
+/// Extracts parameters from a qname. Returns nullopt when the name carries
+/// no parameter labels at all.
+std::optional<TestParams> parse_test_params(const DnsName& qname);
+
+/// Builds "<nonce-label>.<delay-labels>.<base>" for a test run.
+/// `delays` maps record types to delays; types sharing a delay get their own
+/// labels. Pass kAllTypes (nullopt key semantics) via `all_delay`.
+DnsName make_test_name(const DnsName& base, const std::string& nonce,
+                       const std::map<RrType, SimTime>& delays,
+                       SimTime all_delay = SimTime{0});
+
+}  // namespace lazyeye::dns

@@ -1,0 +1,163 @@
+#include "dns/zone.h"
+
+#include <stdexcept>
+
+namespace lazyeye::dns {
+
+Zone::Zone(DnsName origin) : origin_{std::move(origin)} {
+  SoaRdata soa;
+  soa.mname = DnsName::must_parse("ns1").concat(origin_);
+  soa.rname = DnsName::must_parse("hostmaster").concat(origin_);
+  records_.emplace(origin_, ResourceRecord::soa(origin_, soa));
+}
+
+void Zone::add(ResourceRecord rr) {
+  if (!rr.name.is_subdomain_of(origin_)) {
+    throw std::invalid_argument("record " + rr.name.to_string() +
+                                " outside zone " + origin_.to_string());
+  }
+  records_.emplace(rr.name, std::move(rr));
+}
+
+void Zone::add_a(const DnsName& name, simnet::Ipv4Address addr,
+                 std::uint32_t ttl) {
+  add(ResourceRecord::a(name, addr, ttl));
+}
+
+void Zone::add_aaaa(const DnsName& name, simnet::Ipv6Address addr,
+                    std::uint32_t ttl) {
+  add(ResourceRecord::aaaa(name, addr, ttl));
+}
+
+void Zone::add_ns(const DnsName& owner, const DnsName& nsdname,
+                  std::uint32_t ttl) {
+  add(ResourceRecord::ns(owner, nsdname, ttl));
+}
+
+void Zone::add_cname(const DnsName& name, const DnsName& target,
+                     std::uint32_t ttl) {
+  add(ResourceRecord::cname(name, target, ttl));
+}
+
+void Zone::set_soa(SoaRdata soa) {
+  // Replace the SOA created by the constructor.
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->first == origin_ && it->second.type == RrType::kSoa) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  records_.emplace(origin_, ResourceRecord::soa(origin_, std::move(soa)));
+}
+
+bool Zone::name_exists(const DnsName& name) const {
+  if (records_.count(name) > 0) return true;
+  // An "empty non-terminal" exists if any record lives below it.
+  for (const auto& [owner, rr] : records_) {
+    if (owner != name && owner.is_subdomain_of(name)) return true;
+  }
+  return false;
+}
+
+std::optional<DnsName> Zone::find_zone_cut(const DnsName& qname) const {
+  // Walk from just below the origin down towards qname, looking for an NS
+  // RRset at an intermediate owner (a zone cut). The origin's own NS records
+  // are apex records, not a cut.
+  const std::size_t extra = qname.label_count() - origin_.label_count();
+  for (std::size_t depth = 1; depth <= extra; ++depth) {
+    DnsName candidate;
+    // candidate = last (origin_labels + depth) labels of qname.
+    DnsName full = qname;
+    while (full.label_count() > origin_.label_count() + depth) {
+      full = full.parent();
+    }
+    candidate = full;
+    if (candidate == qname && depth == extra) {
+      // The qname itself may own NS records: that is still a delegation
+      // (unless it is the apex, excluded above) — but only when the zone is
+      // not authoritative below; checked by the caller via record presence.
+    }
+    const auto range = records_.equal_range(candidate);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second.type == RrType::kNs && candidate != origin_) {
+        return candidate;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<ResourceRecord> Zone::glue_for(const DnsName& name) const {
+  std::vector<ResourceRecord> out;
+  const auto range = records_.equal_range(name);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second.type == RrType::kA || it->second.type == RrType::kAaaa) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+Zone::LookupResult Zone::lookup(const DnsName& qname, RrType qtype) const {
+  LookupResult result;
+  if (!qname.is_subdomain_of(origin_)) {
+    result.kind = RcodeKind::kNotInZone;
+    return result;
+  }
+
+  // Delegation check first (RFC 1034 4.3.2 step 3b).
+  if (const auto cut = find_zone_cut(qname)) {
+    result.kind = RcodeKind::kDelegation;
+    const auto range = records_.equal_range(*cut);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second.type != RrType::kNs) continue;
+      result.records.push_back(it->second);
+      const auto& nsname = std::get<NsRdata>(it->second.rdata).ns;
+      for (auto& glue : glue_for(nsname)) {
+        result.additional.push_back(std::move(glue));
+      }
+    }
+    return result;
+  }
+
+  auto soa_record = [&]() -> std::optional<ResourceRecord> {
+    const auto range = records_.equal_range(origin_);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second.type == RrType::kSoa) return it->second;
+    }
+    return std::nullopt;
+  };
+
+  const auto range = records_.equal_range(qname);
+  bool name_has_records = range.first != range.second;
+
+  // CNAME handling (only when the query is not for the CNAME itself).
+  if (qtype != RrType::kCname) {
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second.type == RrType::kCname) {
+        result.kind = RcodeKind::kCname;
+        result.records.push_back(it->second);
+        return result;
+      }
+    }
+  }
+
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second.type == qtype) result.records.push_back(it->second);
+  }
+  if (!result.records.empty()) {
+    result.kind = RcodeKind::kAnswer;
+    return result;
+  }
+
+  if (name_has_records || name_exists(qname)) {
+    result.kind = RcodeKind::kNoData;
+  } else {
+    result.kind = RcodeKind::kNxDomain;
+  }
+  result.soa = soa_record();
+  return result;
+}
+
+}  // namespace lazyeye::dns

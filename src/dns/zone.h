@@ -1,0 +1,70 @@
+// Authoritative zone data with RFC 1034 lookup semantics:
+// answer / NODATA / NXDOMAIN / delegation (with glue) / CNAME.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/rr.h"
+
+namespace lazyeye::dns {
+
+class Zone {
+ public:
+  explicit Zone(DnsName origin);
+
+  const DnsName& origin() const { return origin_; }
+
+  /// Adds a record; `rr.name` must be at or below the origin.
+  void add(ResourceRecord rr);
+
+  // Convenience helpers (names may be given relative to nothing — they must
+  // be fully qualified and inside the zone).
+  void add_a(const DnsName& name, simnet::Ipv4Address addr,
+             std::uint32_t ttl = 60);
+  void add_aaaa(const DnsName& name, simnet::Ipv6Address addr,
+                std::uint32_t ttl = 60);
+  void add_ns(const DnsName& owner, const DnsName& nsdname,
+              std::uint32_t ttl = 60);
+  void add_cname(const DnsName& name, const DnsName& target,
+                 std::uint32_t ttl = 60);
+  void set_soa(SoaRdata soa);
+
+  enum class RcodeKind {
+    kAnswer,      // records of the requested type
+    kNoData,      // name exists, no records of that type
+    kNxDomain,    // name does not exist
+    kDelegation,  // name is below a zone cut: referral
+    kCname,       // name owns a CNAME (and qtype != CNAME)
+    kNotInZone,   // qname not under this zone's origin
+  };
+
+  struct LookupResult {
+    RcodeKind kind = RcodeKind::kNotInZone;
+    std::vector<ResourceRecord> records;     // answers, CNAME, or the NS set
+    std::vector<ResourceRecord> additional;  // glue for delegations
+    std::optional<ResourceRecord> soa;       // for negative answers
+  };
+
+  /// Pure lookup; CNAME chasing is left to the server (it may re-query
+  /// within the same zone).
+  LookupResult lookup(const DnsName& qname, RrType qtype) const;
+
+  /// All records (for inspection/tests).
+  const std::multimap<DnsName, ResourceRecord>& records() const {
+    return records_;
+  }
+
+  /// Glue lookup helper: in-zone A/AAAA records for `name`.
+  std::vector<ResourceRecord> glue_for(const DnsName& name) const;
+
+ private:
+  bool name_exists(const DnsName& name) const;
+  std::optional<DnsName> find_zone_cut(const DnsName& qname) const;
+
+  DnsName origin_;
+  std::multimap<DnsName, ResourceRecord> records_;
+};
+
+}  // namespace lazyeye::dns

@@ -1,0 +1,107 @@
+#include "he/address_selection.h"
+
+#include <algorithm>
+
+namespace lazyeye::he {
+
+namespace {
+
+void sort_candidates(std::vector<AddressCandidate>& list,
+                     const HeOptions& options) {
+  // Stable sorts keep DNS order for ties (resolver-provided ordering is
+  // itself meaningful).
+  if (options.prefer_ech) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const AddressCandidate& a, const AddressCandidate& b) {
+                       return a.ech_available > b.ech_available;
+                     });
+  }
+  if (options.sort_by_history) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const AddressCandidate& a, const AddressCandidate& b) {
+                       // Known RTT beats unknown; lower RTT beats higher.
+                       if (a.history_rtt.has_value() !=
+                           b.history_rtt.has_value()) {
+                         return a.history_rtt.has_value();
+                       }
+                       if (!a.history_rtt) return false;
+                       return *a.history_rtt < *b.history_rtt;
+                     });
+  }
+}
+
+}  // namespace
+
+std::vector<AddressCandidate> select_addresses(const SelectionInput& input,
+                                               const HeOptions& options) {
+  std::vector<AddressCandidate> first =
+      options.prefer_ipv6 ? input.ipv6 : input.ipv4;
+  std::vector<AddressCandidate> second =
+      options.prefer_ipv6 ? input.ipv4 : input.ipv6;
+
+  sort_candidates(first, options);
+  sort_candidates(second, options);
+
+  const auto cap = static_cast<std::size_t>(
+      std::max(0, options.max_addresses_per_family));
+  if (first.size() > cap) first.resize(cap);
+  if (second.size() > cap) second.resize(cap);
+
+  if (!options.fallback_enabled) {
+    // No fallback: the non-preferred family is only used when the preferred
+    // one has no addresses at all.
+    if (!first.empty()) return first;
+    return second;
+  }
+
+  std::vector<AddressCandidate> out;
+  out.reserve(first.size() + second.size());
+
+  const std::size_t fafc = static_cast<std::size_t>(
+      std::max(1, options.first_address_family_count));
+
+  switch (options.interlace) {
+    case InterlaceMode::kNone: {
+      out.insert(out.end(), first.begin(), first.end());
+      out.insert(out.end(), second.begin(), second.end());
+      return out;
+    }
+    case InterlaceMode::kAlternate: {
+      // RFC 8305 §4: start with `fafc` addresses of the preferred family,
+      // then strictly alternate, starting with the other family.
+      std::size_t i = std::min(fafc, first.size());
+      out.insert(out.end(), first.begin(),
+                 first.begin() + static_cast<std::ptrdiff_t>(i));
+      std::size_t j = 0;
+      bool take_second = true;
+      while (i < first.size() || j < second.size()) {
+        if (take_second && j < second.size()) {
+          out.push_back(second[j++]);
+        } else if (i < first.size()) {
+          out.push_back(first[i++]);
+        } else if (j < second.size()) {
+          out.push_back(second[j++]);
+        }
+        take_second = !take_second;
+      }
+      return out;
+    }
+    case InterlaceMode::kFirstOtherThenRest: {
+      // Safari (paper App. D): fafc preferred, one other, all remaining
+      // preferred, then all remaining other.
+      std::size_t i = std::min(fafc, first.size());
+      out.insert(out.end(), first.begin(),
+                 first.begin() + static_cast<std::ptrdiff_t>(i));
+      std::size_t j = 0;
+      if (j < second.size()) out.push_back(second[j++]);
+      out.insert(out.end(), first.begin() + static_cast<std::ptrdiff_t>(i),
+                 first.end());
+      out.insert(out.end(), second.begin() + static_cast<std::ptrdiff_t>(j),
+                 second.end());
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace lazyeye::he

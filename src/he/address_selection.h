@@ -1,0 +1,36 @@
+// RFC 8305 §4 destination address selection: sorting plus family interlacing
+// with a First Address Family Count.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "he/options.h"
+#include "simnet/ip.h"
+
+namespace lazyeye::he {
+
+struct AddressCandidate {
+  simnet::IpAddress address;
+  /// Historical RTT knowledge, if the client keeps any (HEv2 §4).
+  std::optional<SimTime> history_rtt;
+  /// Whether the source (e.g. an HTTPS RR) advertised ECH for this endpoint
+  /// (HEv3 preference input).
+  bool ech_available = false;
+};
+
+struct SelectionInput {
+  std::vector<AddressCandidate> ipv6;
+  std::vector<AddressCandidate> ipv4;
+};
+
+/// Produces the ordered attempt list:
+///  1. optionally sorts each family list by historical RTT,
+///  2. optionally prefers ECH-capable endpoints (HEv3),
+///  3. truncates each family to `max_addresses_per_family`,
+///  4. interlaces per `interlace`/`first_address_family_count` with the
+///     preferred family first.
+std::vector<AddressCandidate> select_addresses(const SelectionInput& input,
+                                               const HeOptions& options);
+
+}  // namespace lazyeye::he

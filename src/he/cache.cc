@@ -1,0 +1,21 @@
+#include "he/cache.h"
+
+namespace lazyeye::he {
+
+std::optional<OutcomeCache::Entry> OutcomeCache::lookup(
+    const dns::DnsName& host, SimTime now) const {
+  const auto it = entries_.find(host);
+  if (it == entries_.end()) return std::nullopt;
+  if (it->second.expiry <= now) return std::nullopt;
+  return it->second;
+}
+
+void OutcomeCache::store(const dns::DnsName& host,
+                         const simnet::IpAddress& address,
+                         transport::TransportProtocol proto, SimTime now,
+                         SimTime ttl) {
+  if (ttl.count() <= 0) return;
+  entries_[host] = Entry{address, proto, now + ttl};
+}
+
+}  // namespace lazyeye::he

@@ -1,0 +1,75 @@
+#include "he/options.h"
+
+#include <algorithm>
+
+namespace lazyeye::he {
+
+const char* he_version_name(HeVersion v) {
+  switch (v) {
+    case HeVersion::kNone: return "none";
+    case HeVersion::kV1: return "HEv1";
+    case HeVersion::kV2: return "HEv2";
+    case HeVersion::kV3: return "HEv3";
+  }
+  return "?";
+}
+
+SimTime DynamicCad::effective(std::optional<SimTime> smoothed_rtt) const {
+  if (!smoothed_rtt) return no_history_default;
+  const auto scaled = SimTime{static_cast<std::int64_t>(
+      static_cast<double>(smoothed_rtt->count()) * rtt_multiplier)};
+  return std::clamp(scaled, minimum, maximum);
+}
+
+SimTime HeOptions::effective_cad(std::optional<SimTime> smoothed_rtt) const {
+  if (dynamic_cad.enabled) return dynamic_cad.effective(smoothed_rtt);
+  return connection_attempt_delay;
+}
+
+HeOptions HeOptions::rfc6555() {
+  HeOptions o;
+  o.version = HeVersion::kV1;
+  // HEv1 has no DNS handling: the client waits for the full resolution.
+  o.wait_for_a_record = true;
+  o.resolution_delay = std::nullopt;
+  // "IPv6 once, then IPv4": one address per family, no interlacing.
+  o.interlace = InterlaceMode::kNone;
+  o.max_addresses_per_family = 1;
+  // RFC 6555 recommends 150-250 ms; use the upper bound.
+  o.connection_attempt_delay = lazyeye::ms(250);
+  return o;
+}
+
+HeOptions HeOptions::rfc8305() {
+  HeOptions o;
+  o.version = HeVersion::kV2;
+  o.query_aaaa_first = true;
+  o.resolution_delay = lazyeye::ms(50);
+  o.first_address_family_count = 1;
+  o.interlace = InterlaceMode::kAlternate;
+  o.connection_attempt_delay = lazyeye::ms(250);
+  return o;
+}
+
+HeOptions HeOptions::v3_draft() {
+  HeOptions o = rfc8305();
+  o.version = HeVersion::kV3;
+  o.use_svcb = true;
+  o.race_quic = true;
+  o.prefer_ech = true;
+  return o;
+}
+
+HeOptions HeOptions::none() {
+  HeOptions o;
+  o.version = HeVersion::kNone;
+  o.wait_for_a_record = true;
+  o.resolution_delay = std::nullopt;
+  o.fallback_enabled = false;
+  o.interlace = InterlaceMode::kNone;
+  o.max_addresses_per_family = 1;
+  o.cache_ttl = SimTime{0};
+  return o;
+}
+
+}  // namespace lazyeye::he

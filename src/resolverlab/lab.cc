@@ -1,0 +1,312 @@
+#include "resolverlab/lab.h"
+
+#include <algorithm>
+#include <map>
+
+#include "dns/auth_server.h"
+#include "dns/recursive_resolver.h"
+#include "simnet/network.h"
+#include "util/strings.h"
+
+namespace lazyeye::resolverlab {
+
+using dns::DnsName;
+using simnet::Family;
+using simnet::IpAddress;
+
+LabConfig LabConfig::paper_grid() {
+  LabConfig config;
+  // One millisecond below each distinctive client timeout in Table 3 plus
+  // coverage above them (to force fallback and count per-family packets).
+  config.delay_grid = {lazyeye::ms(0),    lazyeye::ms(49),   lazyeye::ms(100),
+                       lazyeye::ms(199),  lazyeye::ms(249),  lazyeye::ms(299),
+                       lazyeye::ms(375),  lazyeye::ms(399),  lazyeye::ms(499),
+                       lazyeye::ms(599),  lazyeye::ms(799),  lazyeye::ms(1249),
+                       lazyeye::ms(1500), lazyeye::ms(2000)};
+  config.repetitions = 9;
+  return config;
+}
+
+namespace {
+
+struct LabRun {
+  simnet::Network net;
+  simnet::Host* auth_host = nullptr;
+  std::unique_ptr<dns::AuthServer> root;
+  std::unique_ptr<dns::AuthServer> tld;
+  std::unique_ptr<dns::AuthServer> auth;
+  std::unique_ptr<dns::RecursiveResolver> resolver;
+  DnsName zone;
+  DnsName ns_name;
+  DnsName qname;
+
+  explicit LabRun(std::uint64_t seed) : net{seed} {}
+};
+
+/// Builds the delegation tree for one measurement run. Unique zone apex and
+/// NS names per (delay, repetition) defeat caching, exactly like §4.2.
+std::unique_ptr<LabRun> build_run(const resolvers::ServiceProfile& service,
+                                  SimTime v6_delay, int delay_index, int rep,
+                                  std::uint64_t seed, bool v6_only) {
+  auto run = std::make_unique<LabRun>(seed);
+  simnet::Network& net = run->net;
+
+  simnet::Host& root_host = net.add_host("root");
+  root_host.add_address(IpAddress::must_parse("10.0.0.1"));
+  root_host.add_address(IpAddress::must_parse("2001:db8::1"));
+  simnet::Host& tld_host = net.add_host("tld");
+  tld_host.add_address(IpAddress::must_parse("10.0.0.2"));
+  tld_host.add_address(IpAddress::must_parse("2001:db8::2"));
+  simnet::Host& auth_host = net.add_host("auth");
+  run->auth_host = &auth_host;
+  const auto auth_v4 = IpAddress::must_parse("10.0.1.1");
+  const auto auth_v6 = IpAddress::must_parse("2001:db8:1::1");
+  if (!v6_only) auth_host.add_address(auth_v4);
+  auth_host.add_address(auth_v6);
+  simnet::Host& resolver_host = net.add_host("resolver");
+  resolver_host.add_address(IpAddress::must_parse("10.0.9.9"));
+  resolver_host.add_address(IpAddress::must_parse("2001:db8:9::9"));
+
+  // Traffic shaping towards the auth server's IPv6 address (§4.2: shaping
+  // on the IP addresses for CAD measurements).
+  if (v6_delay.count() > 0) {
+    net.qdisc().add_rule(simnet::PacketFilter::to_address(auth_v6),
+                         simnet::NetemSpec::delay_only(v6_delay),
+                         "v6 delay to auth");
+  }
+
+  run->zone = DnsName::must_parse(
+      lazyeye::str_format("z%dr%d.lab", delay_index, rep));
+  run->ns_name = run->zone.prepend("ns1");
+  run->qname = run->zone.prepend("www");
+
+  run->root = std::make_unique<dns::AuthServer>(root_host);
+  dns::Zone& root_zone = run->root->add_zone(DnsName{});
+  root_zone.add_ns(DnsName::must_parse("lab"), DnsName::must_parse("ns.lab"));
+  root_zone.add(dns::ResourceRecord::a(DnsName::must_parse("ns.lab"),
+                                       *simnet::Ipv4Address::parse("10.0.0.2")));
+  root_zone.add(dns::ResourceRecord::aaaa(
+      DnsName::must_parse("ns.lab"), *simnet::Ipv6Address::parse("2001:db8::2")));
+
+  run->tld = std::make_unique<dns::AuthServer>(tld_host);
+  dns::Zone& lab_zone = run->tld->add_zone(DnsName::must_parse("lab"));
+  lab_zone.add_ns(DnsName::must_parse("lab"), DnsName::must_parse("ns.lab"));
+  lab_zone.add_a(DnsName::must_parse("ns.lab"),
+                 *simnet::Ipv4Address::parse("10.0.0.2"));
+  lab_zone.add_aaaa(DnsName::must_parse("ns.lab"),
+                    *simnet::Ipv6Address::parse("2001:db8::2"));
+  lab_zone.add_ns(run->zone, run->ns_name);
+  if (!v6_only) {
+    lab_zone.add(dns::ResourceRecord::a(run->ns_name,
+                                        *simnet::Ipv4Address::parse("10.0.1.1")));
+  }
+  lab_zone.add(dns::ResourceRecord::aaaa(
+      run->ns_name, *simnet::Ipv6Address::parse("2001:db8:1::1")));
+
+  run->auth = std::make_unique<dns::AuthServer>(auth_host);
+  dns::Zone& zone = run->auth->add_zone(run->zone);
+  zone.add_ns(run->zone, run->ns_name);
+  if (!v6_only) {
+    zone.add_a(run->ns_name, *simnet::Ipv4Address::parse("10.0.1.1"));
+  }
+  zone.add_aaaa(run->ns_name, *simnet::Ipv6Address::parse("2001:db8:1::1"));
+  zone.add_a(run->qname, *simnet::Ipv4Address::parse("10.0.1.80"));
+
+  run->resolver = std::make_unique<dns::RecursiveResolver>(
+      resolver_host, service.engine,
+      std::vector<IpAddress>{IpAddress::must_parse("10.0.0.1"),
+                             IpAddress::must_parse("2001:db8::1")});
+  return run;
+}
+
+RunObservation observe(LabRun& run, SimTime delay, int rep, bool resolved,
+                       SimTime completed) {
+  RunObservation obs;
+  obs.configured_delay = delay;
+  obs.repetition = rep;
+  obs.resolved = resolved;
+  obs.completed = completed;
+
+  // Ordering uses log *indices*: back-to-back queries share a timestamp but
+  // the capture preserves wire order.
+  std::optional<std::size_t> first_aaaa_ns;
+  std::optional<std::size_t> first_a_ns;
+  std::optional<std::size_t> first_main;
+  std::optional<Family> aaaa_ns_family;
+  std::optional<Family> a_ns_family;
+  std::optional<Family> last_main_family;
+  const auto& log = run.auth->query_log();
+  std::optional<SimTime> earliest_send;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto& entry = log[i];
+    if (entry.qname == run.qname) {
+      if (entry.family == Family::kIpv6) {
+        ++obs.v6_main_queries;
+      } else {
+        ++obs.v4_main_queries;
+      }
+      if (!first_main) first_main = i;
+      // The lab knows the shaping it applied, so it can reconstruct the
+      // *send* time of each arriving query: delayed IPv6 queries may land
+      // after a later-sent IPv4 one.
+      const SimTime send_time =
+          entry.time - (entry.family == Family::kIpv6 ? delay : SimTime{0});
+      if (!earliest_send || send_time < *earliest_send) {
+        earliest_send = send_time;
+        obs.first_query_v6 = entry.family == Family::kIpv6;
+      }
+      // Only queries that arrived before the resolver finished can have
+      // produced the answer it used.
+      if (entry.time <= completed || !resolved) {
+        last_main_family = entry.family;
+      }
+    } else if (entry.qname == run.ns_name) {
+      if (entry.qtype == dns::RrType::kAaaa) {
+        obs.aaaa_ns_seen = true;
+        if (!first_aaaa_ns) {
+          first_aaaa_ns = i;
+          aaaa_ns_family = entry.family;
+        }
+      } else if (entry.qtype == dns::RrType::kA) {
+        obs.a_ns_seen = true;
+        if (!first_a_ns) {
+          first_a_ns = i;
+          a_ns_family = entry.family;
+        }
+      }
+    }
+  }
+  if (first_aaaa_ns && first_a_ns) {
+    obs.aaaa_before_a = *first_aaaa_ns < *first_a_ns;
+    // "Parallel queries on IPv4 and IPv6" (Table 3 footnote 1): the two
+    // NS-name queries rode different transport families.
+    obs.ns_queries_parallel = aaaa_ns_family && a_ns_family &&
+                              *aaaa_ns_family != *a_ns_family;
+  }
+  if (first_aaaa_ns && first_main) {
+    obs.aaaa_before_main = *first_aaaa_ns < *first_main;
+  }
+  obs.answer_via_v6 =
+      resolved && last_main_family && *last_main_family == Family::kIpv6;
+  return obs;
+}
+
+}  // namespace
+
+bool check_ipv6_only_capability(const resolvers::ServiceProfile& service,
+                                std::uint64_t seed) {
+  auto run = build_run(service, SimTime{0}, 0, 0, seed, /*v6_only=*/true);
+  bool resolved = false;
+  run->resolver->resolve(run->qname, dns::RrType::kA,
+                         [&resolved](const dns::QueryOutcome& out) {
+                           resolved = out.ok;
+                         });
+  run->net.loop().run();
+  return resolved;
+}
+
+ServiceMetrics measure_service(const resolvers::ServiceProfile& service,
+                               const LabConfig& config) {
+  ServiceMetrics metrics;
+  metrics.service = service.service;
+
+  std::uint64_t seed = config.seed;
+  std::map<std::int64_t, std::pair<int, int>> v6_success_by_delay;  // (v6, n)
+  int first_query_v6 = 0;
+  int first_query_total = 0;
+
+  for (std::size_t di = 0; di < config.delay_grid.size(); ++di) {
+    const SimTime delay = config.delay_grid[di];
+    for (int rep = 0; rep < config.repetitions; ++rep) {
+      ++seed;
+      auto run = build_run(service, delay, static_cast<int>(di), rep, seed,
+                           /*v6_only=*/false);
+      bool resolved = false;
+      SimTime completed{0};
+      run->resolver->resolve(run->qname, dns::RrType::kA,
+                             [&resolved, &completed,
+                              net = &run->net](const dns::QueryOutcome& out) {
+                               resolved = out.ok;
+                               completed = net->loop().now();
+                             });
+      run->net.loop().run();
+      RunObservation obs = observe(*run, delay, rep, resolved, completed);
+
+      if (obs.v6_main_queries + obs.v4_main_queries > 0) {
+        ++first_query_total;
+        if (obs.first_query_v6) ++first_query_v6;
+      }
+      // Max-IPv6-delay statistics condition on the runs where the resolver
+      // chose IPv6 in the first place (otherwise services with a low IPv6
+      // share could never reach a majority at any delay).
+      if (obs.first_query_v6) {
+        auto& bucket = v6_success_by_delay[delay.count()];
+        bucket.second += 1;
+        if (obs.answer_via_v6) bucket.first += 1;
+      }
+      metrics.max_ipv6_packets =
+          std::max(metrics.max_ipv6_packets, obs.v6_main_queries);
+      metrics.runs.push_back(std::move(obs));
+    }
+  }
+
+  // ---- Aggregation ----------------------------------------------------------
+  metrics.ipv6_share =
+      first_query_total == 0
+          ? 0.0
+          : static_cast<double>(first_query_v6) / first_query_total;
+
+  // Largest delay where the majority of repetitions were answered over v6.
+  for (const auto& [delay_ns, counts] : v6_success_by_delay) {
+    if (counts.second == 0) continue;
+    if (counts.first * 2 > counts.second) {
+      const SimTime d{delay_ns};
+      if (!metrics.max_ipv6_delay || d > *metrics.max_ipv6_delay) {
+        metrics.max_ipv6_delay = d;
+      }
+    }
+  }
+
+  // AAAA Query column classification (majority vote across runs).
+  int before_a = 0;
+  int after_a = 0;
+  int either_or = 0;
+  int after_main = 0;
+  int parallel = 0;
+  int with_ns_queries = 0;
+  for (const auto& obs : metrics.runs) {
+    if (!obs.aaaa_ns_seen && !obs.a_ns_seen) continue;
+    ++with_ns_queries;
+    if (obs.ns_queries_parallel) ++parallel;
+    if (obs.aaaa_ns_seen && !obs.aaaa_before_main) {
+      // The AAAA query only went out after the auth server was already
+      // contacted (Google's deferred behaviour).
+      ++after_main;
+    } else if (obs.aaaa_ns_seen != obs.a_ns_seen) {
+      // Exactly one of the two types, before the main query (Knot).
+      ++either_or;
+    } else if (obs.aaaa_ns_seen && obs.a_ns_seen) {
+      if (obs.aaaa_before_a) {
+        ++before_a;
+      } else {
+        ++after_a;
+      }
+    }
+  }
+  if (with_ns_queries > 0) {
+    metrics.aaaa_order_known = true;
+    if (after_main * 2 > with_ns_queries) {
+      metrics.aaaa_order = resolvers::AaaaOrderClass::kAfterAuthQuery;
+    } else if (either_or * 2 > with_ns_queries) {
+      metrics.aaaa_order = resolvers::AaaaOrderClass::kEitherOr;
+    } else if (before_a >= after_a) {
+      metrics.aaaa_order = resolvers::AaaaOrderClass::kBeforeA;
+    } else {
+      metrics.aaaa_order = resolvers::AaaaOrderClass::kAfterA;
+    }
+    metrics.delay_unmeasurable = parallel * 2 > with_ns_queries;
+  }
+  return metrics;
+}
+
+}  // namespace lazyeye::resolverlab

@@ -1,0 +1,69 @@
+// Resolver measurement lab (paper §4.2, §5.3).
+//
+// Builds the delegation tree root -> lab -> <measurement zone> with a fresh
+// network per run, unique zone apexes and NS names per delay configuration
+// (cache-effect avoidance), traffic shaping on the authoritative server's
+// IPv6 path, and evaluates resolvers *purely from the authoritative-side
+// query log* — the resolver engine is a black box to the measurement.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resolvers/service_profiles.h"
+#include "util/time.h"
+
+namespace lazyeye::resolverlab {
+
+struct LabConfig {
+  /// IPv6 delays applied at the measurement auth server (the sweep grid).
+  std::vector<SimTime> delay_grid;
+  /// Repetitions per delay (fresh zone + network each).
+  int repetitions = 9;
+  std::uint64_t seed = 42;
+
+  static LabConfig paper_grid();
+};
+
+/// One resolution observed at the authoritative server.
+struct RunObservation {
+  SimTime configured_delay{0};
+  int repetition = 0;
+  bool resolved = false;
+  SimTime completed{0};      // when the resolver delivered its answer
+  int v6_main_queries = 0;   // main-qname queries over IPv6
+  int v4_main_queries = 0;
+  bool first_query_v6 = false;  // family of the first *sent* main query
+  bool answer_via_v6 = false;  // the answer the resolver used came over v6
+  bool aaaa_ns_seen = false;
+  bool a_ns_seen = false;
+  /// Auth-side ordering signals for the AAAA Query column.
+  bool aaaa_before_a = false;
+  bool aaaa_before_main = false;
+  bool ns_queries_parallel = false;
+};
+
+/// Aggregate Table 3 row for one service.
+struct ServiceMetrics {
+  std::string service;
+  resolvers::AaaaOrderClass aaaa_order =
+      resolvers::AaaaOrderClass::kBeforeA;
+  bool aaaa_order_known = false;
+  double ipv6_share = 0.0;  // fraction of auth-directed packets over IPv6
+  std::optional<SimTime> max_ipv6_delay;  // largest delay with majority-v6
+  int max_ipv6_packets = 0;  // most IPv6 packets in a single resolution
+  bool delay_unmeasurable = false;  // parallel NS queries (footnote 1)
+  std::vector<RunObservation> runs;
+};
+
+/// Table 4 capability check: can the service resolve an IPv6-only
+/// delegation at all?
+bool check_ipv6_only_capability(const resolvers::ServiceProfile& service,
+                                std::uint64_t seed = 7);
+
+/// Runs the full campaign for one service.
+ServiceMetrics measure_service(const resolvers::ServiceProfile& service,
+                               const LabConfig& config);
+
+}  // namespace lazyeye::resolverlab

@@ -1,0 +1,57 @@
+// Resolver service profiles: BIND/Unbound/Knot (local software, §5.3) and
+// the open resolver services of Tables 3 & 4. Engine knobs encode the
+// behaviour the paper measured; the expectations fields carry the published
+// Table 3 values so benches/tests can compare pipeline output against paper
+// ground truth.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/resolver_profile.h"
+
+namespace lazyeye::resolvers {
+
+/// Table 3 "AAAA Query" column symbols.
+enum class AaaaOrderClass {
+  kBeforeA,         // ● sends AAAA before A
+  kAfterA,          // ◐ sends AAAA after A
+  kAfterAuthQuery,  // ◑ sends AAAA only after querying the IPv4 auth server
+  kEitherOr,        // ◒ sends either AAAA or A but never both
+};
+
+const char* aaaa_order_symbol(AaaaOrderClass c);
+
+struct ServiceProfile {
+  std::string service;            // "Quad9 DNS"
+  bool local_software = false;    // BIND/Unbound/Knot vs open service
+  dns::ResolverProfile engine;    // behaviour knobs for the engine
+
+  // Table 4 address inventory.
+  int ipv4_addresses = 2;
+  int ipv6_addresses = 2;
+
+  /// False for services that cannot resolve IPv6-only delegations
+  /// (Hurricane Electric, Lumen, Dyn, G-Core) — excluded from Table 3.
+  bool ipv6_resolution_capable = true;
+
+  // ---- Published Table 3 values (paper ground truth) ----------------------
+  AaaaOrderClass expected_aaaa_order = AaaaOrderClass::kBeforeA;
+  double expected_ipv6_share = 0.0;           // fraction, e.g. 0.438
+  std::optional<SimTime> expected_max_delay;  // "Max. IPv6 Delay Used"
+  std::optional<int> expected_ipv6_packets;   // "# IPv6 Packets"
+};
+
+/// BIND 9, Unbound, Knot Resolver.
+std::vector<ServiceProfile> local_software_profiles();
+
+/// The 17 open resolver services (Table 4), including the four that cannot
+/// resolve IPv6-only delegations.
+std::vector<ServiceProfile> open_service_profiles();
+
+std::vector<ServiceProfile> all_service_profiles();
+
+std::optional<ServiceProfile> find_service_profile(const std::string& name);
+
+}  // namespace lazyeye::resolvers

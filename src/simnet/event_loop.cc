@@ -1,0 +1,81 @@
+#include "simnet/event_loop.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace lazyeye::simnet {
+
+namespace {
+// A run() that executes this many callbacks is assumed to be a feedback loop
+// (e.g. two hosts retransmitting at each other forever). Large enough for the
+// heaviest bench sweep, small enough to fail fast in tests.
+constexpr std::uint64_t kRunawayCap = 200'000'000;
+}  // namespace
+
+TimerId EventLoop::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id,
+                    std::make_shared<Callback>(std::move(cb))});
+  live_.insert(id);
+  return TimerId{id};
+}
+
+TimerId EventLoop::schedule_after(SimTime delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventLoop::cancel(TimerId id) {
+  if (!id.valid()) return false;
+  // Lazy deletion: remember the id; skip when popped.
+  if (live_.erase(id.value) == 0) return false;  // already ran or cancelled
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool EventLoop::pop_one() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    live_.erase(ev.id);
+    now_ = ev.when;
+    ++processed_;
+    (*ev.cb)();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  const std::uint64_t start = processed_;
+  while (pop_one()) {
+    if (processed_ - start > kRunawayCap) {
+      throw std::runtime_error("EventLoop::run: runaway event feedback loop");
+    }
+  }
+}
+
+std::size_t EventLoop::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    pop_one();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::size_t EventLoop::run_for(SimTime d) { return run_until(now_ + d); }
+
+}  // namespace lazyeye::simnet

@@ -1,0 +1,89 @@
+// Deterministic discrete-event loop over virtual time.
+//
+// Single-threaded: callbacks run strictly in (time, insertion-order) order.
+// This is the substrate every other module schedules against (DNS timeouts,
+// TCP retransmissions, HE connection-attempt delays, netem delivery...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace lazyeye::simnet {
+
+/// Handle for cancelling a scheduled callback. Default-constructed = invalid.
+struct TimerId {
+  std::uint64_t value = 0;
+  bool valid() const { return value != 0; }
+  friend bool operator==(TimerId a, TimerId b) { return a.value == b.value; }
+};
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time (starts at 0).
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute virtual time `when` (clamped to now()).
+  TimerId schedule_at(SimTime when, Callback cb);
+
+  /// Schedules `cb` after `delay` from now.
+  TimerId schedule_after(SimTime delay, Callback cb);
+
+  /// Cancels a pending callback; returns false if it already ran / was
+  /// cancelled / is invalid.
+  bool cancel(TimerId id);
+
+  /// Runs until no events remain (or the safety cap on processed events
+  /// trips, which indicates a runaway feedback loop in a test).
+  void run();
+
+  /// Processes all events with time <= deadline, then advances now() to
+  /// `deadline`. Returns the number of events processed.
+  std::size_t run_until(SimTime deadline);
+
+  /// run_until(now() + d).
+  std::size_t run_for(SimTime d);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return live_.size(); }
+
+  /// Total callbacks executed since construction.
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Heap entries hold an index into callbacks_ storage? Keep it simple:
+    // the callback lives in the heap node; cancellation is lazy via set.
+    std::shared_ptr<Callback> cb;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_one();  // runs the earliest event; false if queue empty
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> live_;  // scheduled, not yet run/cancelled
+  std::unordered_set<std::uint64_t> cancelled_;
+  SimTime now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace lazyeye::simnet

@@ -1,0 +1,108 @@
+#include "simnet/host.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "simnet/network.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace lazyeye::simnet {
+
+Host::Host(Network& net, std::string name)
+    : net_{net}, name_{std::move(name)} {}
+
+void Host::add_address(const IpAddress& addr) {
+  if (owns_address(addr)) return;
+  addresses_.push_back(addr);
+  net_.register_address(addr, *this);
+}
+
+std::optional<IpAddress> Host::address(Family family) const {
+  for (const IpAddress& a : addresses_) {
+    if (a.family() == family) return a;
+  }
+  return std::nullopt;
+}
+
+bool Host::owns_address(const IpAddress& addr) const {
+  return std::find(addresses_.begin(), addresses_.end(), addr) !=
+         addresses_.end();
+}
+
+void Host::udp_bind(std::uint16_t port, UdpHandler handler) {
+  udp_ports_[port] = std::move(handler);
+}
+
+void Host::udp_unbind(std::uint16_t port) { udp_ports_.erase(port); }
+
+void Host::udp_send(const Endpoint& src, const Endpoint& dst,
+                    std::vector<std::uint8_t> payload) {
+  Packet p;
+  p.proto = Protocol::kUdp;
+  p.src = src;
+  p.dst = dst;
+  p.payload = std::move(payload);
+  send_packet(std::move(p));
+}
+
+void Host::send_packet(Packet p) {
+  if (!owns_address(p.src.addr)) {
+    throw std::logic_error(str_format(
+        "host %s sending from unowned address %s", name_.c_str(),
+        p.src.addr.to_string().c_str()));
+  }
+  if (p.src.addr.family() != p.dst.addr.family()) {
+    throw std::logic_error("source/destination address family mismatch");
+  }
+  notify_taps(p, TapDirection::kEgress);
+  net_.send(*this, std::move(p));
+}
+
+void Host::set_protocol_handler(Protocol proto, ProtocolHandler handler) {
+  if (handler) {
+    protocol_handlers_[proto] = std::move(handler);
+  } else {
+    protocol_handlers_.erase(proto);
+  }
+}
+
+std::uint16_t Host::ephemeral_port() {
+  const std::uint16_t port = next_ephemeral_;
+  next_ephemeral_ = (next_ephemeral_ == 65535) ? 49152 : next_ephemeral_ + 1;
+  return port;
+}
+
+int Host::add_tap(Tap tap) {
+  const int id = next_tap_id_++;
+  taps_.emplace_back(id, std::move(tap));
+  return id;
+}
+
+void Host::remove_tap(int id) {
+  std::erase_if(taps_, [id](const auto& pair) { return pair.first == id; });
+}
+
+void Host::deliver(const Packet& p) {
+  notify_taps(p, TapDirection::kIngress);
+  if (p.proto == Protocol::kUdp) {
+    if (const auto it = udp_ports_.find(p.dst.port); it != udp_ports_.end()) {
+      it->second(p);
+      return;
+    }
+  }
+  if (const auto it = protocol_handlers_.find(p.proto);
+      it != protocol_handlers_.end()) {
+    it->second(p);
+    return;
+  }
+  log_message(LogLevel::kTrace,
+              str_format("%s: dropping unhandled packet %s", name_.c_str(),
+                         p.summary().c_str()));
+}
+
+void Host::notify_taps(const Packet& p, TapDirection dir) {
+  for (const auto& [id, tap] : taps_) tap(p, dir);
+}
+
+}  // namespace lazyeye::simnet

@@ -1,0 +1,89 @@
+// Simulated host: addresses, UDP sockets, protocol handlers, egress shaping,
+// and capture taps.
+//
+// A Host owns no threads; all I/O happens through the owning Network's event
+// loop. The TCP/QUIC state machines live in the transport module and hook in
+// via set_protocol_handler(), so simnet stays transport-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simnet/netem.h"
+#include "simnet/packet.h"
+
+namespace lazyeye::simnet {
+
+class Network;
+
+enum class TapDirection : std::uint8_t { kEgress, kIngress };
+
+class Host {
+ public:
+  using UdpHandler = std::function<void(const Packet&)>;
+  using ProtocolHandler = std::function<void(const Packet&)>;
+  using Tap = std::function<void(const Packet&, TapDirection)>;
+
+  Host(Network& net, std::string name);
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  const std::string& name() const { return name_; }
+  Network& network() { return net_; }
+
+  // -- Addressing ----------------------------------------------------------
+  /// Registers an address on this host (and in the network's routing table).
+  void add_address(const IpAddress& addr);
+  const std::vector<IpAddress>& addresses() const { return addresses_; }
+  /// First configured address of the family, if any.
+  std::optional<IpAddress> address(Family family) const;
+  bool owns_address(const IpAddress& addr) const;
+
+  // -- UDP -----------------------------------------------------------------
+  /// Binds a handler for datagrams to any local address on `port`.
+  void udp_bind(std::uint16_t port, UdpHandler handler);
+  void udp_unbind(std::uint16_t port);
+  /// Sends a datagram. `src.addr` must be owned by this host.
+  void udp_send(const Endpoint& src, const Endpoint& dst,
+                std::vector<std::uint8_t> payload);
+
+  // -- Raw packet plumbing (used by transport stacks) -----------------------
+  void send_packet(Packet p);
+  /// Installs the handler for all inbound packets of `proto` that have no
+  /// more specific binding (TCP always lands here).
+  void set_protocol_handler(Protocol proto, ProtocolHandler handler);
+
+  /// Allocates an ephemeral source port (49152..65535, round-robin).
+  std::uint16_t ephemeral_port();
+
+  // -- Shaping & observation -------------------------------------------------
+  /// tc-netem equivalent attached to this host's egress.
+  NetemQdisc& egress() { return egress_; }
+  const NetemQdisc& egress() const { return egress_; }
+
+  /// Registers a capture tap seeing all egress+ingress packets. Returns an id
+  /// for removal.
+  int add_tap(Tap tap);
+  void remove_tap(int id);
+
+  // Called by Network on packet arrival. Not for external use.
+  void deliver(const Packet& p);
+
+ private:
+  void notify_taps(const Packet& p, TapDirection dir);
+
+  Network& net_;
+  std::string name_;
+  std::vector<IpAddress> addresses_;
+  std::map<std::uint16_t, UdpHandler> udp_ports_;
+  std::map<Protocol, ProtocolHandler> protocol_handlers_;
+  std::vector<std::pair<int, Tap>> taps_;
+  NetemQdisc egress_;
+  std::uint16_t next_ephemeral_ = 49152;
+  int next_tap_id_ = 1;
+};
+
+}  // namespace lazyeye::simnet

@@ -1,0 +1,190 @@
+#include "simnet/ip.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace lazyeye::simnet {
+
+// ---------------------------------------------------------------- IPv4 ----
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  const auto parts = lazyeye::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& p : parts) {
+    if (p.empty() || p.size() > 3) return std::nullopt;
+    const auto v = lazyeye::parse_u64(p);
+    if (!v || *v > 255) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(*v);
+  }
+  return Ipv4Address{value};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+// ---------------------------------------------------------------- IPv6 ----
+
+std::uint16_t Ipv6Address::group(int i) const {
+  return static_cast<std::uint16_t>((bytes[static_cast<std::size_t>(i) * 2]
+                                     << 8) |
+                                    bytes[static_cast<std::size_t>(i) * 2 + 1]);
+}
+
+void Ipv6Address::set_group(int i, std::uint16_t v) {
+  bytes[static_cast<std::size_t>(i) * 2] = static_cast<std::uint8_t>(v >> 8);
+  bytes[static_cast<std::size_t>(i) * 2 + 1] = static_cast<std::uint8_t>(v);
+}
+
+namespace {
+
+std::optional<std::uint16_t> parse_hextet(std::string_view s) {
+  if (s.empty() || s.size() > 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return static_cast<std::uint16_t>(v);
+}
+
+}  // namespace
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+
+  // Split on "::" (at most one occurrence).
+  std::string_view head = text;
+  std::string_view tail;
+  bool has_gap = false;
+  if (const auto pos = text.find("::"); pos != std::string_view::npos) {
+    if (text.find("::", pos + 1) != std::string_view::npos) {
+      return std::nullopt;  // second "::"
+    }
+    has_gap = true;
+    head = text.substr(0, pos);
+    tail = text.substr(pos + 2);
+  }
+
+  auto parse_side = [](std::string_view side,
+                       std::vector<std::uint16_t>& out) -> bool {
+    if (side.empty()) return true;
+    for (const auto& part : lazyeye::split(side, ':')) {
+      const auto v = parse_hextet(part);
+      if (!v) return false;
+      out.push_back(*v);
+    }
+    return true;
+  };
+
+  std::vector<std::uint16_t> front;
+  std::vector<std::uint16_t> back;
+  if (!parse_side(head, front) || !parse_side(tail, back)) return std::nullopt;
+
+  const std::size_t total = front.size() + back.size();
+  if (has_gap) {
+    if (total >= 8) return std::nullopt;  // "::" must cover >= 1 group
+  } else if (total != 8) {
+    return std::nullopt;
+  }
+
+  Ipv6Address addr;
+  int g = 0;
+  for (const std::uint16_t v : front) addr.set_group(g++, v);
+  g = 8 - static_cast<int>(back.size());
+  for (const std::uint16_t v : back) addr.set_group(g++, v);
+  return addr;
+}
+
+std::string Ipv6Address::to_string() const {
+  // RFC 5952: compress the longest run of zero groups (>= 2) with "::".
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (group(i) != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && group(j) == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof buf, "%x", group(i));
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- IpAddress ----
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) {
+    if (const auto v6 = Ipv6Address::parse(text)) return IpAddress{*v6};
+    return std::nullopt;
+  }
+  if (const auto v4 = Ipv4Address::parse(text)) return IpAddress{*v4};
+  return std::nullopt;
+}
+
+IpAddress IpAddress::must_parse(std::string_view text) {
+  if (const auto a = parse(text)) return *a;
+  throw std::invalid_argument("invalid IP address literal: " +
+                              std::string{text});
+}
+
+std::string IpAddress::to_string() const {
+  return is_v4() ? v4().to_string() : v6().to_string();
+}
+
+std::size_t IpAddress::hash() const {
+  std::uint64_t h = is_v4() ? 0x9e3779b97f4a7c15ULL : 0xc2b2ae3d27d4eb4fULL;
+  if (is_v4()) {
+    h ^= v4().value;
+    h *= 0x100000001b3ULL;
+  } else {
+    for (const std::uint8_t b : v6().bytes) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::string Endpoint::to_string() const {
+  if (addr.is_v6()) {
+    return "[" + addr.to_string() + "]:" + std::to_string(port);
+  }
+  return addr.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace lazyeye::simnet

@@ -1,0 +1,35 @@
+#include "simnet/netem.h"
+
+#include <algorithm>
+
+namespace lazyeye::simnet {
+
+bool PacketFilter::matches(const Packet& p) const {
+  if (family && p.family() != *family) return false;
+  if (proto && p.proto != *proto) return false;
+  if (src_addr && p.src.addr != *src_addr) return false;
+  if (dst_addr && p.dst.addr != *dst_addr) return false;
+  if (src_port && p.src.port != *src_port) return false;
+  if (dst_port && p.dst.port != *dst_port) return false;
+  return true;
+}
+
+NetemVerdict NetemQdisc::process(const Packet& p, Rng& rng) const {
+  for (const NetemRule& rule : rules_) {
+    if (!rule.filter.matches(p)) continue;
+    NetemVerdict verdict;
+    if (rule.spec.loss > 0.0 && rng.chance(rule.spec.loss)) {
+      verdict.dropped = true;
+      return verdict;
+    }
+    SimTime d = rule.spec.delay;
+    if (rule.spec.jitter.count() > 0) {
+      d += rng.next_duration(-rule.spec.jitter, rule.spec.jitter);
+    }
+    verdict.extra_delay = std::max(SimTime{0}, d);
+    return verdict;
+  }
+  return {};
+}
+
+}  // namespace lazyeye::simnet

@@ -1,0 +1,81 @@
+// tc-netem-style traffic shaping.
+//
+// The paper shapes traffic with `tc-netem` on the server host (delaying IPv6
+// packets for CAD tests) and per measurement-address pairs (web tool). A
+// NetemQdisc holds an ordered rule list; the first matching rule's spec is
+// applied (extra delay, jitter, probabilistic loss).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simnet/packet.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace lazyeye::simnet {
+
+/// What to do with a matching packet.
+struct NetemSpec {
+  SimTime delay{0};
+  SimTime jitter{0};   // uniform in [delay - jitter, delay + jitter], >= 0
+  double loss = 0.0;   // drop probability in [0, 1]
+
+  static NetemSpec delay_only(SimTime d) { return NetemSpec{d, SimTime{0}, 0.0}; }
+};
+
+/// Packet match criteria; unset fields match anything.
+struct PacketFilter {
+  std::optional<Family> family;
+  std::optional<Protocol> proto;
+  std::optional<IpAddress> src_addr;
+  std::optional<IpAddress> dst_addr;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+
+  bool matches(const Packet& p) const;
+
+  static PacketFilter any() { return {}; }
+  static PacketFilter for_family(Family f) {
+    PacketFilter pf;
+    pf.family = f;
+    return pf;
+  }
+  static PacketFilter to_address(IpAddress a) {
+    PacketFilter pf;
+    pf.dst_addr = std::move(a);
+    return pf;
+  }
+};
+
+struct NetemRule {
+  PacketFilter filter;
+  NetemSpec spec;
+  std::string label;  // for diagnostics
+};
+
+/// Result of passing a packet through a qdisc.
+struct NetemVerdict {
+  bool dropped = false;
+  SimTime extra_delay{0};
+};
+
+class NetemQdisc {
+ public:
+  /// Appends a rule; rules are evaluated in insertion order, first match wins.
+  void add_rule(NetemRule rule) { rules_.push_back(std::move(rule)); }
+  void add_rule(PacketFilter filter, NetemSpec spec, std::string label = {}) {
+    rules_.push_back({std::move(filter), spec, std::move(label)});
+  }
+  void clear() { rules_.clear(); }
+  std::size_t rule_count() const { return rules_.size(); }
+
+  /// Applies the first matching rule. `rng` supplies jitter/loss randomness.
+  NetemVerdict process(const Packet& p, Rng& rng) const;
+
+ private:
+  std::vector<NetemRule> rules_;
+};
+
+}  // namespace lazyeye::simnet

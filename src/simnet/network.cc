@@ -1,0 +1,67 @@
+#include "simnet/network.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace lazyeye::simnet {
+
+Network::Network(std::uint64_t seed)
+    : rng_{seed}, base_delay_{std::chrono::microseconds{200}} {}
+
+Host& Network::add_host(std::string name) {
+  hosts_.push_back(std::make_unique<Host>(*this, std::move(name)));
+  return *hosts_.back();
+}
+
+Host* Network::find_host(const std::string& name) {
+  for (const auto& h : hosts_) {
+    if (h->name() == name) return h.get();
+  }
+  return nullptr;
+}
+
+Host* Network::route(const IpAddress& addr) {
+  const auto it = routes_.find(addr);
+  return it == routes_.end() ? nullptr : it->second;
+}
+
+void Network::register_address(const IpAddress& addr, Host& host) {
+  routes_[addr] = &host;
+}
+
+void Network::send(Host& from, Packet p) {
+  p.id = next_packet_id_++;
+  ++stats_.packets_sent;
+
+  SimTime extra{0};
+  const NetemVerdict egress = from.egress().process(p, rng_);
+  if (egress.dropped) {
+    ++stats_.packets_dropped_netem;
+    return;
+  }
+  extra += egress.extra_delay;
+
+  const NetemVerdict net_verdict = qdisc_.process(p, rng_);
+  if (net_verdict.dropped) {
+    ++stats_.packets_dropped_netem;
+    return;
+  }
+  extra += net_verdict.extra_delay;
+
+  Host* target = route(p.dst.addr);
+  if (target == nullptr) {
+    // Unowned destination: silently blackholed (unresponsive address).
+    ++stats_.packets_blackholed;
+    log_message(LogLevel::kTrace,
+                str_format("blackhole: %s", p.summary().c_str()));
+    return;
+  }
+
+  const SimTime when = loop_.now() + base_delay_ + extra;
+  loop_.schedule_at(when, [this, target, packet = std::move(p)] {
+    ++stats_.packets_delivered;
+    target->deliver(packet);
+  });
+}
+
+}  // namespace lazyeye::simnet

@@ -1,0 +1,71 @@
+// Network fabric: connects hosts, routes packets by destination address,
+// applies link delay + netem shaping.
+//
+// Packets addressed to an IP no host owns are silently dropped — that is
+// exactly the "addresses that do not respond at all" behaviour the paper's
+// address-selection test case relies on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simnet/event_loop.h"
+#include "simnet/host.h"
+#include "simnet/netem.h"
+#include "util/rng.h"
+
+namespace lazyeye::simnet {
+
+struct NetworkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped_netem = 0;
+  std::uint64_t packets_blackholed = 0;  // no host owns the dst address
+};
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  EventLoop& loop() { return loop_; }
+  Rng& rng() { return rng_; }
+
+  /// Creates a host attached to this network. The Network owns it.
+  Host& add_host(std::string name);
+  Host* find_host(const std::string& name);
+  Host* route(const IpAddress& addr);
+
+  /// One-way base propagation delay applied to every packet (default 200 us,
+  /// modelling the paper's directly connected testbed hosts).
+  void set_base_delay(SimTime d) { base_delay_ = d; }
+  SimTime base_delay() const { return base_delay_; }
+
+  /// Network-wide netem rules (evaluated after the sender's egress qdisc).
+  NetemQdisc& qdisc() { return qdisc_; }
+
+  /// Ships a packet from `from`; applies egress + network shaping and
+  /// schedules delivery. Called by Host::send_packet.
+  void send(Host& from, Packet p);
+
+  const NetworkStats& stats() const { return stats_; }
+
+  // Registers an address -> host mapping (called by Host::add_address).
+  void register_address(const IpAddress& addr, Host& host);
+
+ private:
+  EventLoop loop_;
+  Rng rng_;
+  SimTime base_delay_;
+  NetemQdisc qdisc_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::unordered_map<IpAddress, Host*> routes_;
+  NetworkStats stats_;
+  std::uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace lazyeye::simnet

@@ -1,0 +1,29 @@
+#include "simnet/packet.h"
+
+#include "util/strings.h"
+
+namespace lazyeye::simnet {
+
+std::size_t Packet::wire_size() const {
+  const std::size_t l3 = family() == Family::kIpv4 ? 20 : 40;
+  const std::size_t l4 = proto == Protocol::kUdp ? 8 : 20;
+  return l3 + l4 + payload.size();
+}
+
+std::string Packet::summary() const {
+  std::string flags;
+  if (proto == Protocol::kTcp) {
+    std::string letters;
+    if (tcp.syn) letters += "S";
+    if (tcp.ack) letters += "A";
+    if (tcp.rst) letters += "R";
+    if (tcp.fin) letters += "F";
+    if (letters.empty()) letters = ".";
+    flags = " [" + letters + "]";
+  }
+  return lazyeye::str_format(
+      "%s %s -> %s%s len=%zu", protocol_name(proto), src.to_string().c_str(),
+      dst.to_string().c_str(), flags.c_str(), payload.size());
+}
+
+}  // namespace lazyeye::simnet

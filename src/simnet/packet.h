@@ -1,0 +1,55 @@
+// Simulated packet model.
+//
+// A Packet carries just enough structure for the experiments: address family
+// (implied by endpoints), transport protocol, TCP handshake flags, and an
+// opaque payload (real DNS wire bytes for UDP port 53 traffic).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/ip.h"
+
+namespace lazyeye::simnet {
+
+enum class Protocol : std::uint8_t { kUdp, kTcp };
+
+constexpr const char* protocol_name(Protocol p) {
+  return p == Protocol::kUdp ? "UDP" : "TCP";
+}
+
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool rst = false;
+  bool fin = false;
+
+  bool operator==(const TcpFlags&) const = default;
+};
+
+struct Packet {
+  std::uint64_t id = 0;  // unique per Network, assigned on send
+  Protocol proto = Protocol::kUdp;
+  Endpoint src;
+  Endpoint dst;
+  TcpFlags tcp;  // meaningful only for proto == kTcp
+  std::vector<std::uint8_t> payload;
+
+  Family family() const { return dst.addr.family(); }
+
+  bool is_syn() const {
+    return proto == Protocol::kTcp && tcp.syn && !tcp.ack && !tcp.rst;
+  }
+  bool is_syn_ack() const {
+    return proto == Protocol::kTcp && tcp.syn && tcp.ack && !tcp.rst;
+  }
+  bool is_rst() const { return proto == Protocol::kTcp && tcp.rst; }
+
+  /// Approximate on-the-wire size (for stats): L3+L4 headers + payload.
+  std::size_t wire_size() const;
+
+  std::string summary() const;  // one-line human-readable form
+};
+
+}  // namespace lazyeye::simnet

@@ -1,0 +1,77 @@
+#include "testbed/features.h"
+
+#include <algorithm>
+
+namespace lazyeye::testbed {
+
+using simnet::Family;
+
+const char* feature_symbol(FeatureState s) {
+  switch (s) {
+    case FeatureState::kObserved: return "*";
+    case FeatureState::kDeviation: return "~";
+    case FeatureState::kNotObserved: return "o";
+  }
+  return "?";
+}
+
+FeatureRow detect_features(const clients::ClientProfile& profile,
+                           LocalTestbed& testbed) {
+  FeatureRow row;
+  row.client = profile.display_name();
+
+  // --- Prefers IPv6: zero-delay run must establish via IPv6. -----------------
+  const RunRecord healthy = testbed.run_cad_case(profile, SimTime{0});
+  if (healthy.established_family == Family::kIpv6) {
+    row.prefers_ipv6 = FeatureState::kObserved;
+  }
+  if (healthy.aaaa_query_first) row.aaaa_first = FeatureState::kObserved;
+
+  // --- CAD implemented: with IPv6 heavily delayed, the client must fall
+  //     back to IPv4 (wget never does). Sample a few delays and remember
+  //     the observed CAD values. ---------------------------------------------
+  std::vector<SimTime> cads;
+  bool fallback_seen = false;
+  for (const SimTime delay : {lazyeye::ms(600), lazyeye::ms(2500)}) {
+    const RunRecord rec = testbed.run_cad_case(profile, delay);
+    if (rec.established_family == Family::kIpv4) fallback_seen = true;
+    if (rec.observed_cad && rec.observed_cad->count() > 0) {
+      cads.push_back(*rec.observed_cad);
+    }
+  }
+  if (fallback_seen) {
+    row.cad_impl = FeatureState::kObserved;
+    if (!cads.empty()) {
+      std::sort(cads.begin(), cads.end());
+      row.measured_cad = cads[cads.size() / 2];
+    }
+  }
+
+  // --- RD implemented: delay AAAA by 600 ms (well below the resolver
+  //     timeout). An RD client starts IPv4 ~50 ms after the A answer; a
+  //     non-RD client waits for the AAAA answer and still connects v6. ------
+  const RunRecord rd_run =
+      testbed.run_rd_case(profile, dns::RrType::kAaaa, lazyeye::ms(600));
+  if (rd_run.established_family == Family::kIpv4 && rd_run.observed_rd &&
+      *rd_run.observed_rd <= lazyeye::ms(100)) {
+    row.rd_impl = FeatureState::kObserved;
+  }
+
+  // --- Address selection: 10 + 10 unresponsive addresses. -------------------
+  const RunRecord sel = testbed.run_address_selection_case(profile, 10);
+  row.ipv4_addrs_used = sel.v4_addresses_used;
+  row.ipv6_addrs_used = sel.v6_addresses_used;
+  // "Visible address selection behaviour": IPv6 appears again after the
+  // first IPv4 attempt (interlacing) rather than a single simple fallback.
+  bool v4_seen = false;
+  bool v6_after_v4 = false;
+  for (const Family f : sel.attempt_sequence) {
+    if (f == Family::kIpv4) v4_seen = true;
+    if (f == Family::kIpv6 && v4_seen) v6_after_v4 = true;
+  }
+  if (v6_after_v4) row.addr_selection = FeatureState::kObserved;
+
+  return row;
+}
+
+}  // namespace lazyeye::testbed

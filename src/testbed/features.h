@@ -1,0 +1,37 @@
+// Table 2 feature detection: drives the black-box test cases against a
+// client profile and classifies each HE feature from the measurements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.h"
+
+namespace lazyeye::testbed {
+
+enum class FeatureState {
+  kObserved,       // ● observed as defined
+  kDeviation,      // ◐ observed with RFC deviation
+  kNotObserved,    // ○ not observed
+};
+
+const char* feature_symbol(FeatureState s);
+
+struct FeatureRow {
+  std::string client;
+  FeatureState prefers_ipv6 = FeatureState::kNotObserved;
+  FeatureState cad_impl = FeatureState::kNotObserved;
+  FeatureState aaaa_first = FeatureState::kNotObserved;
+  FeatureState rd_impl = FeatureState::kNotObserved;
+  int ipv4_addrs_used = 0;
+  int ipv6_addrs_used = 0;
+  FeatureState addr_selection = FeatureState::kNotObserved;
+  /// Measured CAD (median of fallback runs), if the client implements one.
+  std::optional<SimTime> measured_cad;
+};
+
+/// Runs the CAD / RD / address-selection cases and fills a Table-2 row.
+FeatureRow detect_features(const clients::ClientProfile& profile,
+                           LocalTestbed& testbed);
+
+}  // namespace lazyeye::testbed

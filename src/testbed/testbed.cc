@@ -1,0 +1,223 @@
+#include "testbed/testbed.h"
+
+#include "dns/auth_server.h"
+#include "dns/test_params.h"
+#include "util/strings.h"
+
+namespace lazyeye::testbed {
+
+using simnet::Family;
+using simnet::IpAddress;
+
+std::vector<SimTime> SweepSpec::values() const {
+  std::vector<SimTime> out;
+  if (step.count() <= 0) {
+    out.push_back(from);
+    return out;
+  }
+  for (SimTime v = from; v <= to; v += step) out.push_back(v);
+  return out;
+}
+
+LocalTestbed::LocalTestbed(TestbedOptions options)
+    : options_{std::move(options)} {}
+
+namespace {
+
+/// One fully assembled scenario: fresh network, server+dns+client nodes,
+/// echo web server, client capture. Destroyed after each run.
+struct Scenario {
+  simnet::Network net;
+  simnet::Host* client_host = nullptr;
+  simnet::Host* server_host = nullptr;
+  std::unique_ptr<transport::TcpStack> server_tcp;
+  std::unique_ptr<transport::QuicStack> server_quic;
+  std::unique_ptr<dns::AuthServer> auth;
+  dns::Zone* zone = nullptr;
+  std::unique_ptr<clients::SimulatedClient> client;
+  std::unique_ptr<capture::PacketCapture> capture;
+  simnet::Endpoint last_peer;
+
+  explicit Scenario(std::uint64_t seed) : net{seed} {}
+};
+
+std::unique_ptr<Scenario> build_scenario(
+    const clients::ClientProfile& profile,
+    const TestbedOptions& options, std::uint64_t run_id) {
+  auto sc = std::make_unique<Scenario>(options.seed * 7919 + run_id);
+
+  sc->server_host = &sc->net.add_host("server");
+  sc->server_host->add_address(IpAddress::must_parse("10.0.0.80"));
+  sc->server_host->add_address(IpAddress::must_parse("2001:db8::80"));
+  sc->client_host = &sc->net.add_host("client");
+  sc->client_host->add_address(IpAddress::must_parse("10.0.0.2"));
+  sc->client_host->add_address(IpAddress::must_parse("2001:db8::2"));
+
+  // Web server module: answers with the client's source address.
+  sc->server_tcp = std::make_unique<transport::TcpStack>(*sc->server_host);
+  sc->server_tcp->listen(443,
+                         [sp = sc.get()](std::uint64_t,
+                                         const simnet::Endpoint& peer) {
+                           sp->last_peer = peer;
+                         });
+  sc->server_tcp->set_data_handler(
+      [sp = sc.get()](std::uint64_t conn_id, const std::vector<std::uint8_t>&) {
+        const std::string body = sp->last_peer.addr.to_string();
+        sp->server_tcp->send_data(
+            conn_id, std::vector<std::uint8_t>{body.begin(), body.end()});
+      });
+  sc->server_quic = std::make_unique<transport::QuicStack>(*sc->server_host);
+  sc->server_quic->listen(443);
+  sc->server_quic->set_data_handler(
+      [sp = sc.get()](std::uint64_t conn_id, const std::vector<std::uint8_t>&) {
+        const std::string body = "quic";
+        sp->server_quic->send_data(
+            conn_id, std::vector<std::uint8_t>{body.begin(), body.end()});
+      });
+
+  // DNS module: authoritative server on the server node (IPv4 transport so
+  // DNS itself is unaffected by the IPv6 shaping).
+  sc->auth = std::make_unique<dns::AuthServer>(*sc->server_host);
+  sc->zone = &sc->auth->add_zone(dns::DnsName::must_parse("he-test.lab"));
+
+  dns::StubOptions stub_options;
+  stub_options.servers = {{IpAddress::must_parse("10.0.0.80"), 53}};
+  clients::ClientProfile run_profile = profile;
+  if (options.dns_timeout_override) {
+    run_profile.dns_timeout = *options.dns_timeout_override;
+  }
+  sc->client = std::make_unique<clients::SimulatedClient>(
+      *sc->client_host, std::move(run_profile), stub_options,
+      options.seed * 31 + run_id);
+  sc->client->reset_state();  // fresh container per run (§4.3)
+
+  // Packet capture module on the client node.
+  sc->capture = std::make_unique<capture::PacketCapture>(*sc->client_host);
+  return sc;
+}
+
+RunRecord analyze(const clients::ClientProfile& profile, Scenario& sc,
+                  SimTime configured_delay, int repetition,
+                  const clients::FetchResult& fetch) {
+  RunRecord record;
+  record.client = profile.display_name();
+  record.configured_delay = configured_delay;
+  record.repetition = repetition;
+  record.fetch_ok = fetch.connection.ok && fetch.response_received;
+  record.completion_time = fetch.connection.completed;
+
+  const capture::PacketCapture& cap = *sc.capture;
+  record.established_family = capture::established_family(cap);
+  record.observed_cad = capture::infer_cad(cap);
+  record.observed_rd = capture::infer_resolution_delay(cap);
+  record.a_wait_gap = capture::a_response_to_v6_syn_gap(cap);
+
+  const auto exchanges = capture::dns_exchanges(cap);
+  for (const auto& ex : exchanges) {
+    if (ex.qtype == dns::RrType::kAaaa || ex.qtype == dns::RrType::kA) {
+      record.aaaa_query_first = ex.qtype == dns::RrType::kAaaa;
+      break;
+    }
+  }
+
+  const auto attempts = capture::connection_attempts(cap);
+  record.v6_addresses_used =
+      capture::distinct_destinations(attempts, Family::kIpv6);
+  record.v4_addresses_used =
+      capture::distinct_destinations(attempts, Family::kIpv4);
+  for (const auto& a : attempts) record.attempt_sequence.push_back(a.family());
+  return record;
+}
+
+}  // namespace
+
+RunRecord LocalTestbed::run_cad_case(const clients::ClientProfile& profile,
+                                     SimTime v6_delay, int repetition) {
+  auto sc = build_scenario(profile, options_, ++run_counter_);
+
+  // tc-netem on the server node: delay IPv6 *TCP* traffic (the paper's DNS
+  // runs on the same host; delaying all v6 would skew the DNS baseline, and
+  // the client's stub points at the v4 address anyway).
+  simnet::PacketFilter v6_tcp;
+  v6_tcp.family = Family::kIpv6;
+  v6_tcp.proto = simnet::Protocol::kTcp;
+  sc->server_host->egress().add_rule(v6_tcp,
+                                     simnet::NetemSpec::delay_only(v6_delay),
+                                     "delay v6");
+
+  // Unique name per run to rule out caching (nonce label).
+  const auto name = dns::make_test_name(
+      dns::DnsName::must_parse("cad.he-test.lab"),
+      lazyeye::str_format("%llu", static_cast<unsigned long long>(run_counter_)),
+      {});
+  sc->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+  sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
+
+  clients::FetchResult fetch;
+  sc->client->fetch(name, 443, [&](const clients::FetchResult& r) {
+    fetch = r;
+  });
+  sc->net.loop().run();
+  return analyze(profile, *sc, v6_delay, repetition, fetch);
+}
+
+RunRecord LocalTestbed::run_rd_case(const clients::ClientProfile& profile,
+                                    dns::RrType delayed_type,
+                                    SimTime dns_delay, int repetition) {
+  auto sc = build_scenario(profile, options_, ++run_counter_);
+
+  const auto name = dns::make_test_name(
+      dns::DnsName::must_parse("rd.he-test.lab"),
+      lazyeye::str_format("%llu", static_cast<unsigned long long>(run_counter_)),
+      {{delayed_type, dns_delay}});
+  sc->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+  sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
+
+  clients::FetchResult fetch;
+  sc->client->fetch(name, 443, [&](const clients::FetchResult& r) {
+    fetch = r;
+  });
+  sc->net.loop().run();
+  return analyze(profile, *sc, dns_delay, repetition, fetch);
+}
+
+RunRecord LocalTestbed::run_address_selection_case(
+    const clients::ClientProfile& profile, int per_family, int repetition) {
+  auto sc = build_scenario(profile, options_, ++run_counter_);
+
+  const auto name = dns::make_test_name(
+      dns::DnsName::must_parse("sel.he-test.lab"),
+      lazyeye::str_format("%llu", static_cast<unsigned long long>(run_counter_)),
+      {});
+  // All records point to unresponsive addresses (no host owns them).
+  for (int i = 1; i <= per_family; ++i) {
+    sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse(
+                                 lazyeye::str_format("2001:db8:dead::%d", i)));
+    sc->zone->add_a(name, *simnet::Ipv4Address::parse(
+                              lazyeye::str_format("10.99.0.%d", i)));
+  }
+
+  clients::FetchResult fetch;
+  bool finished = false;
+  sc->client->fetch(name, 443, [&](const clients::FetchResult& r) {
+    fetch = r;
+    finished = true;
+  });
+  sc->net.loop().run();
+  (void)finished;
+  return analyze(profile, *sc, SimTime{0}, repetition, fetch);
+}
+
+std::vector<RunRecord> LocalTestbed::sweep_cad(
+    const clients::ClientProfile& profile, const SweepSpec& sweep,
+    int repetitions) {
+  std::vector<RunRecord> out;
+  for (const SimTime delay : sweep.values()) {
+    for (int rep = 0; rep < repetitions; ++rep) {
+      out.push_back(run_cad_case(profile, delay, rep));
+    }
+  }
+  return out;
+}
+
+}  // namespace lazyeye::testbed

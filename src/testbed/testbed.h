@@ -1,0 +1,90 @@
+// Local testbed framework (paper §4.3 (i), App. B).
+//
+// Two directly connected nodes (client and server), tc-netem style shaping
+// on the server side, a custom authoritative DNS server with qname-encoded
+// test parameters, a web server answering with the client's source address,
+// and a packet capture on the client node. Every run starts from a fresh
+// network and a fresh client ("drop and create a new container") so no
+// caching effects leak between configurations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capture/analysis.h"
+#include "clients/client.h"
+#include "clients/profiles.h"
+
+namespace lazyeye::testbed {
+
+struct SweepSpec {
+  SimTime from{0};
+  SimTime to{0};
+  SimTime step{0};
+
+  std::vector<SimTime> values() const;
+
+  /// The paper's fine-grained CAD sweep: 0..400 ms in 5 ms steps.
+  static SweepSpec fine_cad() { return {lazyeye::ms(0), lazyeye::ms(400), lazyeye::ms(5)}; }
+  /// Coarse initial run.
+  static SweepSpec coarse_cad() { return {lazyeye::ms(0), lazyeye::ms(2400), lazyeye::ms(200)}; }
+};
+
+/// One test-run record (one client, one configuration, one repetition).
+struct RunRecord {
+  std::string client;
+  SimTime configured_delay{0};
+  int repetition = 0;
+
+  bool fetch_ok = false;
+  std::optional<simnet::Family> established_family;
+  std::optional<SimTime> observed_cad;       // first v4 SYN - first v6 SYN
+  std::optional<SimTime> observed_rd;        // v4 SYN - A response gap
+  std::optional<SimTime> a_wait_gap;         // v6 SYN - A response gap
+  bool aaaa_query_first = false;
+  int v6_addresses_used = 0;                  // distinct destinations
+  int v4_addresses_used = 0;
+  std::vector<simnet::Family> attempt_sequence;
+  SimTime completion_time{0};
+};
+
+struct TestbedOptions {
+  std::uint64_t seed = 1;
+  /// The client's stub resolver timeout ("resolver configuration" §5.2).
+  std::optional<SimTime> dns_timeout_override;
+};
+
+/// Builds one fresh scenario per run and measures through the client-side
+/// capture only (black-box, as in the paper).
+class LocalTestbed {
+ public:
+  explicit LocalTestbed(TestbedOptions options = {});
+
+  /// CAD test case: dual-stack target, IPv6 delayed by `v6_delay` at the
+  /// server's egress (tc-netem equivalent).
+  RunRecord run_cad_case(const clients::ClientProfile& profile,
+                         SimTime v6_delay, int repetition = 0);
+
+  /// RD test case: the authoritative server delays `delayed_type` answers
+  /// by `dns_delay` (encoded in the qname like the paper's server).
+  RunRecord run_rd_case(const clients::ClientProfile& profile,
+                        dns::RrType delayed_type, SimTime dns_delay,
+                        int repetition = 0);
+
+  /// Address selection test case: `per_family` unresponsive addresses per
+  /// family (paper: 10 + 10).
+  RunRecord run_address_selection_case(const clients::ClientProfile& profile,
+                                       int per_family, int repetition = 0);
+
+  /// Sweeps the CAD case over a delay grid.
+  std::vector<RunRecord> sweep_cad(const clients::ClientProfile& profile,
+                                   const SweepSpec& sweep,
+                                   int repetitions = 1);
+
+ private:
+  TestbedOptions options_;
+  std::uint64_t run_counter_ = 0;
+};
+
+}  // namespace lazyeye::testbed

@@ -1,0 +1,33 @@
+// Common connection-attempt types shared by the TCP and QUIC stacks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simnet/ip.h"
+#include "util/time.h"
+
+namespace lazyeye::transport {
+
+enum class TransportProtocol : std::uint8_t { kTcp, kQuic };
+
+constexpr const char* transport_protocol_name(TransportProtocol p) {
+  return p == TransportProtocol::kTcp ? "TCP" : "QUIC";
+}
+
+struct ConnectResult {
+  bool ok = false;
+  std::string error;  // "timeout", "refused", "cancelled" when !ok
+  TransportProtocol proto = TransportProtocol::kTcp;
+  simnet::Endpoint local;
+  simnet::Endpoint remote;
+  SimTime started{0};
+  SimTime completed{0};
+  /// Connection id usable for data transfer (0 when failed).
+  std::uint64_t connection_id = 0;
+
+  simnet::Family family() const { return remote.addr.family(); }
+  SimTime handshake_time() const { return completed - started; }
+};
+
+}  // namespace lazyeye::transport

@@ -1,0 +1,189 @@
+#include "transport/quic.h"
+
+namespace lazyeye::transport {
+
+using simnet::Packet;
+
+namespace {
+constexpr char kInitial = 'I';
+constexpr char kHandshake = 'H';
+constexpr char kData = 'D';
+}  // namespace
+
+bool is_quic_payload(const std::vector<std::uint8_t>& payload) {
+  if (payload.empty()) return false;
+  const char type = static_cast<char>(payload.front());
+  return type == 'I' || type == 'H' || type == 'D' || type == 'C';
+}
+
+QuicStack::QuicStack(simnet::Host& host) : host_{host} {}
+
+QuicStack::~QuicStack() {
+  for (const auto& [port, handler] : listeners_) host_.udp_unbind(port);
+}
+
+void QuicStack::listen(std::uint16_t port, AcceptHandler on_accept) {
+  listeners_[port] = std::move(on_accept);
+  host_.udp_bind(port, [this, port](const Packet& p) { on_datagram(port, p); });
+}
+
+void QuicStack::close_listener(std::uint16_t port) {
+  listeners_.erase(port);
+  host_.udp_unbind(port);
+}
+
+std::uint64_t QuicStack::connect(const simnet::Endpoint& remote,
+                                 const QuicOptions& options,
+                                 ConnectHandler handler) {
+  const auto local_addr = host_.address(remote.addr.family());
+  if (!local_addr) {
+    ConnectResult result;
+    result.error = "no local address for family";
+    result.proto = TransportProtocol::kQuic;
+    result.remote = remote;
+    handler(result);
+    return 0;
+  }
+
+  const std::uint64_t id = next_id_++;
+  ConnectionState conn;
+  conn.id = id;
+  conn.tuple = FourTuple{{*local_addr, host_.ephemeral_port()}, remote};
+  conn.options = options;
+  conn.current_rto = options.initial_rto;
+  conn.started = host_.network().loop().now();
+  conn.on_connect = std::move(handler);
+  const std::uint16_t local_port = conn.tuple.local.port;
+  auto [it, inserted] = connections_.emplace(id, std::move(conn));
+  host_.udp_bind(local_port, [this, local_port](const Packet& p) {
+    on_datagram(local_port, p);
+  });
+  send_initial(it->second);
+  return id;
+}
+
+void QuicStack::send_initial(ConnectionState& conn) {
+  ++conn.sends;
+  send_packet(conn.tuple, kInitial);
+  const std::uint64_t id = conn.id;
+  conn.rto_timer = host_.network().loop().schedule_after(
+      conn.current_rto, [this, id] {
+        const auto it = connections_.find(id);
+        if (it == connections_.end() ||
+            it->second.state != State::kInitialSent) {
+          return;
+        }
+        ConnectionState& c = it->second;
+        if (c.sends > c.options.max_retransmits) {
+          fail_connect(id, "timeout");
+          return;
+        }
+        c.current_rto = SimTime{static_cast<std::int64_t>(
+            static_cast<double>(c.current_rto.count()) *
+            c.options.rto_backoff)};
+        send_initial(c);
+      });
+}
+
+void QuicStack::abort(std::uint64_t attempt_id) {
+  fail_connect(attempt_id, "cancelled");
+}
+
+void QuicStack::fail_connect(std::uint64_t id, const std::string& error) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  ConnectionState& conn = it->second;
+  host_.network().loop().cancel(conn.rto_timer);
+  if (listeners_.find(conn.tuple.local.port) == listeners_.end()) {
+    host_.udp_unbind(conn.tuple.local.port);
+  }
+  ConnectHandler handler = std::move(conn.on_connect);
+  ConnectResult result;
+  result.error = error;
+  result.proto = TransportProtocol::kQuic;
+  result.local = conn.tuple.local;
+  result.remote = conn.tuple.remote;
+  result.started = conn.started;
+  result.completed = host_.network().loop().now();
+  connections_.erase(it);
+  if (handler) handler(result);
+}
+
+void QuicStack::send_packet(const FourTuple& tuple, char type,
+                            std::vector<std::uint8_t> payload) {
+  std::vector<std::uint8_t> framed;
+  framed.reserve(payload.size() + 1);
+  framed.push_back(static_cast<std::uint8_t>(type));
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  host_.udp_send(tuple.local, tuple.remote, std::move(framed));
+}
+
+QuicStack::ConnectionState* QuicStack::find_by_tuple(const FourTuple& tuple) {
+  for (auto& [id, conn] : connections_) {
+    if (conn.tuple == tuple) return &conn;
+  }
+  return nullptr;
+}
+
+void QuicStack::on_datagram(std::uint16_t local_port, const Packet& packet) {
+  (void)local_port;
+  if (!is_quic_payload(packet.payload)) return;
+  const char type = static_cast<char>(packet.payload.front());
+  const FourTuple tuple{packet.dst, packet.src};
+  ConnectionState* conn = find_by_tuple(tuple);
+
+  if (type == kInitial) {
+    const auto listener = listeners_.find(packet.dst.port);
+    if (listener == listeners_.end()) return;  // no QUIC service: silent
+    if (conn == nullptr) {
+      const std::uint64_t id = next_id_++;
+      ConnectionState server_conn;
+      server_conn.id = id;
+      server_conn.state = State::kEstablished;
+      server_conn.tuple = tuple;
+      server_conn.started = host_.network().loop().now();
+      connections_.emplace(id, std::move(server_conn));
+      if (listener->second) listener->second(id, tuple.remote);
+    }
+    send_packet(tuple, kHandshake);
+    return;
+  }
+
+  if (conn == nullptr) return;
+
+  if (type == kHandshake && conn->state == State::kInitialSent) {
+    host_.network().loop().cancel(conn->rto_timer);
+    conn->state = State::kEstablished;
+    ConnectResult result;
+    result.ok = true;
+    result.proto = TransportProtocol::kQuic;
+    result.local = conn->tuple.local;
+    result.remote = conn->tuple.remote;
+    result.started = conn->started;
+    result.completed = host_.network().loop().now();
+    result.connection_id = conn->id;
+    if (conn->on_connect) {
+      ConnectHandler handler = std::move(conn->on_connect);
+      conn->on_connect = nullptr;
+      handler(result);
+    }
+    return;
+  }
+
+  if (type == kData && conn->state == State::kEstablished && data_handler_) {
+    data_handler_(conn->id,
+                  std::vector<std::uint8_t>(packet.payload.begin() + 1,
+                                            packet.payload.end()));
+  }
+}
+
+void QuicStack::send_data(std::uint64_t conn_id,
+                          std::vector<std::uint8_t> payload) {
+  const auto it = connections_.find(conn_id);
+  if (it == connections_.end() || it->second.state != State::kEstablished) {
+    return;
+  }
+  send_packet(it->second.tuple, kData, std::move(payload));
+}
+
+}  // namespace lazyeye::transport

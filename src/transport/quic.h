@@ -1,0 +1,88 @@
+// Minimal QUIC-like handshake over UDP, for HEv3's transport racing.
+//
+// Wire model: UDP datagrams whose payload starts with a one-byte packet type
+// ('I' = client Initial, 'H' = server handshake reply, 'D' = app data,
+// 'C' = close). One round trip establishes the connection, matching the
+// cost model HEv3 cares about (QUIC vs TCP+TLS racing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "simnet/host.h"
+#include "simnet/network.h"
+#include "transport/connection.h"
+
+namespace lazyeye::transport {
+
+struct QuicOptions {
+  SimTime initial_rto = lazyeye::sec(1);
+  int max_retransmits = 2;
+  double rto_backoff = 2.0;
+};
+
+/// True if a UDP payload looks like one of our QUIC packets.
+bool is_quic_payload(const std::vector<std::uint8_t>& payload);
+
+class QuicStack {
+ public:
+  using ConnectHandler = std::function<void(const ConnectResult&)>;
+  using AcceptHandler =
+      std::function<void(std::uint64_t conn_id, const simnet::Endpoint& peer)>;
+  using DataHandler =
+      std::function<void(std::uint64_t conn_id, const std::vector<std::uint8_t>&)>;
+
+  explicit QuicStack(simnet::Host& host);
+  ~QuicStack();
+
+  QuicStack(const QuicStack&) = delete;
+  QuicStack& operator=(const QuicStack&) = delete;
+
+  void listen(std::uint16_t port, AcceptHandler on_accept = {});
+  void close_listener(std::uint16_t port);
+
+  std::uint64_t connect(const simnet::Endpoint& remote,
+                        const QuicOptions& options, ConnectHandler handler);
+  void abort(std::uint64_t attempt_id);
+
+  void send_data(std::uint64_t conn_id, std::vector<std::uint8_t> payload);
+  void set_data_handler(DataHandler handler) { data_handler_ = std::move(handler); }
+
+ private:
+  enum class State { kInitialSent, kEstablished };
+
+  struct FourTuple {
+    simnet::Endpoint local;
+    simnet::Endpoint remote;
+    auto operator<=>(const FourTuple&) const = default;
+  };
+
+  struct ConnectionState {
+    std::uint64_t id = 0;
+    State state = State::kInitialSent;
+    FourTuple tuple;
+    QuicOptions options;
+    int sends = 0;
+    SimTime current_rto{0};
+    SimTime started{0};
+    simnet::TimerId rto_timer;
+    ConnectHandler on_connect;
+  };
+
+  void on_datagram(std::uint16_t local_port, const simnet::Packet& packet);
+  void send_packet(const FourTuple& tuple, char type,
+                   std::vector<std::uint8_t> payload = {});
+  void send_initial(ConnectionState& conn);
+  void fail_connect(std::uint64_t id, const std::string& error);
+  ConnectionState* find_by_tuple(const FourTuple& tuple);
+
+  simnet::Host& host_;
+  std::map<std::uint64_t, ConnectionState> connections_;
+  std::map<std::uint16_t, AcceptHandler> listeners_;
+  DataHandler data_handler_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace lazyeye::transport

@@ -1,0 +1,107 @@
+// Minimal TCP model over simnet: three-way handshake, SYN retransmission
+// with exponential backoff, RST on closed ports, and reliable-enough data
+// segments for the request/response exchanges the experiments need.
+//
+// Unresponsive *addresses* are modelled by the Network (packets to unowned
+// addresses are blackholed); unresponsive *ports* by disabling RSTs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "simnet/host.h"
+#include "simnet/network.h"
+#include "transport/connection.h"
+
+namespace lazyeye::transport {
+
+struct TcpOptions {
+  /// Initial SYN retransmission timeout (Linux: 1 s).
+  SimTime syn_rto = lazyeye::sec(1);
+  /// SYN retransmissions after the initial one before giving up
+  /// (Linux default tcp_syn_retries=6 => ~127 s; clients override).
+  int syn_retries = 6;
+  double rto_backoff = 2.0;
+};
+
+/// One TCP endpoint (stack) per host. Installs itself as the host's TCP
+/// protocol handler.
+class TcpStack {
+ public:
+  using ConnectHandler = std::function<void(const ConnectResult&)>;
+  /// (connection id, peer) — invoked on the server when a handshake
+  /// completes.
+  using AcceptHandler =
+      std::function<void(std::uint64_t conn_id, const simnet::Endpoint& peer)>;
+  /// (connection id, payload) — invoked on data segment arrival.
+  using DataHandler =
+      std::function<void(std::uint64_t conn_id, const std::vector<std::uint8_t>&)>;
+
+  explicit TcpStack(simnet::Host& host);
+  ~TcpStack();
+
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  // ---- Server side ---------------------------------------------------------
+  void listen(std::uint16_t port, AcceptHandler on_accept = {});
+  void close_listener(std::uint16_t port);
+  /// RFC-conforming hosts answer SYNs to closed ports with RST (default).
+  /// Disable to emulate firewalled/DROP behaviour.
+  void set_rst_on_closed_port(bool enabled) { rst_on_closed_ = enabled; }
+
+  // ---- Client side ---------------------------------------------------------
+  /// Starts a connection attempt from the host's address matching the
+  /// remote family. Returns an attempt id (0 = immediate failure; the
+  /// handler is still invoked exactly once).
+  std::uint64_t connect(const simnet::Endpoint& remote, const TcpOptions& options,
+                        ConnectHandler handler);
+  /// Aborts an in-flight attempt; the handler fires with error "cancelled".
+  void abort(std::uint64_t attempt_id);
+
+  // ---- Established connections ---------------------------------------------
+  void send_data(std::uint64_t conn_id, std::vector<std::uint8_t> payload);
+  void set_data_handler(DataHandler handler) { data_handler_ = std::move(handler); }
+  void close(std::uint64_t conn_id);
+
+  std::size_t established_count() const;
+
+ private:
+  struct FourTuple {
+    simnet::Endpoint local;
+    simnet::Endpoint remote;
+    auto operator<=>(const FourTuple&) const = default;
+  };
+
+  enum class State { kSynSent, kSynReceived, kEstablished };
+
+  struct ConnectionState {
+    std::uint64_t id = 0;
+    State state = State::kSynSent;
+    FourTuple tuple;
+    TcpOptions options;
+    int syn_sent = 0;
+    SimTime current_rto{0};
+    SimTime started{0};
+    simnet::TimerId rto_timer;
+    ConnectHandler on_connect;  // client side only
+  };
+
+  void on_packet(const simnet::Packet& packet);
+  void send_flags(const FourTuple& tuple, simnet::TcpFlags flags,
+                  std::vector<std::uint8_t> payload = {});
+  void send_syn(ConnectionState& conn);
+  void fail_connect(std::uint64_t id, const std::string& error);
+  ConnectionState* find_by_tuple(const FourTuple& tuple);
+
+  simnet::Host& host_;
+  std::map<std::uint64_t, ConnectionState> connections_;
+  std::map<std::uint16_t, AcceptHandler> listeners_;
+  DataHandler data_handler_;
+  bool rst_on_closed_ = true;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace lazyeye::transport

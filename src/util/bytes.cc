@@ -1,0 +1,103 @@
+#include "util/bytes.h"
+
+#include <cstdio>
+
+namespace lazyeye {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::bytes(std::string_view data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+  buf_.at(offset + 1) = static_cast<std::uint8_t>(v);
+}
+
+bool ByteReader::need(std::size_t n) {
+  if (!ok_ || pos_ + n > data_.size()) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!need(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  if (!need(2)) return 0;
+  const std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8) |
+                          static_cast<std::uint16_t>(data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!need(4)) return 0;
+  const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                          static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::vector<std::uint8_t> ByteReader::bytes(std::size_t n) {
+  if (!need(n)) return {};
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() +
+                                    static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str(std::size_t n) {
+  if (!need(n)) return {};
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+void ByteReader::skip(std::size_t n) {
+  if (need(n)) pos_ += n;
+}
+
+void ByteReader::seek(std::size_t pos) {
+  if (pos > data_.size()) {
+    ok_ = false;
+    return;
+  }
+  pos_ = pos;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 3);
+  char buf[4];
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%02x", data[i]);
+    if (i) out.push_back(' ');
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lazyeye

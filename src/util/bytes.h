@@ -1,0 +1,72 @@
+// Big-endian (network byte order) byte buffer reader/writer.
+//
+// Used by the DNS wire codec and anything else that serialises packets.
+// ByteReader reports failure through a sticky error flag plus bounds-checked
+// reads, so parsers can check once at the end (RFC 1035 parsing style).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lazyeye {
+
+/// Appends big-endian integers / raw bytes to a growable buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void bytes(std::span<const std::uint8_t> data);
+  void bytes(std::string_view data);
+
+  /// Overwrites a previously written u16 at `offset` (e.g. length prefixes).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked sequential reader over an immutable byte span.
+///
+/// Any out-of-bounds read sets the sticky error flag and returns zeros; the
+/// caller checks ok() once after parsing a unit.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_{data} {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::vector<std::uint8_t> bytes(std::size_t n);
+  std::string str(std::size_t n);
+  void skip(std::size_t n);
+
+  bool ok() const { return ok_; }
+  void mark_bad() { ok_ = false; }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+  std::span<const std::uint8_t> whole() const { return data_; }
+
+  /// Repositions the cursor (used for DNS compression pointer chasing).
+  void seek(std::size_t pos);
+
+ private:
+  bool need(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Hex rendering for diagnostics, e.g. "0a 1b 2c".
+std::string to_hex(std::span<const std::uint8_t> data);
+
+}  // namespace lazyeye

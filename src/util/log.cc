@@ -1,0 +1,37 @@
+#include "util/log.h"
+
+#include <utility>
+
+namespace lazyeye {
+
+namespace {
+LogSink g_sink;  // empty == silent
+LogLevel g_threshold = LogLevel::kInfo;
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+LogSink set_log_sink(LogSink sink) {
+  LogSink old = std::move(g_sink);
+  g_sink = std::move(sink);
+  return old;
+}
+
+void set_log_level(LogLevel level) { g_threshold = level; }
+
+LogLevel log_threshold() { return g_threshold; }
+
+void log_message(LogLevel level, std::string_view message) {
+  if (g_sink && level >= g_threshold) g_sink(level, message);
+}
+
+}  // namespace lazyeye

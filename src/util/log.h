@@ -1,0 +1,29 @@
+// Lightweight leveled logger with pluggable sink.
+//
+// Default sink is silent; tests/examples can install a stderr sink that
+// prefixes messages with the current simulated time.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace lazyeye {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError };
+
+const char* log_level_name(LogLevel level);
+
+using LogSink = std::function<void(LogLevel, std::string_view message)>;
+
+/// Installs the process-wide sink; pass nullptr to silence.  Returns the
+/// previous sink so callers can restore it.
+LogSink set_log_sink(LogSink sink);
+
+/// Sets the minimum level delivered to the sink (default kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_threshold();
+
+void log_message(LogLevel level, std::string_view message);
+
+}  // namespace lazyeye

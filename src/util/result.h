@@ -1,0 +1,79 @@
+// Minimal expected-style result type (C++20; std::expected is C++23).
+//
+// Used for operations whose failure is an ordinary outcome (wire parsing,
+// lookups); exceptions remain reserved for programming errors per the Core
+// Guidelines.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lazyeye {
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_{std::move(value)} {}  // NOLINT(google-explicit-constructor)
+
+  static Result failure(std::string error) {
+    Result r{};
+    r.error_ = std::move(error);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return error_;
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Result() = default;
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+/// Result for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  static Status failure(std::string error) {
+    Status s;
+    s.error_ = std::move(error);
+    return s;
+  }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const std::string& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<std::string> error_;
+};
+
+}  // namespace lazyeye

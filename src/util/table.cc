@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace lazyeye {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_{std::move(headers)}, aligns_(headers_.size(), Align::kLeft) {}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  if (column < aligns_.size()) aligns_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TextTable::add_separator() { pending_separator_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    std::string out;
+    const std::size_t fill = widths[c] - std::min(widths[c], s.size());
+    if (aligns_[c] == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (aligns_[c] == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  auto rule = [&] {
+    std::string out = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out += std::string(widths[c] + 2, '-');
+      out += "|";
+    }
+    out += "\n";
+    return out;
+  };
+
+  std::string out = "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += " " + pad(headers_[c], c) + " |";
+  }
+  out += "\n" + rule();
+  for (const Row& row : rows_) {
+    if (row.separator_before) out += rule();
+    out += "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out += " " + pad(row.cells[c], c) + " |";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lazyeye

@@ -1,0 +1,45 @@
+// ASCII table renderer for bench outputs (paper table/figure reproductions).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lazyeye {
+
+/// Builds monospace tables:
+///
+///   | Service  | AAAA Query | IPv6 Share |
+///   |----------|------------|------------|
+///   | BIND     | after A    |    100.0 % |
+///
+/// Columns are sized to fit; alignment is per-column.
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Sets alignment of a column (default left).
+  void set_align(std::size_t column, Align align);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator before the next added row.
+  void add_separator();
+
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace lazyeye

@@ -1,0 +1,37 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lazyeye {
+
+namespace {
+
+std::string trim_zeros(double v, const char* unit) {
+  char buf[64];
+  // Up to 3 fractional digits, then strip trailing zeros / dot.
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  std::string s{buf};
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s + unit;
+}
+
+}  // namespace
+
+std::string format_duration(SimTime t) {
+  const std::int64_t n = t.count();
+  if (n == 0) return "0ms";
+  if (n < 0) return "-" + format_duration(-t);
+  if (n % 1'000'000'000 == 0 || n >= 10'000'000'000) {
+    return trim_zeros(to_sec(t), "s");
+  }
+  if (n >= 1'000'000) return trim_zeros(to_ms(t), "ms");
+  if (n >= 1'000) {
+    return trim_zeros(std::chrono::duration<double, std::micro>(t).count(),
+                      "us");
+  }
+  return std::to_string(n) + "ns";
+}
+
+}  // namespace lazyeye

@@ -1,0 +1,44 @@
+// Simulated-time primitives.
+//
+// The entire library runs on virtual time: SimTime is a duration since the
+// simulation epoch (t = 0 at EventLoop construction).  No component may read
+// a wall clock; this keeps every run bit-for-bit reproducible and gives the
+// measurement pipeline exact timestamps (the paper's physical testbed relies
+// on <1 ms capture accuracy; we have exact virtual stamps).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace lazyeye {
+
+/// Duration/instant type used across the simulator (ns granularity).
+using SimTime = std::chrono::nanoseconds;
+
+/// Convenience literals-ish constructors.
+constexpr SimTime ns(std::int64_t v) { return SimTime{v}; }
+constexpr SimTime us(std::int64_t v) { return std::chrono::microseconds{v}; }
+constexpr SimTime ms(std::int64_t v) { return std::chrono::milliseconds{v}; }
+constexpr SimTime sec(std::int64_t v) { return std::chrono::seconds{v}; }
+constexpr SimTime minutes(std::int64_t v) { return std::chrono::minutes{v}; }
+
+/// Fractional milliseconds, exact to 1 us.
+constexpr SimTime ms_f(double v) {
+  return us(static_cast<std::int64_t>(v * 1000.0));
+}
+
+/// Duration expressed in (possibly fractional) milliseconds.
+constexpr double to_ms(SimTime t) {
+  return std::chrono::duration<double, std::milli>(t).count();
+}
+
+/// Duration expressed in (possibly fractional) seconds.
+constexpr double to_sec(SimTime t) {
+  return std::chrono::duration<double>(t).count();
+}
+
+/// Human-readable rendering, e.g. "250ms", "1.75s", "50us".
+std::string format_duration(SimTime t);
+
+}  // namespace lazyeye

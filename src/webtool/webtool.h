@@ -1,0 +1,84 @@
+// Web-based testing tool emulation (paper §4.3 (ii), happy-eyeballs.net).
+//
+// A persistent deployment: 18 fixed delay buckets between 0 and 5 s, each
+// with a dedicated IPv4/IPv6 address pair and a dedicated domain (caching
+// avoidance). The server echoes the client's source address; everything is
+// evaluated client-side from that echo. Client and server state persist
+// across measurements (no per-run reset — unlike the local testbed), and
+// the network carries "real-world" noise.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clients/client.h"
+#include "clients/profiles.h"
+#include "clients/user_agent.h"
+
+namespace lazyeye::webtool {
+
+struct WebToolConfig {
+  /// Delay buckets (paper: 18 values between 0 and 5 s).
+  std::vector<SimTime> delays;
+  int repetitions = 10;
+  std::uint64_t seed = 1;
+  /// Real-world network conditions (jitter on every path).
+  bool network_noise = true;
+
+  static WebToolConfig paper_default();
+};
+
+struct DelayObservation {
+  SimTime delay{0};
+  int v6_used = 0;
+  int v4_used = 0;
+  int failures = 0;
+
+  simnet::Family majority() const {
+    return v6_used >= v4_used ? simnet::Family::kIpv6 : simnet::Family::kIpv4;
+  }
+};
+
+struct WebToolReport {
+  std::string client;
+  std::string user_agent;
+  clients::UserAgentInfo parsed_agent;
+  std::vector<DelayObservation> per_delay;
+  /// CAD interval estimate: CAD ∈ (interval_low, interval_high].
+  std::optional<SimTime> interval_low;   // largest delay still using IPv6
+  std::optional<SimTime> interval_high;  // smallest delay using IPv4
+  /// Repetitions where IPv4 appeared at a smaller delay than a later IPv6
+  /// use (the Safari inconsistency signature, §5.1).
+  int inconsistent_repetitions = 0;
+  int total_repetitions = 0;
+};
+
+class WebTool {
+ public:
+  explicit WebTool(WebToolConfig config = WebToolConfig::paper_default());
+
+  /// CAD test: per-bucket IPv6 path delay, dedicated address pair + domain.
+  WebToolReport run_cad_test(const clients::ClientProfile& profile,
+                             const std::string& os_name = "Linux",
+                             const std::string& os_version = "");
+
+  /// RD test: per-bucket DNS answer delay for `delayed_type` (AAAA by
+  /// default; pass kA for the §5.2 slow-A experiment).
+  WebToolReport run_rd_test(const clients::ClientProfile& profile,
+                            dns::RrType delayed_type = dns::RrType::kAaaa,
+                            const std::string& os_name = "Linux",
+                            const std::string& os_version = "");
+
+  const WebToolConfig& config() const { return config_; }
+
+ private:
+  WebToolReport run_campaign(const clients::ClientProfile& profile,
+                             const std::string& os_name,
+                             const std::string& os_version,
+                             bool rd_mode, dns::RrType delayed_type);
+
+  WebToolConfig config_;
+};
+
+}  // namespace lazyeye::webtool

@@ -1,0 +1,404 @@
+// DNS wire-format tests: names (incl. compression), rdata, full messages,
+// randomised round-trip property tests, and garbage rejection.
+#include <gtest/gtest.h>
+
+#include "dns/message.h"
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "dns/test_params.h"
+#include "util/rng.h"
+
+namespace lazyeye::dns {
+namespace {
+
+using simnet::IpAddress;
+using simnet::Ipv4Address;
+using simnet::Ipv6Address;
+
+// ---------------------------------------------------------------- names ----
+
+TEST(DnsNameTest, FromStringBasics) {
+  const auto name = DnsName::must_parse("www.Example.COM");
+  EXPECT_EQ(name.to_string(), "www.example.com");
+  EXPECT_EQ(name.label_count(), 3u);
+  EXPECT_EQ(name.label(0), "www");
+}
+
+TEST(DnsNameTest, RootForms) {
+  EXPECT_TRUE(DnsName::must_parse("").is_root());
+  EXPECT_TRUE(DnsName::must_parse(".").is_root());
+  EXPECT_EQ(DnsName{}.to_string(), ".");
+  EXPECT_EQ(DnsName{}.wire_length(), 1u);
+}
+
+TEST(DnsNameTest, TrailingDotOptional) {
+  EXPECT_EQ(DnsName::must_parse("a.b."), DnsName::must_parse("a.b"));
+}
+
+TEST(DnsNameTest, RejectsBadLabels) {
+  EXPECT_FALSE(DnsName::from_string("a..b").ok());
+  EXPECT_FALSE(DnsName::from_string(std::string(64, 'x') + ".com").ok());
+  // > 255 octets total.
+  std::string long_name;
+  for (int i = 0; i < 50; ++i) long_name += "abcde.";
+  long_name += "com";
+  EXPECT_FALSE(DnsName::from_string(long_name).ok());
+}
+
+TEST(DnsNameTest, SubdomainRelation) {
+  const auto com = DnsName::must_parse("com");
+  const auto example = DnsName::must_parse("example.com");
+  const auto www = DnsName::must_parse("www.example.com");
+  EXPECT_TRUE(www.is_subdomain_of(example));
+  EXPECT_TRUE(www.is_subdomain_of(com));
+  EXPECT_TRUE(www.is_subdomain_of(DnsName{}));  // everything under root
+  EXPECT_TRUE(example.is_subdomain_of(example));
+  EXPECT_FALSE(example.is_subdomain_of(www));
+  EXPECT_FALSE(DnsName::must_parse("example.org").is_subdomain_of(com));
+  // Label-boundary check: notexample.com is NOT under example.com.
+  EXPECT_FALSE(
+      DnsName::must_parse("notexample.com").is_subdomain_of(example));
+}
+
+TEST(DnsNameTest, ParentAndPrepend) {
+  const auto www = DnsName::must_parse("www.example.com");
+  EXPECT_EQ(www.parent().to_string(), "example.com");
+  EXPECT_EQ(DnsName::must_parse("com").parent(), DnsName{});
+  EXPECT_EQ(DnsName{}.parent(), DnsName{});
+  EXPECT_EQ(www.parent().prepend("api").to_string(), "api.example.com");
+  EXPECT_EQ(DnsName::must_parse("a").concat(DnsName::must_parse("b.c")),
+            DnsName::must_parse("a.b.c"));
+}
+
+TEST(DnsNameTest, WireRoundTripNoCompression) {
+  const auto name = DnsName::must_parse("ns1.z250.lab");
+  ByteWriter w;
+  name.encode(w, nullptr);
+  EXPECT_EQ(w.size(), name.wire_length());
+  ByteReader r{w.data()};
+  EXPECT_EQ(DnsName::decode(r), name);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(DnsNameTest, CompressionProducesPointer) {
+  CompressionMap map;
+  ByteWriter w;
+  const auto a = DnsName::must_parse("www.example.com");
+  const auto b = DnsName::must_parse("mail.example.com");
+  a.encode(w, &map);
+  const std::size_t first_len = w.size();
+  b.encode(w, &map);
+  // "mail" label (5 bytes) + 2-byte pointer to "example.com".
+  EXPECT_EQ(w.size(), first_len + 5 + 2);
+
+  // Both decode correctly from the shared buffer.
+  ByteReader r{w.data()};
+  EXPECT_EQ(DnsName::decode(r), a);
+  EXPECT_EQ(DnsName::decode(r), b);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(DnsNameTest, DecodeRejectsPointerLoop) {
+  // A name that points to itself: 0xC000 at offset 0.
+  const std::vector<std::uint8_t> wire{0xC0, 0x00};
+  ByteReader r{wire};
+  DnsName::decode(r);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DnsNameTest, DecodeRejectsTruncated) {
+  const std::vector<std::uint8_t> wire{0x05, 'a', 'b'};
+  ByteReader r{wire};
+  DnsName::decode(r);
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------- rdata ----
+
+TEST(RrTest, TypeNames) {
+  EXPECT_STREQ(rr_type_name(RrType::kAaaa), "AAAA");
+  EXPECT_EQ(rr_type_from_name("aaaa"), RrType::kAaaa);
+  EXPECT_EQ(rr_type_from_name("HTTPS"), RrType::kHttps);
+  EXPECT_FALSE(rr_type_from_name("bogus"));
+}
+
+TEST(RrTest, AddressAccessor) {
+  const auto a =
+      ResourceRecord::a(DnsName::must_parse("x.lab"), *Ipv4Address::parse("10.0.0.1"));
+  ASSERT_TRUE(a.address());
+  EXPECT_EQ(a.address()->to_string(), "10.0.0.1");
+  const auto ns = ResourceRecord::ns(DnsName::must_parse("x.lab"),
+                                     DnsName::must_parse("ns.x.lab"));
+  EXPECT_FALSE(ns.address());
+}
+
+TEST(RrTest, SvcbParamHelpers) {
+  SvcbRdata svcb;
+  svcb.set_alpn({"h3", "h2"});
+  EXPECT_EQ(svcb.alpn(), (std::vector<std::string>{"h3", "h2"}));
+  svcb.set_port(8443);
+  EXPECT_EQ(svcb.port(), 8443);
+  svcb.set_ipv4_hints({*Ipv4Address::parse("192.0.2.1")});
+  ASSERT_EQ(svcb.ipv4_hints().size(), 1u);
+  EXPECT_EQ(svcb.ipv4_hints()[0].to_string(), "192.0.2.1");
+  svcb.set_ipv6_hints({*Ipv6Address::parse("2001:db8::1")});
+  ASSERT_EQ(svcb.ipv6_hints().size(), 1u);
+  EXPECT_EQ(svcb.ipv6_hints()[0].to_string(), "2001:db8::1");
+  EXPECT_FALSE(svcb.has_ech());
+  svcb.set_ech({1, 2, 3});
+  EXPECT_TRUE(svcb.has_ech());
+}
+
+// -------------------------------------------------------------- message ----
+
+DnsMessage sample_message() {
+  DnsMessage msg;
+  msg.header.id = 0x1234;
+  msg.header.qr = true;
+  msg.header.aa = true;
+  msg.header.rd = true;
+  msg.header.ra = true;
+  msg.header.rcode = Rcode::kNoError;
+  const auto qname = DnsName::must_parse("www.he-test.lab");
+  msg.questions.push_back({qname, RrType::kAaaa});
+  msg.answers.push_back(
+      ResourceRecord::aaaa(qname, *Ipv6Address::parse("2001:db8::10"), 300));
+  msg.answers.push_back(
+      ResourceRecord::cname(DnsName::must_parse("alias.he-test.lab"), qname));
+  msg.authorities.push_back(ResourceRecord::ns(
+      DnsName::must_parse("he-test.lab"), DnsName::must_parse("ns1.he-test.lab")));
+  msg.additionals.push_back(ResourceRecord::a(
+      DnsName::must_parse("ns1.he-test.lab"), *Ipv4Address::parse("10.1.1.1")));
+  return msg;
+}
+
+TEST(DnsMessageTest, EncodeDecodeRoundTrip) {
+  const DnsMessage msg = sample_message();
+  const auto wire = msg.encode();
+  const auto decoded = DnsMessage::decode(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), msg);
+}
+
+TEST(DnsMessageTest, HeaderFlagsRoundTrip) {
+  DnsMessage msg;
+  msg.header.id = 77;
+  msg.header.qr = true;
+  msg.header.opcode = 2;
+  msg.header.tc = true;
+  msg.header.rcode = Rcode::kNxDomain;
+  const auto decoded = DnsMessage::decode(msg.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().header, msg.header);
+}
+
+TEST(DnsMessageTest, CompressionShrinksMessage) {
+  DnsMessage msg = sample_message();
+  const auto wire = msg.encode();
+  // Upper bound if no compression: sum of full name encodings.
+  std::size_t uncompressed = 12;  // header
+  uncompressed += msg.questions[0].name.wire_length() + 4;
+  for (const auto* section : {&msg.answers, &msg.authorities, &msg.additionals}) {
+    for (const auto& rr : *section) {
+      uncompressed += rr.name.wire_length() + 10 + 64;  // generous rdata bound
+    }
+  }
+  EXPECT_LT(wire.size(), uncompressed);
+  // And the qname suffix should appear exactly once.
+  const std::string needle = "he-test";
+  std::size_t occurrences = 0;
+  for (std::size_t i = 0; i + needle.size() <= wire.size(); ++i) {
+    if (std::equal(needle.begin(), needle.end(), wire.begin() + static_cast<std::ptrdiff_t>(i))) {
+      ++occurrences;
+    }
+  }
+  EXPECT_EQ(occurrences, 1u);
+}
+
+TEST(DnsMessageTest, MakeQueryAndResponse) {
+  const auto q =
+      DnsMessage::make_query(9, DnsName::must_parse("a.lab"), RrType::kA, true);
+  EXPECT_FALSE(q.header.qr);
+  EXPECT_TRUE(q.header.rd);
+  const auto r = DnsMessage::make_response(q, Rcode::kNxDomain);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_EQ(r.header.id, 9);
+  EXPECT_EQ(r.header.rcode, Rcode::kNxDomain);
+  ASSERT_EQ(r.questions.size(), 1u);
+  EXPECT_EQ(r.questions[0].name.to_string(), "a.lab");
+}
+
+TEST(DnsMessageTest, AddressesForFollowsCname) {
+  DnsMessage msg;
+  const auto alias = DnsName::must_parse("alias.lab");
+  const auto target = DnsName::must_parse("real.lab");
+  msg.answers.push_back(ResourceRecord::cname(alias, target));
+  msg.answers.push_back(
+      ResourceRecord::a(target, *Ipv4Address::parse("10.0.0.5")));
+  const auto addrs = msg.addresses_for(alias, RrType::kA);
+  ASSERT_EQ(addrs.size(), 1u);
+  EXPECT_EQ(addrs[0].to_string(), "10.0.0.5");
+}
+
+TEST(DnsMessageTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DnsMessage::decode({}).ok());
+  const std::vector<std::uint8_t> short_wire{0x00, 0x01, 0x02};
+  EXPECT_FALSE(DnsMessage::decode(short_wire).ok());
+  // Valid header claiming one question but no question bytes.
+  std::vector<std::uint8_t> lying(12, 0);
+  lying[5] = 1;  // qdcount = 1
+  EXPECT_FALSE(DnsMessage::decode(lying).ok());
+}
+
+TEST(DnsMessageTest, DecodeToleratesUnknownRrType) {
+  // Hand-craft a message with an unknown type 99 record.
+  ByteWriter w;
+  w.u16(1);       // id
+  w.u16(0x8000);  // qr
+  w.u16(0);       // qd
+  w.u16(1);       // an
+  w.u16(0);
+  w.u16(0);
+  DnsName::must_parse("x.lab").encode(w, nullptr);
+  w.u16(99);  // type
+  w.u16(1);   // class
+  w.u32(60);  // ttl
+  w.u16(3);   // rdlength
+  w.u8(0xaa);
+  w.u8(0xbb);
+  w.u8(0xcc);
+  const auto decoded = DnsMessage::decode(w.data());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  const auto* raw = std::get_if<RawRdata>(&decoded.value().answers[0].rdata);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->data.size(), 3u);
+}
+
+// Property test: randomized messages round-trip bit-exact (structurally).
+TEST(DnsMessageTest, RandomisedRoundTripProperty) {
+  Rng rng{2024};
+  const std::vector<std::string> label_pool{"a",  "bb",   "ccc", "www",
+                                            "ns1", "zone", "lab", "x9"};
+  auto random_name = [&] {
+    DnsName name;
+    const int n = static_cast<int>(rng.next_in_range(1, 4));
+    for (int i = 0; i < n; ++i) {
+      name = name.prepend(label_pool[rng.next_below(label_pool.size())]);
+    }
+    return name;
+  };
+  auto random_record = [&](const DnsName& name) -> ResourceRecord {
+    switch (rng.next_below(6)) {
+      case 0:
+        return ResourceRecord::a(
+            name, simnet::Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())},
+            static_cast<std::uint32_t>(rng.next_below(86400)));
+      case 1: {
+        simnet::Ipv6Address v6;
+        for (auto& b : v6.bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+        return ResourceRecord::aaaa(name, v6);
+      }
+      case 2:
+        return ResourceRecord::ns(name, random_name());
+      case 3:
+        return ResourceRecord::cname(name, random_name());
+      case 4: {
+        TxtRdata txt;
+        txt.strings.push_back("p=" + std::to_string(rng.next_below(1000)));
+        return ResourceRecord::txt(name, txt.strings);
+      }
+      default: {
+        SvcbRdata svcb;
+        svcb.priority = static_cast<std::uint16_t>(rng.next_in_range(0, 3));
+        svcb.target = random_name();
+        if (rng.chance(0.5)) svcb.set_alpn({"h3"});
+        if (rng.chance(0.5)) svcb.set_port(static_cast<std::uint16_t>(
+            rng.next_in_range(1, 65535)));
+        return ResourceRecord::svcb(name, svcb, rng.chance(0.5));
+      }
+    }
+  };
+
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    DnsMessage msg;
+    msg.header.id = static_cast<std::uint16_t>(rng.next_u64());
+    msg.header.qr = rng.chance(0.5);
+    msg.header.aa = rng.chance(0.5);
+    msg.header.rd = rng.chance(0.5);
+    msg.header.ra = rng.chance(0.5);
+    msg.header.rcode = static_cast<Rcode>(rng.next_below(6));
+    const auto qname = random_name();
+    msg.questions.push_back(
+        {qname, rng.chance(0.5) ? RrType::kA : RrType::kAaaa});
+    const int answers = static_cast<int>(rng.next_below(4));
+    for (int i = 0; i < answers; ++i) {
+      msg.answers.push_back(random_record(rng.chance(0.7) ? qname : random_name()));
+    }
+    const int extra = static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < extra; ++i) {
+      msg.additionals.push_back(random_record(random_name()));
+    }
+
+    const auto wire = msg.encode();
+    const auto decoded = DnsMessage::decode(wire);
+    ASSERT_TRUE(decoded.ok()) << "iteration " << iteration << ": "
+                              << decoded.error();
+    EXPECT_EQ(decoded.value(), msg) << "iteration " << iteration;
+  }
+}
+
+// Property: decoding arbitrary random bytes never crashes (it may fail).
+TEST(DnsMessageTest, FuzzDecodeNeverCrashes) {
+  Rng rng{7};
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::vector<std::uint8_t> junk(rng.next_below(120));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    (void)DnsMessage::decode(junk);  // must not crash/UB
+  }
+}
+
+// ---------------------------------------------------------- test params ----
+
+TEST(TestParamsTest, ParseDelayLabels) {
+  const auto name = DnsName::must_parse("n42x.d250-aaaa.test.lab");
+  const auto params = parse_test_params(name);
+  ASSERT_TRUE(params);
+  EXPECT_EQ(params->nonce, "42x");
+  EXPECT_EQ(params->delay_for(RrType::kAaaa), ms(250));
+  EXPECT_EQ(params->delay_for(RrType::kA), ms(0));
+}
+
+TEST(TestParamsTest, AllTypesDelay) {
+  const auto params =
+      parse_test_params(DnsName::must_parse("d100-all.d50-a.t.lab"));
+  ASSERT_TRUE(params);
+  EXPECT_EQ(params->delay_for(RrType::kA), ms(150));
+  EXPECT_EQ(params->delay_for(RrType::kAaaa), ms(100));
+}
+
+TEST(TestParamsTest, NoParamsReturnsNullopt) {
+  EXPECT_FALSE(parse_test_params(DnsName::must_parse("www.example.com")));
+  // "dns" starts with d but is not a delay label; "news" is not a nonce.
+  EXPECT_FALSE(parse_test_params(DnsName::must_parse("dns.news-x.example")));
+}
+
+TEST(TestParamsTest, MakeTestNameRoundTrip) {
+  const auto base = DnsName::must_parse("cad.he.lab");
+  const auto name =
+      make_test_name(base, "7f3", {{RrType::kAaaa, ms(300)}}, ms(0));
+  EXPECT_TRUE(name.is_subdomain_of(base));
+  const auto params = parse_test_params(name);
+  ASSERT_TRUE(params);
+  EXPECT_EQ(params->nonce, "7f3");
+  EXPECT_EQ(params->delay_for(RrType::kAaaa), ms(300));
+}
+
+TEST(TestParamsTest, NonceMakesNamesUnique) {
+  const auto base = DnsName::must_parse("t.lab");
+  const auto n1 = make_test_name(base, "1", {});
+  const auto n2 = make_test_name(base, "2", {});
+  EXPECT_NE(n1, n2);
+}
+
+}  // namespace
+}  // namespace lazyeye::dns

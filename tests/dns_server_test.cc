@@ -1,0 +1,375 @@
+// Zone lookup semantics, authoritative server behaviour (delays, logs,
+// referrals), and stub resolver behaviour (dual queries, failover, timeout).
+#include <gtest/gtest.h>
+
+#include "dns/auth_server.h"
+#include "dns/stub_resolver.h"
+#include "dns/zone.h"
+#include "simnet/network.h"
+
+namespace lazyeye::dns {
+namespace {
+
+using simnet::Family;
+using simnet::IpAddress;
+using simnet::Ipv4Address;
+using simnet::Ipv6Address;
+
+DnsName N(const char* s) { return DnsName::must_parse(s); }
+Ipv4Address V4(const char* s) { return *Ipv4Address::parse(s); }
+Ipv6Address V6(const char* s) { return *Ipv6Address::parse(s); }
+
+// ----------------------------------------------------------------- zone ----
+
+class ZoneTest : public ::testing::Test {
+ protected:
+  ZoneTest() : zone_{N("he.lab")} {
+    zone_.add_a(N("www.he.lab"), V4("10.0.0.10"));
+    zone_.add_a(N("www.he.lab"), V4("10.0.0.11"));
+    zone_.add_aaaa(N("www.he.lab"), V6("2001:db8::10"));
+    zone_.add_cname(N("alias.he.lab"), N("www.he.lab"));
+    zone_.add_ns(N("sub.he.lab"), N("ns1.sub.he.lab"));
+    zone_.add(ResourceRecord::a(N("ns1.sub.he.lab"), V4("10.0.9.1")));
+    zone_.add(ResourceRecord::aaaa(N("ns1.sub.he.lab"), V6("2001:db8:9::1")));
+  }
+  Zone zone_;
+};
+
+TEST_F(ZoneTest, AnswerReturnsAllRecordsOfType) {
+  const auto r = zone_.lookup(N("www.he.lab"), RrType::kA);
+  EXPECT_EQ(r.kind, Zone::RcodeKind::kAnswer);
+  EXPECT_EQ(r.records.size(), 2u);
+}
+
+TEST_F(ZoneTest, NoDataForExistingNameWrongType) {
+  const auto r = zone_.lookup(N("www.he.lab"), RrType::kTxt);
+  EXPECT_EQ(r.kind, Zone::RcodeKind::kNoData);
+  ASSERT_TRUE(r.soa);
+  EXPECT_EQ(r.soa->type, RrType::kSoa);
+}
+
+TEST_F(ZoneTest, NxDomainForMissingName) {
+  const auto r = zone_.lookup(N("missing.he.lab"), RrType::kA);
+  EXPECT_EQ(r.kind, Zone::RcodeKind::kNxDomain);
+  ASSERT_TRUE(r.soa);
+}
+
+TEST_F(ZoneTest, EmptyNonTerminalIsNoData) {
+  // "sub.he.lab" has NS; "he.lab" apex exists. A name that only exists as a
+  // path component: add a deep record and query the middle.
+  Zone z{N("he.lab")};
+  z.add_a(N("a.b.he.lab"), V4("10.0.0.1"));
+  const auto r = z.lookup(N("b.he.lab"), RrType::kA);
+  EXPECT_EQ(r.kind, Zone::RcodeKind::kNoData);
+}
+
+TEST_F(ZoneTest, CnameReturned) {
+  const auto r = zone_.lookup(N("alias.he.lab"), RrType::kA);
+  EXPECT_EQ(r.kind, Zone::RcodeKind::kCname);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].type, RrType::kCname);
+}
+
+TEST_F(ZoneTest, CnameQueryForCnameTypeIsAnswer) {
+  const auto r = zone_.lookup(N("alias.he.lab"), RrType::kCname);
+  EXPECT_EQ(r.kind, Zone::RcodeKind::kAnswer);
+}
+
+TEST_F(ZoneTest, DelegationWithGlue) {
+  const auto r = zone_.lookup(N("www.sub.he.lab"), RrType::kA);
+  EXPECT_EQ(r.kind, Zone::RcodeKind::kDelegation);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].type, RrType::kNs);
+  // Glue: both A and AAAA of ns1.sub.he.lab.
+  EXPECT_EQ(r.additional.size(), 2u);
+}
+
+TEST_F(ZoneTest, DelegationAppliesToApexOfCut) {
+  const auto r = zone_.lookup(N("sub.he.lab"), RrType::kA);
+  EXPECT_EQ(r.kind, Zone::RcodeKind::kDelegation);
+}
+
+TEST_F(ZoneTest, NotInZone) {
+  const auto r = zone_.lookup(N("www.other.lab"), RrType::kA);
+  EXPECT_EQ(r.kind, Zone::RcodeKind::kNotInZone);
+}
+
+TEST_F(ZoneTest, ApexNsIsNotDelegation) {
+  Zone z{N("he.lab")};
+  z.add_ns(N("he.lab"), N("ns1.he.lab"));
+  z.add_a(N("www.he.lab"), V4("10.0.0.1"));
+  EXPECT_EQ(z.lookup(N("www.he.lab"), RrType::kA).kind,
+            Zone::RcodeKind::kAnswer);
+  EXPECT_EQ(z.lookup(N("he.lab"), RrType::kNs).kind, Zone::RcodeKind::kAnswer);
+}
+
+TEST_F(ZoneTest, AddOutsideZoneThrows) {
+  EXPECT_THROW(zone_.add_a(N("www.other.lab"), V4("10.0.0.1")),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- auth server ----
+
+struct AuthFixture : ::testing::Test {
+  AuthFixture() : net{1}, server_host{net.add_host("auth")},
+                  client_host{net.add_host("client")} {
+    server_host.add_address(IpAddress::must_parse("10.0.0.53"));
+    server_host.add_address(IpAddress::must_parse("2001:db8::53"));
+    client_host.add_address(IpAddress::must_parse("10.0.0.2"));
+    client_host.add_address(IpAddress::must_parse("2001:db8::2"));
+    auth = std::make_unique<AuthServer>(server_host);
+    Zone& zone = auth->add_zone(N("he.lab"));
+    zone.add_a(N("www.he.lab"), V4("10.0.0.80"));
+    zone.add_aaaa(N("www.he.lab"), V6("2001:db8::80"));
+    // A wildcard-ish record used by delay tests (params are labels on top).
+    zone.add_a(N("d250-aaaa.rd.he.lab"), V4("10.0.0.81"));
+    zone.add_aaaa(N("d250-aaaa.rd.he.lab"), V6("2001:db8::81"));
+  }
+
+  /// Sends a raw query and records responses with timestamps.
+  void send_query(const DnsName& qname, RrType type,
+                  Family family = Family::kIpv4) {
+    const std::uint16_t port = client_host.ephemeral_port();
+    const auto src = *client_host.address(family);
+    const auto dst = family == Family::kIpv4
+                         ? IpAddress::must_parse("10.0.0.53")
+                         : IpAddress::must_parse("2001:db8::53");
+    client_host.udp_bind(port, [this](const simnet::Packet& p) {
+      auto decoded = DnsMessage::decode(p.payload);
+      ASSERT_TRUE(decoded.ok());
+      responses.emplace_back(net.loop().now(), std::move(decoded).value());
+    });
+    const auto query = DnsMessage::make_query(next_id++, qname, type);
+    client_host.udp_send({src, port}, {dst, 53}, query.encode());
+  }
+
+  simnet::Network net;
+  simnet::Host& server_host;
+  simnet::Host& client_host;
+  std::unique_ptr<AuthServer> auth;
+  std::vector<std::pair<SimTime, DnsMessage>> responses;
+  std::uint16_t next_id = 100;
+};
+
+TEST_F(AuthFixture, AnswersAuthoritatively) {
+  send_query(N("www.he.lab"), RrType::kA);
+  net.loop().run();
+  ASSERT_EQ(responses.size(), 1u);
+  const DnsMessage& r = responses[0].second;
+  EXPECT_TRUE(r.header.aa);
+  EXPECT_EQ(r.header.rcode, Rcode::kNoError);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].address()->to_string(), "10.0.0.80");
+}
+
+TEST_F(AuthFixture, RefusesOutOfZone) {
+  send_query(N("www.elsewhere.example"), RrType::kA);
+  net.loop().run();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].second.header.rcode, Rcode::kRefused);
+}
+
+TEST_F(AuthFixture, QnameEncodedDelayAppliesPerType) {
+  send_query(N("d250-aaaa.rd.he.lab"), RrType::kAaaa);
+  send_query(N("d250-aaaa.rd.he.lab"), RrType::kA);
+  net.loop().run();
+  ASSERT_EQ(responses.size(), 2u);
+  // A response (no delay) arrives first; AAAA 250 ms later.
+  EXPECT_EQ(responses[0].second.questions[0].type, RrType::kA);
+  EXPECT_EQ(responses[1].second.questions[0].type, RrType::kAaaa);
+  const SimTime delta = responses[1].first - responses[0].first;
+  EXPECT_EQ(delta, ms(250));
+}
+
+TEST_F(AuthFixture, StaticDelayRuleAndQueryLog) {
+  auth->add_delay_rule({RrType::kA, std::nullopt, ms(100)});
+  send_query(N("www.he.lab"), RrType::kA, Family::kIpv6);
+  net.loop().run();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].first, ms(100) + 2 * net.base_delay());
+  ASSERT_EQ(auth->query_log().size(), 1u);
+  EXPECT_EQ(auth->query_log()[0].family, Family::kIpv6);
+  EXPECT_EQ(auth->query_log()[0].qtype, RrType::kA);
+}
+
+TEST_F(AuthFixture, UnresponsiveDropsButLogs) {
+  auth->set_unresponsive(true);
+  send_query(N("www.he.lab"), RrType::kA);
+  net.loop().run();
+  EXPECT_TRUE(responses.empty());
+  EXPECT_EQ(auth->query_log().size(), 1u);
+}
+
+TEST_F(AuthFixture, GarbagePayloadIgnored) {
+  const auto src = *client_host.address(Family::kIpv4);
+  client_host.udp_send({src, 4444}, {IpAddress::must_parse("10.0.0.53"), 53},
+                       {0xde, 0xad});
+  net.loop().run();
+  EXPECT_TRUE(responses.empty());
+  EXPECT_EQ(auth->queries_received(), 1u);
+  EXPECT_TRUE(auth->query_log().empty());
+}
+
+TEST_F(AuthFixture, CnameChasedWithinZone) {
+  Zone& zone = auth->add_zone(N("alias.lab"));
+  zone.add_cname(N("www.alias.lab"), N("target.alias.lab"));
+  zone.add_a(N("target.alias.lab"), V4("10.0.0.90"));
+  send_query(N("www.alias.lab"), RrType::kA);
+  net.loop().run();
+  ASSERT_EQ(responses.size(), 1u);
+  const auto& r = responses[0].second;
+  EXPECT_EQ(r.answers.size(), 2u);  // CNAME + A
+  const auto addrs = r.addresses_for(N("www.alias.lab"), RrType::kA);
+  ASSERT_EQ(addrs.size(), 1u);
+  EXPECT_EQ(addrs[0].to_string(), "10.0.0.90");
+}
+
+TEST_F(AuthFixture, ReferralForDelegatedChild) {
+  Zone& parent = auth->add_zone(N("parent.lab"));
+  parent.add_ns(N("child.parent.lab"), N("ns1.child.parent.lab"));
+  parent.add(ResourceRecord::a(N("ns1.child.parent.lab"), V4("10.0.7.1")));
+  send_query(N("www.child.parent.lab"), RrType::kA);
+  net.loop().run();
+  ASSERT_EQ(responses.size(), 1u);
+  const auto& r = responses[0].second;
+  EXPECT_FALSE(r.header.aa);
+  ASSERT_EQ(r.authorities.size(), 1u);
+  EXPECT_EQ(r.authorities[0].type, RrType::kNs);
+  ASSERT_EQ(r.additionals.size(), 1u);  // glue
+}
+
+TEST_F(AuthFixture, MostSpecificZoneWins) {
+  Zone& child = auth->add_zone(N("sub.he.lab"));
+  child.add_a(N("www.sub.he.lab"), V4("10.0.8.8"));
+  send_query(N("www.sub.he.lab"), RrType::kA);
+  net.loop().run();
+  ASSERT_EQ(responses.size(), 1u);
+  const auto addrs =
+      responses[0].second.addresses_for(N("www.sub.he.lab"), RrType::kA);
+  ASSERT_EQ(addrs.size(), 1u);
+  EXPECT_EQ(addrs[0].to_string(), "10.0.8.8");
+}
+
+// ---------------------------------------------------------- stub resolver --
+
+struct StubFixture : AuthFixture {
+  StubFixture() {
+    StubOptions options;
+    options.servers = {{IpAddress::must_parse("10.0.0.53"), 53}};
+    options.timeout = lazyeye::sec(5);
+    stub = std::make_unique<StubResolver>(client_host, options);
+  }
+  std::unique_ptr<StubResolver> stub;
+};
+
+TEST_F(StubFixture, ResolveSingleType) {
+  std::vector<IpAddress> got;
+  stub->resolve(N("www.he.lab"), RrType::kA, [&](const QueryOutcome& out) {
+    ASSERT_TRUE(out.ok);
+    got = out.response.addresses_for(N("www.he.lab"), RrType::kA);
+  });
+  net.loop().run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].to_string(), "10.0.0.80");
+}
+
+TEST_F(StubFixture, DualEmitsPerTypeInArrivalOrder) {
+  std::vector<RrType> arrival_order;
+  StubResolver::DualHandlers handlers;
+  handlers.on_records = [&](RrType type, const std::vector<IpAddress>& addrs,
+                            SimTime) {
+    arrival_order.push_back(type);
+    EXPECT_FALSE(addrs.empty());
+  };
+  stub->resolve_dual(N("www.he.lab"), handlers);
+  net.loop().run();
+  ASSERT_EQ(arrival_order.size(), 2u);
+  // No delays: AAAA was sent first, so it arrives first.
+  EXPECT_EQ(arrival_order[0], RrType::kAaaa);
+  EXPECT_EQ(arrival_order[1], RrType::kA);
+}
+
+TEST_F(StubFixture, DelayedAaaaArrivesSecond) {
+  std::vector<std::pair<RrType, SimTime>> arrivals;
+  StubResolver::DualHandlers handlers;
+  handlers.on_records = [&](RrType type, const std::vector<IpAddress>&,
+                            SimTime) {
+    arrivals.emplace_back(type, net.loop().now());
+  };
+  stub->resolve_dual(N("d250-aaaa.rd.he.lab"), handlers);
+  net.loop().run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0].first, RrType::kA);
+  EXPECT_EQ(arrivals[1].first, RrType::kAaaa);
+  EXPECT_EQ(arrivals[1].second - arrivals[0].second, ms(250));
+}
+
+TEST_F(StubFixture, TimeoutReportedPerType) {
+  auth->set_unresponsive(true);
+  StubOptions options;
+  options.servers = {{IpAddress::must_parse("10.0.0.53"), 53}};
+  options.timeout = ms(500);
+  options.attempts_per_server = 1;
+  StubResolver fast_stub{client_host, options};
+
+  int errors = 0;
+  StubResolver::DualHandlers handlers;
+  handlers.on_error = [&](RrType, const std::string& error) {
+    EXPECT_EQ(error, "all servers failed");
+    ++errors;
+  };
+  fast_stub.resolve_dual(N("www.he.lab"), handlers);
+  net.loop().run();
+  EXPECT_EQ(errors, 2);
+}
+
+TEST_F(StubFixture, FailoverToSecondServer) {
+  // First server does not exist (blackhole), second is the real one.
+  StubOptions options;
+  options.servers = {{IpAddress::must_parse("10.0.0.99"), 53},
+                     {IpAddress::must_parse("10.0.0.53"), 53}};
+  options.timeout = ms(300);
+  options.attempts_per_server = 1;
+  StubResolver failover_stub{client_host, options};
+
+  bool answered = false;
+  failover_stub.resolve(N("www.he.lab"), RrType::kA,
+                        [&](const QueryOutcome& out) {
+                          answered = out.ok;
+                          EXPECT_GE(out.rtt, SimTime{0});
+                        });
+  net.loop().run();
+  EXPECT_TRUE(answered);
+  // The failed first attempt should put us past 300 ms.
+  EXPECT_GE(net.loop().now(), ms(300));
+}
+
+TEST_F(StubFixture, CancelSuppressesCallbacks) {
+  int calls = 0;
+  StubResolver::DualHandlers handlers;
+  handlers.on_records = [&](RrType, const std::vector<IpAddress>&, SimTime) {
+    ++calls;
+  };
+  handlers.on_error = [&](RrType, const std::string&) { ++calls; };
+  const auto handle = stub->resolve_dual(N("www.he.lab"), handlers);
+  stub->cancel(handle);
+  net.loop().run();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(StubFixture, NxdomainYieldsEmptyRecords) {
+  std::vector<std::size_t> sizes;
+  StubResolver::DualHandlers handlers;
+  handlers.on_records = [&](RrType, const std::vector<IpAddress>& addrs,
+                            SimTime) {
+    sizes.push_back(addrs.size());
+  };
+  stub->resolve_dual(N("missing.he.lab"), handlers);
+  net.loop().run();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 0u);
+  EXPECT_EQ(sizes[1], 0u);
+}
+
+}  // namespace
+}  // namespace lazyeye::dns

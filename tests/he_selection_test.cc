@@ -1,0 +1,305 @@
+// Address selection (RFC 8305 §4), outcome cache, and options presets.
+#include <gtest/gtest.h>
+
+#include "he/address_selection.h"
+#include "he/cache.h"
+#include "he/options.h"
+#include "util/rng.h"
+
+namespace lazyeye::he {
+namespace {
+
+using simnet::Family;
+using simnet::IpAddress;
+
+AddressCandidate v6(int i, std::optional<SimTime> rtt = std::nullopt,
+                    bool ech = false) {
+  return {IpAddress::must_parse("2001:db8::" + std::to_string(i)), rtt, ech};
+}
+AddressCandidate v4(int i, std::optional<SimTime> rtt = std::nullopt,
+                    bool ech = false) {
+  return {IpAddress::must_parse("10.0.0." + std::to_string(i)), rtt, ech};
+}
+
+std::vector<Family> families(const std::vector<AddressCandidate>& list) {
+  std::vector<Family> out;
+  for (const auto& c : list) out.push_back(c.address.family());
+  return out;
+}
+
+TEST(AddressSelectionTest, AlternateFafc1) {
+  SelectionInput input;
+  input.ipv6 = {v6(1), v6(2), v6(3)};
+  input.ipv4 = {v4(1), v4(2), v4(3)};
+  HeOptions o = HeOptions::rfc8305();
+  const auto out = select_addresses(input, o);
+  EXPECT_EQ(families(out),
+            (std::vector<Family>{Family::kIpv6, Family::kIpv4, Family::kIpv6,
+                                 Family::kIpv4, Family::kIpv6, Family::kIpv4}));
+}
+
+TEST(AddressSelectionTest, AlternateFafc2) {
+  SelectionInput input;
+  input.ipv6 = {v6(1), v6(2), v6(3)};
+  input.ipv4 = {v4(1), v4(2)};
+  HeOptions o = HeOptions::rfc8305();
+  o.first_address_family_count = 2;
+  const auto out = select_addresses(input, o);
+  // v6 v6 | v4 v6 v4
+  EXPECT_EQ(families(out),
+            (std::vector<Family>{Family::kIpv6, Family::kIpv6, Family::kIpv4,
+                                 Family::kIpv6, Family::kIpv4}));
+}
+
+TEST(AddressSelectionTest, SafariPattern10Plus10) {
+  SelectionInput input;
+  for (int i = 1; i <= 10; ++i) input.ipv6.push_back(v6(i));
+  for (int i = 1; i <= 10; ++i) input.ipv4.push_back(v4(i));
+  HeOptions o;
+  o.first_address_family_count = 2;
+  o.interlace = InterlaceMode::kFirstOtherThenRest;
+  o.max_addresses_per_family = 10;
+  const auto out = select_addresses(input, o);
+  ASSERT_EQ(out.size(), 20u);
+  // Paper App. D: two IPv6, one IPv4, remaining eight IPv6, remaining nine
+  // IPv4.
+  std::vector<Family> expected;
+  expected.push_back(Family::kIpv6);
+  expected.push_back(Family::kIpv6);
+  expected.push_back(Family::kIpv4);
+  for (int i = 0; i < 8; ++i) expected.push_back(Family::kIpv6);
+  for (int i = 0; i < 9; ++i) expected.push_back(Family::kIpv4);
+  EXPECT_EQ(families(out), expected);
+}
+
+TEST(AddressSelectionTest, PreferIpv4WhenConfigured) {
+  SelectionInput input;
+  input.ipv6 = {v6(1)};
+  input.ipv4 = {v4(1)};
+  HeOptions o = HeOptions::rfc8305();
+  o.prefer_ipv6 = false;
+  const auto out = select_addresses(input, o);
+  EXPECT_EQ(out.front().address.family(), Family::kIpv4);
+}
+
+TEST(AddressSelectionTest, TruncatesPerFamily) {
+  SelectionInput input;
+  for (int i = 1; i <= 5; ++i) input.ipv6.push_back(v6(i));
+  for (int i = 1; i <= 5; ++i) input.ipv4.push_back(v4(i));
+  HeOptions o = HeOptions::rfc8305();
+  o.max_addresses_per_family = 1;
+  o.interlace = InterlaceMode::kNone;
+  const auto out = select_addresses(input, o);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].address.family(), Family::kIpv6);
+  EXPECT_EQ(out[1].address.family(), Family::kIpv4);
+}
+
+TEST(AddressSelectionTest, NoFallbackUsesPreferredOnly) {
+  SelectionInput input;
+  input.ipv6 = {v6(1), v6(2)};
+  input.ipv4 = {v4(1)};
+  HeOptions o = HeOptions::none();
+  o.max_addresses_per_family = 10;
+  const auto out = select_addresses(input, o);
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& c : out) EXPECT_EQ(c.address.family(), Family::kIpv6);
+}
+
+TEST(AddressSelectionTest, NoFallbackFallsToOtherFamilyOnlyWhenEmpty) {
+  SelectionInput input;
+  input.ipv4 = {v4(1)};
+  HeOptions o = HeOptions::none();
+  const auto out = select_addresses(input, o);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].address.family(), Family::kIpv4);
+}
+
+TEST(AddressSelectionTest, HistoryRttSorting) {
+  SelectionInput input;
+  input.ipv6 = {v6(1, ms(80)), v6(2, ms(10)), v6(3)};
+  HeOptions o;
+  o.sort_by_history = true;
+  o.interlace = InterlaceMode::kNone;
+  const auto out = select_addresses(input, o);
+  EXPECT_EQ(out[0].address, v6(2).address);  // fastest first
+  EXPECT_EQ(out[1].address, v6(1).address);
+  EXPECT_EQ(out[2].address, v6(3).address);  // unknown last
+}
+
+TEST(AddressSelectionTest, EchPreferencePromotesEchEndpoints) {
+  SelectionInput input;
+  input.ipv6 = {v6(1, std::nullopt, false), v6(2, std::nullopt, true)};
+  HeOptions o;
+  o.prefer_ech = true;
+  o.interlace = InterlaceMode::kNone;
+  const auto out = select_addresses(input, o);
+  EXPECT_TRUE(out[0].ech_available);
+}
+
+TEST(AddressSelectionTest, EmptyInputsYieldEmptyPlan) {
+  EXPECT_TRUE(select_addresses({}, HeOptions::rfc8305()).empty());
+}
+
+// Property: output is a permutation of the (truncated) inputs; the first
+// element is from the preferred family whenever that family is non-empty.
+TEST(AddressSelectionTest, RandomisedInvariants) {
+  Rng rng{99};
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    SelectionInput input;
+    const int n6 = static_cast<int>(rng.next_below(6));
+    const int n4 = static_cast<int>(rng.next_below(6));
+    for (int i = 1; i <= n6; ++i) input.ipv6.push_back(v6(i));
+    for (int i = 1; i <= n4; ++i) input.ipv4.push_back(v4(i));
+
+    HeOptions o;
+    o.first_address_family_count = static_cast<int>(rng.next_in_range(1, 3));
+    o.interlace = static_cast<InterlaceMode>(rng.next_below(3));
+    o.prefer_ipv6 = rng.chance(0.5);
+    o.max_addresses_per_family = static_cast<int>(rng.next_in_range(1, 6));
+
+    const auto out = select_addresses(input, o);
+
+    const std::size_t expect6 = std::min<std::size_t>(
+        input.ipv6.size(), static_cast<std::size_t>(o.max_addresses_per_family));
+    const std::size_t expect4 = std::min<std::size_t>(
+        input.ipv4.size(), static_cast<std::size_t>(o.max_addresses_per_family));
+    ASSERT_EQ(out.size(), expect6 + expect4) << "iteration " << iteration;
+
+    std::size_t got6 = 0;
+    for (const auto& c : out) {
+      if (c.address.family() == Family::kIpv6) ++got6;
+    }
+    EXPECT_EQ(got6, expect6);
+
+    if (!out.empty()) {
+      const Family preferred =
+          o.prefer_ipv6 ? Family::kIpv6 : Family::kIpv4;
+      const bool preferred_available =
+          (preferred == Family::kIpv6 ? expect6 : expect4) > 0;
+      if (preferred_available) {
+        EXPECT_EQ(out.front().address.family(), preferred)
+            << "iteration " << iteration;
+      }
+    }
+    // No duplicates.
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      for (std::size_t j = i + 1; j < out.size(); ++j) {
+        EXPECT_NE(out[i].address, out[j].address);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- cache ----
+
+TEST(OutcomeCacheTest, StoreAndLookup) {
+  OutcomeCache cache;
+  const auto host = dns::DnsName::must_parse("www.he.lab");
+  cache.store(host, IpAddress::must_parse("2001:db8::1"),
+              transport::TransportProtocol::kTcp, SimTime{0}, minutes(10));
+  const auto hit = cache.lookup(host, minutes(5));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->address.to_string(), "2001:db8::1");
+}
+
+TEST(OutcomeCacheTest, ExpiresAfterTtl) {
+  OutcomeCache cache;
+  const auto host = dns::DnsName::must_parse("www.he.lab");
+  cache.store(host, IpAddress::must_parse("10.0.0.1"),
+              transport::TransportProtocol::kTcp, SimTime{0}, minutes(10));
+  EXPECT_TRUE(cache.lookup(host, minutes(10) - ms(1)));
+  EXPECT_FALSE(cache.lookup(host, minutes(10)));
+}
+
+TEST(OutcomeCacheTest, ZeroTtlDisables) {
+  OutcomeCache cache;
+  const auto host = dns::DnsName::must_parse("www.he.lab");
+  cache.store(host, IpAddress::must_parse("10.0.0.1"),
+              transport::TransportProtocol::kTcp, SimTime{0}, SimTime{0});
+  EXPECT_FALSE(cache.lookup(host, SimTime{0}));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(OutcomeCacheTest, EraseAndClear) {
+  OutcomeCache cache;
+  const auto a = dns::DnsName::must_parse("a.lab");
+  const auto b = dns::DnsName::must_parse("b.lab");
+  cache.store(a, IpAddress::must_parse("10.0.0.1"),
+              transport::TransportProtocol::kTcp, SimTime{0}, minutes(10));
+  cache.store(b, IpAddress::must_parse("10.0.0.2"),
+              transport::TransportProtocol::kQuic, SimTime{0}, minutes(10));
+  cache.erase(a);
+  EXPECT_FALSE(cache.lookup(a, SimTime{0}));
+  EXPECT_TRUE(cache.lookup(b, SimTime{0}));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// -------------------------------------------------------------- options ----
+
+TEST(HeOptionsTest, Rfc6555Preset) {
+  const auto o = HeOptions::rfc6555();
+  EXPECT_EQ(o.version, HeVersion::kV1);
+  EXPECT_EQ(o.connection_attempt_delay, ms(250));  // 150-250 ms upper bound
+  EXPECT_FALSE(o.resolution_delay);
+  EXPECT_EQ(o.max_addresses_per_family, 1);  // IPv6 once, then IPv4
+  EXPECT_EQ(o.cache_ttl, minutes(10));       // "order of 10 minutes"
+}
+
+TEST(HeOptionsTest, Rfc8305Preset) {
+  const auto o = HeOptions::rfc8305();
+  EXPECT_EQ(o.version, HeVersion::kV2);
+  ASSERT_TRUE(o.resolution_delay);
+  EXPECT_EQ(*o.resolution_delay, ms(50));
+  EXPECT_EQ(o.connection_attempt_delay, ms(250));
+  EXPECT_TRUE(o.query_aaaa_first);
+  EXPECT_EQ(o.first_address_family_count, 1);
+  // Dynamic CAD bounds (Table 1): 10 ms / 100 ms / 2 s.
+  EXPECT_EQ(o.dynamic_cad.minimum, ms(10));
+  EXPECT_EQ(o.dynamic_cad.recommended_minimum, ms(100));
+  EXPECT_EQ(o.dynamic_cad.maximum, sec(2));
+}
+
+TEST(HeOptionsTest, V3DraftPreset) {
+  const auto o = HeOptions::v3_draft();
+  EXPECT_EQ(o.version, HeVersion::kV3);
+  EXPECT_TRUE(o.use_svcb);
+  EXPECT_TRUE(o.race_quic);
+  EXPECT_TRUE(o.prefer_ech);
+  // Same delays as v2 (Table 1).
+  EXPECT_EQ(*o.resolution_delay, ms(50));
+  EXPECT_EQ(o.connection_attempt_delay, ms(250));
+}
+
+TEST(HeOptionsTest, DynamicCadClamping) {
+  DynamicCad cad;
+  cad.enabled = true;
+  cad.minimum = ms(10);
+  cad.maximum = sec(2);
+  cad.rtt_multiplier = 2.0;
+  cad.no_history_default = sec(2);
+  EXPECT_EQ(cad.effective(std::nullopt), sec(2));
+  EXPECT_EQ(cad.effective(ms(50)), ms(100));
+  EXPECT_EQ(cad.effective(ms(1)), ms(10));      // clamped up
+  EXPECT_EQ(cad.effective(sec(10)), sec(2));    // clamped down
+}
+
+TEST(HeOptionsTest, EffectiveCadSelectsModel) {
+  HeOptions o;
+  o.connection_attempt_delay = ms(300);
+  EXPECT_EQ(o.effective_cad(ms(50)), ms(300));  // fixed
+  o.dynamic_cad.enabled = true;
+  o.dynamic_cad.rtt_multiplier = 4.0;
+  o.dynamic_cad.minimum = ms(10);
+  o.dynamic_cad.maximum = sec(2);
+  EXPECT_EQ(o.effective_cad(ms(50)), ms(200));  // dynamic
+}
+
+TEST(HeOptionsTest, VersionNames) {
+  EXPECT_STREQ(he_version_name(HeVersion::kV1), "HEv1");
+  EXPECT_STREQ(he_version_name(HeVersion::kNone), "none");
+}
+
+}  // namespace
+}  // namespace lazyeye::he

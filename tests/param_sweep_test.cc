@@ -1,0 +1,118 @@
+// Parameterised property sweeps (TEST_P): measurement-pipeline invariants
+// across the (client × delay) grid.
+#include <gtest/gtest.h>
+
+#include "clients/profiles.h"
+#include "testbed/testbed.h"
+
+namespace lazyeye::testbed {
+namespace {
+
+using simnet::Family;
+
+// ------------------------------------------------- CAD sweep invariants ----
+
+struct CadCase {
+  const char* client;
+  int expected_cad_ms;
+};
+
+class CadSweep : public ::testing::TestWithParam<std::tuple<CadCase, int>> {};
+
+TEST_P(CadSweep, EstablishedFamilyMatchesCadThreshold) {
+  const auto& [cad_case, delay_ms] = GetParam();
+  const auto profile = clients::find_client_profile(cad_case.client);
+  ASSERT_TRUE(profile) << cad_case.client;
+
+  LocalTestbed bed;
+  const auto rec = bed.run_cad_case(*profile, ms(delay_ms));
+  ASSERT_TRUE(rec.fetch_ok) << cad_case.client << " @ " << delay_ms << "ms";
+
+  // Invariant 1: the connection is established via IPv6 iff the configured
+  // delay is at most the client's CAD (ties go to IPv6: its handshake
+  // completes before the freshly started IPv4 one).
+  const bool expect_v6 = delay_ms <= cad_case.expected_cad_ms;
+  EXPECT_EQ(rec.established_family,
+            expect_v6 ? Family::kIpv6 : Family::kIpv4)
+      << cad_case.client << " @ " << delay_ms << "ms";
+
+  // Invariant 2: whenever both families were attempted, the capture-derived
+  // CAD equals the client's configured value (paper: "any local measurement
+  // that uses a delay larger than the client's CAD also observes the CAD").
+  if (!expect_v6) {
+    ASSERT_TRUE(rec.observed_cad);
+    EXPECT_EQ(*rec.observed_cad, ms(cad_case.expected_cad_ms));
+  }
+
+  // Invariant 3: the AAAA query always goes out first.
+  EXPECT_TRUE(rec.aaaa_query_first);
+}
+
+std::string cad_case_name(
+    const ::testing::TestParamInfo<std::tuple<CadCase, int>>& info) {
+  std::string name = std::get<0>(info.param).client;
+  for (char& c : name) {
+    if (c == ' ' || c == '.') c = '_';
+  }
+  return name + "_" + std::to_string(std::get<1>(info.param)) + "ms";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Clients, CadSweep,
+    ::testing::Combine(
+        ::testing::Values(CadCase{"Chrome 130.0", 300},
+                          CadCase{"Edge 130.0", 300},
+                          CadCase{"Chromium 130.0", 300},
+                          CadCase{"curl 7.88.1", 200}),
+        ::testing::Values(0, 50, 100, 150, 200, 250, 300, 350, 400, 600)),
+    cad_case_name);
+
+// --------------------------------------------- RD sweep invariants --------
+
+class RdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RdSweep, SafariFallsBackExactlyWhenDelayExceedsRd) {
+  const int delay_ms = GetParam();
+  LocalTestbed bed;
+  const auto rec = bed.run_rd_case(clients::safari_profile("17.6"),
+                                   dns::RrType::kAaaa, ms(delay_ms));
+  ASSERT_TRUE(rec.fetch_ok);
+  // Safari's RD is 50 ms: AAAA answers arriving within it keep IPv6; later
+  // ones lose to the IPv4 attempt started at RD expiry.
+  const bool expect_v6 = delay_ms < 50;
+  EXPECT_EQ(rec.established_family,
+            expect_v6 ? Family::kIpv6 : Family::kIpv4)
+      << delay_ms << "ms";
+  if (!expect_v6) {
+    ASSERT_TRUE(rec.observed_rd);
+    EXPECT_EQ(*rec.observed_rd, ms(50));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, RdSweep,
+                         ::testing::Values(0, 10, 25, 40, 60, 100, 250, 500,
+                                           1000));
+
+// ------------------------------------- address-selection cap invariants ----
+
+class SelectionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectionSweep, SafariUsesAllAddressesUpToTen) {
+  const int per_family = GetParam();
+  LocalTestbed bed;
+  const auto rec = bed.run_address_selection_case(
+      clients::safari_profile("17.6"), per_family);
+  // Safari's cap is 10 per family (Table 2).
+  const int expected = std::min(per_family, 10);
+  EXPECT_EQ(rec.v6_addresses_used, expected);
+  EXPECT_EQ(rec.v4_addresses_used, expected);
+  // First attempt is always IPv6 (prefers IPv6).
+  ASSERT_FALSE(rec.attempt_sequence.empty());
+  EXPECT_EQ(rec.attempt_sequence.front(), Family::kIpv6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SelectionSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 12));
+
+}  // namespace
+}  // namespace lazyeye::testbed

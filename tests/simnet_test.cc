@@ -1,0 +1,440 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "simnet/event_loop.h"
+#include "simnet/ip.h"
+#include "simnet/netem.h"
+#include "simnet/network.h"
+
+namespace lazyeye::simnet {
+namespace {
+
+using lazyeye::ms;
+using lazyeye::us;
+
+// ---------------------------------------------------------- event loop ----
+
+TEST(EventLoopTest, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(ms(30), [&] { order.push_back(3); });
+  loop.schedule_at(ms(10), [&] { order.push_back(1); });
+  loop.schedule_at(ms(20), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), ms(30));
+}
+
+TEST(EventLoopTest, FifoForSameTimestamp) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(ms(10), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  SimTime fired{};
+  loop.schedule_at(ms(5), [&] {
+    loop.schedule_after(ms(10), [&] { fired = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired, ms(15));
+}
+
+TEST(EventLoopTest, PastDeadlineClampsToNow) {
+  EventLoop loop;
+  loop.run_until(ms(100));
+  SimTime fired{};
+  loop.schedule_at(ms(1), [&] { fired = loop.now(); });
+  loop.run();
+  EXPECT_EQ(fired, ms(100));
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const TimerId id = loop.schedule_at(ms(10), [&] { ran = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  loop.run();
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(loop.cancel(id));  // double cancel
+}
+
+TEST(EventLoopTest, CancelInvalidIdFails) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.cancel(TimerId{}));
+  EXPECT_FALSE(loop.cancel(TimerId{999}));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(ms(10), [&] { order.push_back(1); });
+  loop.schedule_at(ms(20), [&] { order.push_back(2); });
+  loop.schedule_at(ms(30), [&] { order.push_back(3); });
+  EXPECT_EQ(loop.run_until(ms(20)), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now(), ms(20));
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(EventLoopTest, RunForAdvancesRelative) {
+  EventLoop loop;
+  loop.run_for(ms(7));
+  EXPECT_EQ(loop.now(), ms(7));
+  loop.run_for(ms(3));
+  EXPECT_EQ(loop.now(), ms(10));
+}
+
+TEST(EventLoopTest, EventsScheduledDuringRunExecute) {
+  EventLoop loop;
+  int depth = 0;
+  loop.schedule_at(ms(1), [&] {
+    ++depth;
+    loop.schedule_after(ms(1), [&] { ++depth; });
+  });
+  loop.run();
+  EXPECT_EQ(depth, 2);
+}
+
+// ------------------------------------------------------------------ ip ----
+
+TEST(IpTest, ParseV4) {
+  const auto a = Ipv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->value, 0xc0000201u);
+  EXPECT_EQ(a->to_string(), "192.0.2.1");
+}
+
+TEST(IpTest, ParseV4Rejects) {
+  EXPECT_FALSE(Ipv4Address::parse("192.0.2"));
+  EXPECT_FALSE(Ipv4Address::parse("192.0.2.256"));
+  EXPECT_FALSE(Ipv4Address::parse("192.0.2.1.5"));
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3"));
+}
+
+TEST(IpTest, ParseV6Full) {
+  const auto a = Ipv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), "2001:db8::1");
+}
+
+TEST(IpTest, ParseV6Compressed) {
+  const auto a = Ipv6Address::parse("2001:db8::1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->group(0), 0x2001);
+  EXPECT_EQ(a->group(1), 0x0db8);
+  EXPECT_EQ(a->group(7), 0x0001);
+  for (int i = 2; i < 7; ++i) EXPECT_EQ(a->group(i), 0);
+}
+
+TEST(IpTest, ParseV6Unspecified) {
+  const auto a = Ipv6Address::parse("::");
+  ASSERT_TRUE(a);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a->group(i), 0);
+  EXPECT_EQ(a->to_string(), "::");
+}
+
+TEST(IpTest, ParseV6LeadingTrailingGap) {
+  EXPECT_TRUE(Ipv6Address::parse("::1"));
+  EXPECT_TRUE(Ipv6Address::parse("fe80::"));
+  EXPECT_EQ(Ipv6Address::parse("::1")->to_string(), "::1");
+  EXPECT_EQ(Ipv6Address::parse("fe80::")->to_string(), "fe80::");
+}
+
+TEST(IpTest, ParseV6Rejects) {
+  EXPECT_FALSE(Ipv6Address::parse(""));
+  EXPECT_FALSE(Ipv6Address::parse("::1::2"));
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7"));
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8::"));
+  EXPECT_FALSE(Ipv6Address::parse("12345::"));
+  EXPECT_FALSE(Ipv6Address::parse("g::1"));
+}
+
+TEST(IpTest, V6CanonicalFormRfc5952) {
+  // Longest zero run wins; ties go to the first run.
+  EXPECT_EQ(Ipv6Address::parse("2001:0:0:1:0:0:0:1")->to_string(),
+            "2001:0:0:1::1");
+  EXPECT_EQ(Ipv6Address::parse("2001:db8:0:1:1:1:1:1")->to_string(),
+            "2001:db8:0:1:1:1:1:1");  // single zero group not compressed
+  // Trailing run (5 groups) is longer than the leading one (2 groups).
+  EXPECT_EQ(Ipv6Address::parse("0:0:1::")->to_string(), "0:0:1::");
+  EXPECT_EQ(Ipv6Address::parse("::1:0:0")->to_string(), "::1:0:0");
+}
+
+TEST(IpTest, IpAddressParseDispatch) {
+  EXPECT_TRUE(IpAddress::parse("10.0.0.1")->is_v4());
+  EXPECT_TRUE(IpAddress::parse("::1")->is_v6());
+  EXPECT_FALSE(IpAddress::parse("not-an-ip"));
+  EXPECT_THROW(IpAddress::must_parse("nope"), std::invalid_argument);
+}
+
+TEST(IpTest, EndpointFormatting) {
+  const Endpoint v4{IpAddress::must_parse("10.0.0.1"), 80};
+  EXPECT_EQ(v4.to_string(), "10.0.0.1:80");
+  const Endpoint v6{IpAddress::must_parse("2001:db8::1"), 443};
+  EXPECT_EQ(v6.to_string(), "[2001:db8::1]:443");
+}
+
+TEST(IpTest, ComparisonAndHash) {
+  const auto a = IpAddress::must_parse("10.0.0.1");
+  const auto b = IpAddress::must_parse("10.0.0.2");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, IpAddress::must_parse("10.0.0.1"));
+  EXPECT_NE(a.hash(), b.hash());
+  const auto v6 = IpAddress::must_parse("::ffff");
+  EXPECT_NE(a.hash(), v6.hash());
+}
+
+// --------------------------------------------------------------- netem ----
+
+Packet make_packet(const std::string& src, const std::string& dst,
+                   Protocol proto = Protocol::kUdp, std::uint16_t dport = 53) {
+  Packet p;
+  p.proto = proto;
+  p.src = {IpAddress::must_parse(src), 10000};
+  p.dst = {IpAddress::must_parse(dst), dport};
+  return p;
+}
+
+TEST(NetemTest, EmptyQdiscPassesThrough) {
+  NetemQdisc q;
+  Rng rng{1};
+  const auto v = q.process(make_packet("10.0.0.1", "10.0.0.2"), rng);
+  EXPECT_FALSE(v.dropped);
+  EXPECT_EQ(v.extra_delay, SimTime{0});
+}
+
+TEST(NetemTest, FamilyFilterDelaysOnlyThatFamily) {
+  NetemQdisc q;
+  q.add_rule(PacketFilter::for_family(Family::kIpv6),
+             NetemSpec::delay_only(ms(100)), "delay v6");
+  Rng rng{1};
+  const auto v6 = q.process(make_packet("2001:db8::1", "2001:db8::2"), rng);
+  EXPECT_EQ(v6.extra_delay, ms(100));
+  const auto v4 = q.process(make_packet("10.0.0.1", "10.0.0.2"), rng);
+  EXPECT_EQ(v4.extra_delay, SimTime{0});
+}
+
+TEST(NetemTest, FirstMatchWins) {
+  NetemQdisc q;
+  q.add_rule(PacketFilter::to_address(IpAddress::must_parse("10.0.0.9")),
+             NetemSpec::delay_only(ms(50)));
+  q.add_rule(PacketFilter::any(), NetemSpec::delay_only(ms(5)));
+  Rng rng{1};
+  EXPECT_EQ(q.process(make_packet("10.0.0.1", "10.0.0.9"), rng).extra_delay,
+            ms(50));
+  EXPECT_EQ(q.process(make_packet("10.0.0.1", "10.0.0.8"), rng).extra_delay,
+            ms(5));
+}
+
+TEST(NetemTest, PortAndProtocolFilters) {
+  NetemQdisc q;
+  PacketFilter f;
+  f.proto = Protocol::kTcp;
+  f.dst_port = 443;
+  q.add_rule(f, NetemSpec::delay_only(ms(30)));
+  Rng rng{1};
+  EXPECT_EQ(
+      q.process(make_packet("10.0.0.1", "10.0.0.2", Protocol::kTcp, 443), rng)
+          .extra_delay,
+      ms(30));
+  EXPECT_EQ(
+      q.process(make_packet("10.0.0.1", "10.0.0.2", Protocol::kUdp, 443), rng)
+          .extra_delay,
+      SimTime{0});
+  EXPECT_EQ(
+      q.process(make_packet("10.0.0.1", "10.0.0.2", Protocol::kTcp, 80), rng)
+          .extra_delay,
+      SimTime{0});
+}
+
+TEST(NetemTest, JitterStaysWithinBounds) {
+  NetemQdisc q;
+  q.add_rule(PacketFilter::any(), NetemSpec{ms(100), ms(20), 0.0});
+  Rng rng{42};
+  bool varied = false;
+  SimTime first{-1};
+  for (int i = 0; i < 200; ++i) {
+    const auto v = q.process(make_packet("10.0.0.1", "10.0.0.2"), rng);
+    EXPECT_GE(v.extra_delay, ms(80));
+    EXPECT_LE(v.extra_delay, ms(120));
+    if (first.count() < 0) {
+      first = v.extra_delay;
+    } else if (v.extra_delay != first) {
+      varied = true;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(NetemTest, LossDropsApproximately) {
+  NetemQdisc q;
+  q.add_rule(PacketFilter::any(), NetemSpec{SimTime{0}, SimTime{0}, 0.25});
+  Rng rng{42};
+  int dropped = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (q.process(make_packet("10.0.0.1", "10.0.0.2"), rng).dropped) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / kTrials, 0.25, 0.03);
+}
+
+// ---------------------------------------------------------- host/network --
+
+TEST(NetworkTest, UdpDelivery) {
+  Network net{1};
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  a.add_address(IpAddress::must_parse("10.0.0.1"));
+  b.add_address(IpAddress::must_parse("10.0.0.2"));
+
+  std::vector<std::uint8_t> received;
+  SimTime arrival{};
+  b.udp_bind(53, [&](const Packet& p) {
+    received = p.payload;
+    arrival = net.loop().now();
+  });
+
+  a.udp_send({IpAddress::must_parse("10.0.0.1"), 5555},
+             {IpAddress::must_parse("10.0.0.2"), 53}, {1, 2, 3});
+  net.loop().run();
+
+  EXPECT_EQ(received, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(arrival, net.base_delay());
+  EXPECT_EQ(net.stats().packets_delivered, 1u);
+}
+
+TEST(NetworkTest, BlackholedWhenNoHostOwnsAddress) {
+  Network net{1};
+  Host& a = net.add_host("a");
+  a.add_address(IpAddress::must_parse("10.0.0.1"));
+  a.udp_send({IpAddress::must_parse("10.0.0.1"), 5555},
+             {IpAddress::must_parse("10.0.0.99"), 53}, {});
+  net.loop().run();
+  EXPECT_EQ(net.stats().packets_blackholed, 1u);
+  EXPECT_EQ(net.stats().packets_delivered, 0u);
+}
+
+TEST(NetworkTest, EgressNetemDelaysDelivery) {
+  Network net{1};
+  net.set_base_delay(SimTime{0});
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  a.add_address(IpAddress::must_parse("2001:db8::1"));
+  a.add_address(IpAddress::must_parse("10.0.0.1"));
+  b.add_address(IpAddress::must_parse("2001:db8::2"));
+  b.add_address(IpAddress::must_parse("10.0.0.2"));
+  a.egress().add_rule(PacketFilter::for_family(Family::kIpv6),
+                      NetemSpec::delay_only(ms(200)));
+
+  SimTime v6_arrival{-1};
+  SimTime v4_arrival{-1};
+  b.udp_bind(53, [&](const Packet& p) {
+    if (p.family() == Family::kIpv6) {
+      v6_arrival = net.loop().now();
+    } else {
+      v4_arrival = net.loop().now();
+    }
+  });
+
+  a.udp_send({IpAddress::must_parse("2001:db8::1"), 5000},
+             {IpAddress::must_parse("2001:db8::2"), 53}, {});
+  a.udp_send({IpAddress::must_parse("10.0.0.1"), 5000},
+             {IpAddress::must_parse("10.0.0.2"), 53}, {});
+  net.loop().run();
+
+  EXPECT_EQ(v6_arrival, ms(200));
+  EXPECT_EQ(v4_arrival, SimTime{0});
+}
+
+TEST(NetworkTest, SendFromUnownedAddressThrows) {
+  Network net{1};
+  Host& a = net.add_host("a");
+  a.add_address(IpAddress::must_parse("10.0.0.1"));
+  EXPECT_THROW(a.udp_send({IpAddress::must_parse("10.9.9.9"), 1},
+                          {IpAddress::must_parse("10.0.0.2"), 53}, {}),
+               std::logic_error);
+}
+
+TEST(NetworkTest, FamilyMismatchThrows) {
+  Network net{1};
+  Host& a = net.add_host("a");
+  a.add_address(IpAddress::must_parse("10.0.0.1"));
+  EXPECT_THROW(a.udp_send({IpAddress::must_parse("10.0.0.1"), 1},
+                          {IpAddress::must_parse("2001:db8::1"), 53}, {}),
+               std::logic_error);
+}
+
+TEST(NetworkTest, TapsSeeBothDirections) {
+  Network net{1};
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  a.add_address(IpAddress::must_parse("10.0.0.1"));
+  b.add_address(IpAddress::must_parse("10.0.0.2"));
+  b.udp_bind(53, [](const Packet&) {});
+
+  int egress_seen = 0;
+  int ingress_seen = 0;
+  a.add_tap([&](const Packet&, TapDirection d) {
+    if (d == TapDirection::kEgress) ++egress_seen;
+  });
+  const int tap_b = b.add_tap([&](const Packet&, TapDirection d) {
+    if (d == TapDirection::kIngress) ++ingress_seen;
+  });
+
+  a.udp_send({IpAddress::must_parse("10.0.0.1"), 1},
+             {IpAddress::must_parse("10.0.0.2"), 53}, {});
+  net.loop().run();
+  EXPECT_EQ(egress_seen, 1);
+  EXPECT_EQ(ingress_seen, 1);
+
+  b.remove_tap(tap_b);
+  a.udp_send({IpAddress::must_parse("10.0.0.1"), 1},
+             {IpAddress::must_parse("10.0.0.2"), 53}, {});
+  net.loop().run();
+  EXPECT_EQ(ingress_seen, 1);  // tap removed
+}
+
+TEST(NetworkTest, EphemeralPortsCycle) {
+  Network net{1};
+  Host& a = net.add_host("a");
+  const auto p1 = a.ephemeral_port();
+  const auto p2 = a.ephemeral_port();
+  EXPECT_NE(p1, p2);
+  EXPECT_GE(p1, 49152);
+}
+
+TEST(NetworkTest, FindHostAndRoute) {
+  Network net{1};
+  Host& a = net.add_host("alpha");
+  a.add_address(IpAddress::must_parse("10.0.0.1"));
+  EXPECT_EQ(net.find_host("alpha"), &a);
+  EXPECT_EQ(net.find_host("missing"), nullptr);
+  EXPECT_EQ(net.route(IpAddress::must_parse("10.0.0.1")), &a);
+  EXPECT_EQ(net.route(IpAddress::must_parse("10.0.0.2")), nullptr);
+}
+
+TEST(PacketTest, SummaryAndWireSize) {
+  Packet p = make_packet("10.0.0.1", "10.0.0.2", Protocol::kTcp, 80);
+  p.tcp.syn = true;
+  EXPECT_NE(p.summary().find("[S]"), std::string::npos);
+  EXPECT_EQ(p.wire_size(), 40u);  // 20 IPv4 + 20 TCP
+  Packet u = make_packet("2001:db8::1", "2001:db8::2");
+  u.payload.resize(12);
+  EXPECT_EQ(u.wire_size(), 40u + 8u + 12u);
+}
+
+}  // namespace
+}  // namespace lazyeye::simnet

@@ -1,0 +1,248 @@
+// Local testbed framework tests: CAD sweeps, RD cases, address selection,
+// Table-2 feature detection — the paper's client findings reproduced through
+// the black-box measurement pipeline.
+#include <gtest/gtest.h>
+
+#include "clients/profiles.h"
+#include "testbed/features.h"
+#include "testbed/testbed.h"
+
+namespace lazyeye::testbed {
+namespace {
+
+using clients::ClientProfile;
+using simnet::Family;
+
+TEST(SweepSpecTest, ValueGeneration) {
+  const auto values = SweepSpec{ms(0), ms(20), ms(5)}.values();
+  ASSERT_EQ(values.size(), 5u);
+  EXPECT_EQ(values.front(), ms(0));
+  EXPECT_EQ(values.back(), ms(20));
+  EXPECT_EQ((SweepSpec{ms(7), ms(7), ms(0)}.values().size()), 1u);
+}
+
+TEST(SweepSpecTest, PaperGrids) {
+  EXPECT_EQ(SweepSpec::fine_cad().values().size(), 81u);  // 0..400 step 5
+  EXPECT_GT(SweepSpec::coarse_cad().values().size(), 5u);
+}
+
+struct TestbedFixture : ::testing::Test {
+  LocalTestbed testbed;
+};
+
+TEST_F(TestbedFixture, ZeroDelayEstablishesV6) {
+  const auto rec = testbed.run_cad_case(
+      clients::chromium_profile("Chrome", "130.0", ""), SimTime{0});
+  EXPECT_TRUE(rec.fetch_ok);
+  EXPECT_EQ(rec.established_family, Family::kIpv6);
+  EXPECT_TRUE(rec.aaaa_query_first);
+}
+
+TEST_F(TestbedFixture, ChromiumCadIs300ms) {
+  // Below the CAD: IPv6 wins. Above: IPv4, and the capture shows 300 ms.
+  const auto below = testbed.run_cad_case(
+      clients::chromium_profile("Chrome", "130.0", ""), ms(250));
+  EXPECT_EQ(below.established_family, Family::kIpv6);
+
+  const auto above = testbed.run_cad_case(
+      clients::chromium_profile("Chrome", "130.0", ""), ms(350));
+  EXPECT_EQ(above.established_family, Family::kIpv4);
+  ASSERT_TRUE(above.observed_cad);
+  EXPECT_EQ(*above.observed_cad, ms(300));
+}
+
+TEST_F(TestbedFixture, CurlCadIs200ms) {
+  const auto rec = testbed.run_cad_case(clients::curl_profile(), ms(350));
+  EXPECT_EQ(rec.established_family, Family::kIpv4);
+  ASSERT_TRUE(rec.observed_cad);
+  EXPECT_EQ(*rec.observed_cad, ms(200));
+}
+
+TEST_F(TestbedFixture, FirefoxCadIs250ms) {
+  // Use repetition majority: Firefox has occasional outliers.
+  std::vector<SimTime> cads;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto rec = testbed.run_cad_case(
+        clients::firefox_profile("132.0", "10-2024"), ms(400), rep);
+    if (rec.observed_cad) cads.push_back(*rec.observed_cad);
+  }
+  ASSERT_FALSE(cads.empty());
+  int at_250 = 0;
+  for (const auto cad : cads) {
+    if (cad == ms(250)) ++at_250;
+    EXPECT_GE(cad, ms(250));  // outliers only wait longer (§5.1)
+  }
+  EXPECT_GT(at_250, 0);
+}
+
+TEST_F(TestbedFixture, SafariLabCadIsTwoSeconds) {
+  const auto below = testbed.run_cad_case(clients::safari_profile("17.6"),
+                                          ms(1800));
+  EXPECT_EQ(below.established_family, Family::kIpv6);
+  const auto above = testbed.run_cad_case(clients::safari_profile("17.6"),
+                                          ms(2300));
+  EXPECT_EQ(above.established_family, Family::kIpv4);
+  ASSERT_TRUE(above.observed_cad);
+  EXPECT_EQ(*above.observed_cad, sec(2));
+}
+
+TEST_F(TestbedFixture, WgetNeverFallsBack) {
+  // Figure 2: wget stays on IPv6 for any delay (the SYN-ACK is merely
+  // late); with a *blackholed* IPv6 it fails without trying IPv4.
+  const auto delayed = testbed.run_cad_case(clients::wget_profile(), ms(400));
+  EXPECT_EQ(delayed.established_family, Family::kIpv6);
+
+  const auto sel = testbed.run_address_selection_case(clients::wget_profile(), 10);
+  EXPECT_FALSE(sel.fetch_ok);
+  EXPECT_EQ(sel.v4_addresses_used, 0);
+  EXPECT_EQ(sel.v6_addresses_used, 1);
+}
+
+TEST_F(TestbedFixture, RdCaseSafariUsesFiftyMs) {
+  const auto rec = testbed.run_rd_case(clients::safari_profile("17.6"),
+                                       dns::RrType::kAaaa, ms(600));
+  EXPECT_EQ(rec.established_family, Family::kIpv4);
+  ASSERT_TRUE(rec.observed_rd);
+  EXPECT_EQ(*rec.observed_rd, ms(50));
+}
+
+TEST_F(TestbedFixture, RdCaseChromiumWaitsForResolverTimeout) {
+  // AAAA delayed by 600 ms (below the 5 s stub timeout): Chromium waits for
+  // the AAAA answer and still connects via IPv6 — no RD.
+  const auto rec = testbed.run_rd_case(
+      clients::chromium_profile("Chrome", "130.0", ""), dns::RrType::kAaaa,
+      ms(600));
+  EXPECT_EQ(rec.established_family, Family::kIpv6);
+  EXPECT_FALSE(rec.observed_rd);
+  EXPECT_GE(rec.completion_time, ms(600));
+}
+
+TEST_F(TestbedFixture, SlowABlocksV6OnChromium) {
+  // §5.2 headline: the A record is slow, AAAA instant — Chromium delays the
+  // IPv6 connection until the A answer arrives.
+  const auto rec = testbed.run_rd_case(
+      clients::chromium_profile("Chrome", "130.0", ""), dns::RrType::kA,
+      ms(800));
+  EXPECT_EQ(rec.established_family, Family::kIpv6);
+  ASSERT_TRUE(rec.a_wait_gap);
+  EXPECT_LE(*rec.a_wait_gap, ms(1));
+  EXPECT_GE(rec.completion_time, ms(800));
+}
+
+TEST_F(TestbedFixture, SlowABeyondResolverTimeoutFailsChromium) {
+  // §5.2: "Chrome and Firefox completely failing connections in case of
+  // high delays with some resolver configurations."
+  TestbedOptions options;
+  options.dns_timeout_override = sec(1);
+  LocalTestbed strict{options};
+  const auto rec = strict.run_rd_case(
+      clients::chromium_profile("Chrome", "130.0", ""), dns::RrType::kA,
+      sec(3));
+  EXPECT_FALSE(rec.fetch_ok);
+  EXPECT_FALSE(rec.established_family);
+}
+
+TEST_F(TestbedFixture, Hev3FlagFixesSlowAFailure) {
+  // The Chromium HEv3 feature flag adds RD and removes the failure mode.
+  TestbedOptions options;
+  options.dns_timeout_override = sec(1);
+  LocalTestbed strict{options};
+  const auto rec = strict.run_rd_case(
+      clients::chromium_profile("Chrome", "130.0", "", /*hev3_flag=*/true),
+      dns::RrType::kA, sec(3));
+  EXPECT_TRUE(rec.fetch_ok);
+  EXPECT_EQ(rec.established_family, Family::kIpv6);
+}
+
+TEST_F(TestbedFixture, SafariNotAffectedBySlowA) {
+  const auto rec = testbed.run_rd_case(clients::safari_profile("17.6"),
+                                       dns::RrType::kA, ms(800));
+  EXPECT_EQ(rec.established_family, Family::kIpv6);
+  // Connected as soon as the AAAA answer arrived, not after the A answer.
+  EXPECT_LT(rec.completion_time, ms(100));
+}
+
+TEST_F(TestbedFixture, AddressSelectionCounts) {
+  const auto chrome = testbed.run_address_selection_case(
+      clients::chromium_profile("Chrome", "130.0", ""), 10);
+  EXPECT_EQ(chrome.v6_addresses_used, 1);
+  EXPECT_EQ(chrome.v4_addresses_used, 1);
+
+  const auto safari =
+      testbed.run_address_selection_case(clients::safari_profile("17.6"), 10);
+  EXPECT_EQ(safari.v6_addresses_used, 10);
+  EXPECT_EQ(safari.v4_addresses_used, 10);
+  // Interlacing visible: v6 again after the first v4.
+  ASSERT_GE(safari.attempt_sequence.size(), 4u);
+  EXPECT_EQ(safari.attempt_sequence[0], Family::kIpv6);
+  EXPECT_EQ(safari.attempt_sequence[1], Family::kIpv6);
+  EXPECT_EQ(safari.attempt_sequence[2], Family::kIpv4);
+  EXPECT_EQ(safari.attempt_sequence[3], Family::kIpv6);
+}
+
+TEST_F(TestbedFixture, SweepFindsTransitionNearCad) {
+  // Sweep curl (CAD 200 ms) from 150 to 250 ms in 25 ms steps: the
+  // established family flips between 200 and 225 ms.
+  const auto records = testbed.sweep_cad(
+      clients::curl_profile(), SweepSpec{ms(150), ms(250), ms(25)});
+  ASSERT_EQ(records.size(), 5u);
+  for (const auto& rec : records) {
+    const bool expect_v6 = rec.configured_delay <= ms(200);
+    EXPECT_EQ(rec.established_family,
+              expect_v6 ? Family::kIpv6 : Family::kIpv4)
+        << "delay " << format_duration(rec.configured_delay);
+  }
+}
+
+// ------------------------------------------------------ feature matrix ----
+
+struct FeatureFixture : ::testing::Test {
+  LocalTestbed testbed;
+};
+
+TEST_F(FeatureFixture, ChromeRow) {
+  const auto row = detect_features(
+      clients::chromium_profile("Chrome", "130.0", "10-2024"), testbed);
+  EXPECT_EQ(row.prefers_ipv6, FeatureState::kObserved);
+  EXPECT_EQ(row.cad_impl, FeatureState::kObserved);
+  EXPECT_EQ(row.aaaa_first, FeatureState::kObserved);
+  EXPECT_EQ(row.rd_impl, FeatureState::kNotObserved);
+  EXPECT_EQ(row.ipv6_addrs_used, 1);
+  EXPECT_EQ(row.ipv4_addrs_used, 1);
+  EXPECT_EQ(row.addr_selection, FeatureState::kNotObserved);
+  ASSERT_TRUE(row.measured_cad);
+  EXPECT_EQ(*row.measured_cad, ms(300));
+}
+
+TEST_F(FeatureFixture, SafariRowSupportsEverything) {
+  const auto row = detect_features(clients::safari_profile("17.6"), testbed);
+  EXPECT_EQ(row.prefers_ipv6, FeatureState::kObserved);
+  EXPECT_EQ(row.cad_impl, FeatureState::kObserved);
+  EXPECT_EQ(row.aaaa_first, FeatureState::kObserved);
+  EXPECT_EQ(row.rd_impl, FeatureState::kObserved);
+  EXPECT_EQ(row.ipv6_addrs_used, 10);
+  EXPECT_EQ(row.ipv4_addrs_used, 10);
+  EXPECT_EQ(row.addr_selection, FeatureState::kObserved);
+}
+
+TEST_F(FeatureFixture, WgetRowHasNoHappyEyeballs) {
+  const auto row = detect_features(clients::wget_profile(), testbed);
+  EXPECT_EQ(row.prefers_ipv6, FeatureState::kObserved);
+  EXPECT_EQ(row.cad_impl, FeatureState::kNotObserved);
+  EXPECT_EQ(row.rd_impl, FeatureState::kNotObserved);
+  EXPECT_EQ(row.ipv4_addrs_used, 0);
+  EXPECT_EQ(row.ipv6_addrs_used, 1);
+}
+
+TEST_F(FeatureFixture, CurlRow) {
+  const auto row = detect_features(clients::curl_profile(), testbed);
+  EXPECT_EQ(row.cad_impl, FeatureState::kObserved);
+  EXPECT_EQ(row.rd_impl, FeatureState::kNotObserved);
+  EXPECT_EQ(row.ipv6_addrs_used, 1);
+  EXPECT_EQ(row.ipv4_addrs_used, 1);
+  ASSERT_TRUE(row.measured_cad);
+  EXPECT_EQ(*row.measured_cad, ms(200));
+}
+
+}  // namespace
+}  // namespace lazyeye::testbed

@@ -1,0 +1,286 @@
+// TCP and QUIC handshake model tests: establishment, RTO/retransmission,
+// RST/refusal, blackhole timeouts, aborts, data transfer.
+#include <gtest/gtest.h>
+
+#include "simnet/network.h"
+#include "transport/quic.h"
+#include "transport/tcp.h"
+
+namespace lazyeye::transport {
+namespace {
+
+using simnet::IpAddress;
+
+struct TransportFixture : ::testing::Test {
+  TransportFixture()
+      : net{3}, client_host{net.add_host("client")},
+        server_host{net.add_host("server")} {
+    client_host.add_address(IpAddress::must_parse("10.0.0.1"));
+    client_host.add_address(IpAddress::must_parse("2001:db8::1"));
+    server_host.add_address(IpAddress::must_parse("10.0.0.2"));
+    server_host.add_address(IpAddress::must_parse("2001:db8::2"));
+    client = std::make_unique<TcpStack>(client_host);
+    server = std::make_unique<TcpStack>(server_host);
+  }
+
+  simnet::Network net;
+  simnet::Host& client_host;
+  simnet::Host& server_host;
+  std::unique_ptr<TcpStack> client;
+  std::unique_ptr<TcpStack> server;
+};
+
+TEST_F(TransportFixture, HandshakeCompletes) {
+  server->listen(443);
+  ConnectResult result;
+  client->connect({IpAddress::must_parse("10.0.0.2"), 443}, {},
+                  [&](const ConnectResult& r) { result = r; });
+  net.loop().run();
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.proto, TransportProtocol::kTcp);
+  EXPECT_EQ(result.handshake_time(), 2 * net.base_delay());
+  EXPECT_EQ(result.remote.port, 443);
+  EXPECT_NE(result.connection_id, 0u);
+}
+
+TEST_F(TransportFixture, Ipv6Handshake) {
+  server->listen(443);
+  ConnectResult result;
+  client->connect({IpAddress::must_parse("2001:db8::2"), 443}, {},
+                  [&](const ConnectResult& r) { result = r; });
+  net.loop().run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.family(), simnet::Family::kIpv6);
+}
+
+TEST_F(TransportFixture, AcceptHandlerFires) {
+  std::uint64_t accepted_conn = 0;
+  simnet::Endpoint accepted_peer;
+  server->listen(443, [&](std::uint64_t conn_id, const simnet::Endpoint& peer) {
+    accepted_conn = conn_id;
+    accepted_peer = peer;
+  });
+  client->connect({IpAddress::must_parse("10.0.0.2"), 443}, {},
+                  [](const ConnectResult&) {});
+  net.loop().run();
+  EXPECT_NE(accepted_conn, 0u);
+  EXPECT_EQ(accepted_peer.addr.to_string(), "10.0.0.1");
+}
+
+TEST_F(TransportFixture, RefusedOnClosedPort) {
+  ConnectResult result;
+  client->connect({IpAddress::must_parse("10.0.0.2"), 9999}, {},
+                  [&](const ConnectResult& r) { result = r; });
+  net.loop().run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, "refused");
+  EXPECT_EQ(result.handshake_time(), 2 * net.base_delay());
+}
+
+TEST_F(TransportFixture, SilentDropWhenRstDisabled) {
+  server->set_rst_on_closed_port(false);
+  TcpOptions options;
+  options.syn_rto = ms(500);
+  options.syn_retries = 1;
+  ConnectResult result;
+  client->connect({IpAddress::must_parse("10.0.0.2"), 9999}, options,
+                  [&](const ConnectResult& r) { result = r; });
+  net.loop().run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, "timeout");
+  // Initial SYN at 0 (RTO 500 ms), retransmit at 500 ms (RTO 1 s) -> 1.5 s.
+  EXPECT_EQ(result.handshake_time(), ms(1500));
+}
+
+TEST_F(TransportFixture, BlackholedAddressTimesOut) {
+  TcpOptions options;
+  options.syn_rto = sec(1);
+  options.syn_retries = 2;
+  ConnectResult result;
+  client->connect({IpAddress::must_parse("10.0.0.99"), 443}, options,
+                  [&](const ConnectResult& r) { result = r; });
+  net.loop().run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, "timeout");
+  // 1 s + 2 s + 4 s with two retransmissions.
+  EXPECT_EQ(result.handshake_time(), sec(7));
+}
+
+TEST_F(TransportFixture, SynLossRecoveredByRetransmission) {
+  server->listen(443);
+  // Drop the first SYN: 100% loss until we clear the rule.
+  simnet::PacketFilter syn_filter;
+  syn_filter.proto = simnet::Protocol::kTcp;
+  syn_filter.dst_port = 443;
+  net.qdisc().add_rule(syn_filter, simnet::NetemSpec{SimTime{0}, SimTime{0}, 1.0});
+
+  ConnectResult result;
+  TcpOptions options;
+  options.syn_rto = sec(1);
+  client->connect({IpAddress::must_parse("10.0.0.2"), 443}, options,
+                  [&](const ConnectResult& r) { result = r; });
+  net.loop().run_until(ms(500));
+  net.qdisc().clear();
+  net.loop().run();
+  ASSERT_TRUE(result.ok) << result.error;
+  // Established via the 1 s retransmission.
+  EXPECT_EQ(result.handshake_time(), sec(1) + 2 * net.base_delay());
+}
+
+TEST_F(TransportFixture, AbortReportsCancelled) {
+  server->listen(443);
+  ConnectResult result;
+  const auto id = client->connect({IpAddress::must_parse("10.0.0.2"), 443}, {},
+                                  [&](const ConnectResult& r) { result = r; });
+  client->abort(id);
+  net.loop().run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, "cancelled");
+}
+
+TEST_F(TransportFixture, NoLocalAddressFailsImmediately) {
+  simnet::Host& v4only = net.add_host("v4only");
+  v4only.add_address(IpAddress::must_parse("10.0.0.7"));
+  TcpStack stack{v4only};
+  ConnectResult result;
+  const auto id = stack.connect({IpAddress::must_parse("2001:db8::2"), 443},
+                                {}, [&](const ConnectResult& r) { result = r; });
+  EXPECT_EQ(id, 0u);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(TransportFixture, DataRoundTrip) {
+  std::uint64_t server_conn = 0;
+  server->listen(80, [&](std::uint64_t conn_id, const simnet::Endpoint&) {
+    server_conn = conn_id;
+  });
+  std::string server_received;
+  server->set_data_handler(
+      [&](std::uint64_t conn_id, const std::vector<std::uint8_t>& data) {
+        server_received.assign(data.begin(), data.end());
+        server->send_data(conn_id, {'p', 'o', 'n', 'g'});
+      });
+  std::string client_received;
+  client->set_data_handler(
+      [&](std::uint64_t, const std::vector<std::uint8_t>& data) {
+        client_received.assign(data.begin(), data.end());
+      });
+
+  client->connect({IpAddress::must_parse("10.0.0.2"), 80}, {},
+                  [&](const ConnectResult& r) {
+                    ASSERT_TRUE(r.ok);
+                    client->send_data(r.connection_id, {'p', 'i', 'n', 'g'});
+                  });
+  net.loop().run();
+  EXPECT_EQ(server_received, "ping");
+  EXPECT_EQ(client_received, "pong");
+}
+
+TEST_F(TransportFixture, CloseTearsDownBothSides) {
+  server->listen(80);
+  std::uint64_t conn_id = 0;
+  client->connect({IpAddress::must_parse("10.0.0.2"), 80}, {},
+                  [&](const ConnectResult& r) { conn_id = r.connection_id; });
+  net.loop().run();
+  EXPECT_EQ(client->established_count(), 1u);
+  EXPECT_EQ(server->established_count(), 1u);
+  client->close(conn_id);
+  net.loop().run();
+  EXPECT_EQ(client->established_count(), 0u);
+  EXPECT_EQ(server->established_count(), 0u);
+}
+
+// ----------------------------------------------------------------- QUIC ----
+
+struct QuicFixture : TransportFixture {
+  QuicFixture() {
+    qclient = std::make_unique<QuicStack>(client_host);
+    qserver = std::make_unique<QuicStack>(server_host);
+  }
+  std::unique_ptr<QuicStack> qclient;
+  std::unique_ptr<QuicStack> qserver;
+};
+
+TEST_F(QuicFixture, HandshakeCompletesInOneRtt) {
+  qserver->listen(443);
+  ConnectResult result;
+  qclient->connect({IpAddress::must_parse("10.0.0.2"), 443}, {},
+                   [&](const ConnectResult& r) { result = r; });
+  net.loop().run();
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.proto, TransportProtocol::kQuic);
+  EXPECT_EQ(result.handshake_time(), 2 * net.base_delay());
+}
+
+TEST_F(QuicFixture, NoServiceTimesOut) {
+  QuicOptions options;
+  options.initial_rto = ms(300);
+  options.max_retransmits = 1;
+  ConnectResult result;
+  qclient->connect({IpAddress::must_parse("10.0.0.2"), 443}, options,
+                   [&](const ConnectResult& r) { result = r; });
+  net.loop().run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, "timeout");
+  EXPECT_EQ(result.handshake_time(), ms(300) + ms(600));
+}
+
+TEST_F(QuicFixture, DataRoundTrip) {
+  qserver->listen(443);
+  qserver->set_data_handler(
+      [&](std::uint64_t conn_id, const std::vector<std::uint8_t>&) {
+        qserver->send_data(conn_id, {'o', 'k'});
+      });
+  std::string client_received;
+  qclient->set_data_handler(
+      [&](std::uint64_t, const std::vector<std::uint8_t>& data) {
+        client_received.assign(data.begin(), data.end());
+      });
+  qclient->connect({IpAddress::must_parse("10.0.0.2"), 443}, {},
+                   [&](const ConnectResult& r) {
+                     ASSERT_TRUE(r.ok);
+                     qclient->send_data(r.connection_id, {'h', 'i'});
+                   });
+  net.loop().run();
+  EXPECT_EQ(client_received, "ok");
+}
+
+TEST_F(QuicFixture, AbortReportsCancelled) {
+  qserver->listen(443);
+  ConnectResult result;
+  const auto id = qclient->connect({IpAddress::must_parse("10.0.0.2"), 443},
+                                   {}, [&](const ConnectResult& r) { result = r; });
+  qclient->abort(id);
+  net.loop().run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, "cancelled");
+}
+
+TEST_F(QuicFixture, QuicPayloadDetection) {
+  EXPECT_TRUE(is_quic_payload({'I'}));
+  EXPECT_TRUE(is_quic_payload({'H', 1, 2}));
+  EXPECT_FALSE(is_quic_payload({}));
+  EXPECT_FALSE(is_quic_payload({0x42}));
+}
+
+TEST_F(TransportFixture, TcpAndQuicCoexistOnSameHost) {
+  // TCP listener and QUIC listener on the same port number do not clash
+  // (different protocols).
+  QuicStack qserver{server_host};
+  qserver.listen(443);
+  server->listen(443);
+
+  QuicStack qclient{client_host};
+  ConnectResult tcp_result;
+  ConnectResult quic_result;
+  client->connect({IpAddress::must_parse("10.0.0.2"), 443}, {},
+                  [&](const ConnectResult& r) { tcp_result = r; });
+  qclient.connect({IpAddress::must_parse("10.0.0.2"), 443}, {},
+                  [&](const ConnectResult& r) { quic_result = r; });
+  net.loop().run();
+  EXPECT_TRUE(tcp_result.ok);
+  EXPECT_TRUE(quic_result.ok);
+}
+
+}  // namespace
+}  // namespace lazyeye::transport

@@ -1,0 +1,157 @@
+// Web-based testing tool tests: interval estimation, Safari dynamic CAD
+// inconsistency, RD web test, iCPR egress behaviour.
+#include <gtest/gtest.h>
+
+#include "clients/profiles.h"
+#include "webtool/webtool.h"
+
+namespace lazyeye::webtool {
+namespace {
+
+using simnet::Family;
+
+TEST(WebToolConfigTest, PaperDefaultHas18Delays) {
+  const auto config = WebToolConfig::paper_default();
+  EXPECT_EQ(config.delays.size(), 18u);
+  EXPECT_EQ(config.delays.front(), ms(0));
+  EXPECT_EQ(config.delays.back(), sec(5));
+}
+
+struct WebToolFixture : ::testing::Test {
+  WebToolConfig quick_config() {
+    WebToolConfig config = WebToolConfig::paper_default();
+    config.repetitions = 5;
+    config.seed = 9;
+    return config;
+  }
+};
+
+TEST_F(WebToolFixture, ChromiumIntervalBracketsTheCad) {
+  WebTool tool{quick_config()};
+  const auto report =
+      tool.run_cad_test(clients::chromium_profile("Chrome", "130.0", ""));
+  // Chromium CAD 300 ms: last IPv6 bucket 300 ms, first IPv4 bucket 350 ms
+  // (the web tool can only bracket: CAD in (300, 350]).
+  ASSERT_TRUE(report.interval_low);
+  ASSERT_TRUE(report.interval_high);
+  EXPECT_EQ(*report.interval_low, ms(300));
+  EXPECT_EQ(*report.interval_high, ms(350));
+  // Browsers other than Safari show at most rare inconsistencies (§5.1).
+  EXPECT_LE(report.inconsistent_repetitions, 2);
+}
+
+TEST_F(WebToolFixture, CurlIntervalBracketsSmallestCad) {
+  WebTool tool{quick_config()};
+  const auto report = tool.run_cad_test(clients::curl_profile());
+  ASSERT_TRUE(report.interval_low);
+  ASSERT_TRUE(report.interval_high);
+  EXPECT_EQ(*report.interval_low, ms(200));
+  EXPECT_EQ(*report.interval_high, ms(250));
+}
+
+TEST_F(WebToolFixture, SafariWebCadIsDynamicAndInconsistent) {
+  WebToolConfig config = quick_config();
+  config.repetitions = 10;
+  WebTool tool{config};
+  const auto report = tool.run_cad_test(clients::safari_profile("17.6"));
+  // §5.1: Safari exposed inconsistencies in 6..10 of 10 repetitions.
+  EXPECT_GE(report.inconsistent_repetitions, 6);
+  EXPECT_LE(report.inconsistent_repetitions, 10);
+  // IPv4 appears well below the 2 s lab value and IPv6 well above 50 ms.
+  bool v4_below_1s = false;
+  bool v6_above_200ms = false;
+  for (const auto& obs : report.per_delay) {
+    if (obs.delay < sec(1) && obs.v4_used > 0) v4_below_1s = true;
+    if (obs.delay > ms(200) && obs.v6_used > 0) v6_above_200ms = true;
+  }
+  EXPECT_TRUE(v4_below_1s);
+  EXPECT_TRUE(v6_above_200ms);
+}
+
+TEST_F(WebToolFixture, UserAgentAttachedAndParsed) {
+  WebTool tool{quick_config()};
+  const auto report = tool.run_cad_test(
+      clients::chromium_profile("Chrome", "130.0", ""), "Mac OS X", "10.15.7");
+  EXPECT_EQ(report.parsed_agent.browser, "Chrome");
+  EXPECT_EQ(report.parsed_agent.os_name, "Mac OS X");
+  EXPECT_EQ(report.parsed_agent.os_version, "10.15.7");
+}
+
+TEST_F(WebToolFixture, RdWebTestSafariFallsBackAfterFiftyMs) {
+  WebTool tool{quick_config()};
+  const auto report = tool.run_rd_test(clients::safari_profile("17.6"));
+  // With the AAAA answer delayed beyond the 50 ms RD, Safari uses IPv4.
+  for (const auto& obs : report.per_delay) {
+    if (obs.delay <= ms(25)) {
+      EXPECT_GT(obs.v6_used, obs.v4_used)
+          << "delay " << format_duration(obs.delay);
+    }
+    if (obs.delay >= ms(200)) {
+      EXPECT_GT(obs.v4_used, obs.v6_used)
+          << "delay " << format_duration(obs.delay);
+    }
+  }
+}
+
+TEST_F(WebToolFixture, RdWebTestChromiumRidesResolverTimeout) {
+  WebToolConfig config = quick_config();
+  config.repetitions = 3;
+  WebTool tool{config};
+  const auto report =
+      tool.run_rd_test(clients::chromium_profile("Chrome", "130.0", ""));
+  // Chromium has no RD: for AAAA delays below the 5 s resolver timeout it
+  // waits and still uses IPv6.
+  for (const auto& obs : report.per_delay) {
+    if (obs.delay <= sec(3)) {
+      EXPECT_GE(obs.v6_used, obs.v4_used)
+          << "delay " << format_duration(obs.delay);
+    }
+  }
+}
+
+TEST_F(WebToolFixture, IcprEgressShowsOperatorCad) {
+  // At the bucket equal to the CAD the race is a coin flip (the real web
+  // tool has the same one-bucket accuracy), so assert the interval contains
+  // the operator CAD inclusively.
+  WebTool tool{quick_config()};
+  const auto akamai =
+      tool.run_cad_test(clients::icpr_egress_profile("Akamai"));
+  ASSERT_TRUE(akamai.interval_low);
+  ASSERT_TRUE(akamai.interval_high);
+  EXPECT_LE(*akamai.interval_low, ms(150));   // CAD 150 ms
+  EXPECT_GE(*akamai.interval_high, ms(150));
+  EXPECT_LE(*akamai.interval_high - *akamai.interval_low, ms(100));
+
+  const auto cloudflare =
+      tool.run_cad_test(clients::icpr_egress_profile("Cloudflare"));
+  ASSERT_TRUE(cloudflare.interval_low);
+  ASSERT_TRUE(cloudflare.interval_high);
+  EXPECT_LE(*cloudflare.interval_low, ms(200));  // CAD 200 ms
+  EXPECT_GE(*cloudflare.interval_high, ms(200));
+}
+
+TEST_F(WebToolFixture, FailuresCountedWhenEverythingDark) {
+  // A profile with no fallback against delays beyond its patience: wget
+  // still succeeds on pure delay, so instead verify the failure path by
+  // giving wget a 5 s bucket (beyond its SYN retry budget the connection
+  // still completes since netem only delays). Use the RD A-delay test with
+  // a strict resolver instead.
+  WebToolConfig config = quick_config();
+  config.repetitions = 2;
+  WebTool tool{config};
+  clients::ClientProfile chrome =
+      clients::chromium_profile("Chrome", "130.0", "");
+  chrome.dns_timeout = sec(1);
+  const auto report = tool.run_rd_test(chrome, dns::RrType::kA);
+  // Buckets with A delays well beyond the 1 s resolver timeout (including
+  // its one retransmission) fail completely (§5.2) — IPv6 was fine the
+  // whole time.
+  int failing_buckets = 0;
+  for (const auto& obs : report.per_delay) {
+    if (obs.delay > sec(1) && obs.failures == 2) ++failing_buckets;
+  }
+  EXPECT_GE(failing_buckets, 3);
+}
+
+}  // namespace
+}  // namespace lazyeye::webtool
