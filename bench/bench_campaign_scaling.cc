@@ -1,0 +1,84 @@
+// Campaign scaling micro-bench: runs the Figure 2 CAD sweep workload (one
+// Chromium profile over the fine 0..400 ms / 5 ms grid, 2 repetitions =
+// 162 isolated simnet worlds) through the CampaignRunner at 1, 2, and 4
+// workers, and reports runs/sec plus speedup vs the serial baseline.
+//
+// It also cross-checks the determinism contract on the way: every worker
+// count must produce byte-identical records.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "campaign/runner.h"
+#include "clients/profiles.h"
+#include "testbed/testbed.h"
+
+using namespace lazyeye;
+
+namespace {
+
+std::string serialize(const std::vector<testbed::RunRecord>& records) {
+  std::string out;
+  for (const auto& r : records) {
+    out += r.client;
+    out += '|';
+    out += std::to_string(r.configured_delay.count());
+    out += '|';
+    out += r.established_family
+               ? std::to_string(static_cast<int>(*r.established_family))
+               : "-";
+    out += '|';
+    out += r.observed_cad ? std::to_string(r.observed_cad->count()) : "-";
+    out += '|';
+    out += std::to_string(r.completion_time.count());
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto profile = clients::chromium_profile("Chrome", "130.0", "10-2024");
+  const testbed::SweepSpec sweep = testbed::SweepSpec::fine_cad();
+  const int repetitions = 2;
+
+  testbed::LocalTestbed bed;
+  const auto specs = bed.cad_sweep_specs(profile, sweep, repetitions);
+  std::printf("Campaign scaling: figure2 CAD sweep workload, %zu cells "
+              "(%zu delays x %d reps), hardware threads: %u\n\n",
+              specs.size(), sweep.values().size(), repetitions,
+              std::thread::hardware_concurrency());
+  std::printf("%8s %12s %12s %10s\n", "workers", "wall [ms]", "runs/sec",
+              "speedup");
+
+  double serial_seconds = 0.0;
+  std::string serial_bytes;
+  for (const int workers : {1, 2, 4}) {
+    campaign::RunnerOptions options;
+    options.workers = workers;
+    const campaign::CampaignRunner runner{options};
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto records = bed.run_campaign(profile, specs, runner);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const double seconds =
+        std::chrono::duration<double>(elapsed).count();
+
+    const std::string bytes = serialize(records);
+    if (workers == 1) {
+      serial_seconds = seconds;
+      serial_bytes = bytes;
+    } else if (bytes != serial_bytes) {
+      std::printf("DETERMINISM VIOLATION at %d workers!\n", workers);
+      return 1;
+    }
+
+    std::printf("%8d %12.1f %12.1f %9.2fx\n", workers, seconds * 1e3,
+                specs.size() / seconds, serial_seconds / seconds);
+  }
+
+  std::printf("\nAll worker counts produced byte-identical records.\n");
+  return 0;
+}

@@ -5,9 +5,13 @@
 // separately. Output: one row per client; '6' = IPv6 established,
 // '4' = IPv4 established, 'x' = failure; plus the observed CAD from the
 // packet capture.
+//
+// Each client row is one campaign: the delay grid is sharded across the
+// CampaignRunner worker pool (results are identical to the serial sweep).
 #include <cstdio>
 #include <map>
 
+#include "campaign/runner.h"
 #include "clients/profiles.h"
 #include "testbed/testbed.h"
 #include "util/table.h"
@@ -20,10 +24,12 @@ int main() {
   const testbed::SweepSpec sweep{ms(0), ms(400), ms(25)};
   testbed::LocalTestbed bed;
 
+  const campaign::CampaignRunner runner;
   std::printf("Figure 2: established address family vs configured IPv6 "
               "delay (local testbed)\n");
   std::printf("Sweep: 0..400 ms step 25 ms. '6' IPv6, '4' IPv4, 'x' "
-              "failure.\n\n");
+              "failure. Campaign workers: %d.\n\n",
+              runner.resolved_workers(sweep.values().size()));
 
   std::printf("%-28s", "delay [ms]:");
   for (const SimTime d : sweep.values()) {
@@ -34,9 +40,10 @@ int main() {
   std::map<std::string, SimTime> observed_cads;
   for (const auto& profile : clients::local_testbed_profiles()) {
     std::printf("%-28s", profile.figure_label().c_str());
+    const auto records =
+        bed.run_campaign(profile, bed.cad_sweep_specs(profile, sweep), runner);
     std::optional<SimTime> cad;
-    for (const SimTime delay : sweep.values()) {
-      const auto rec = bed.run_cad_case(profile, delay);
+    for (const auto& rec : records) {
       char symbol = 'x';
       if (rec.established_family == simnet::Family::kIpv6) symbol = '6';
       if (rec.established_family == simnet::Family::kIpv4) symbol = '4';

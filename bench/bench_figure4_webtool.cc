@@ -49,9 +49,11 @@ void print_report(const webtool::WebToolReport& report) {
 int main() {
   webtool::WebToolConfig config = webtool::WebToolConfig::paper_default();
   config.repetitions = 10;
+  config.workers = 0;  // shard repetitions across all hardware threads
   webtool::WebTool tool{config};
 
-  std::printf("Figure 4a: web-based CAD test (18 delays, 0..5 s, 10 reps)\n");
+  std::printf("Figure 4a: web-based CAD test (18 delays, 0..5 s, 10 reps, "
+              "repetitions sharded across workers)\n");
   std::printf("================================================================\n\n");
   print_report(tool.run_cad_test(
       clients::chromium_profile("Chrome", "130.0", "10-2024"), "Windows 10", ""));

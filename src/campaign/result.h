@@ -1,0 +1,89 @@
+// CampaignResult: a completed scenario matrix — specs plus their outcomes,
+// index-aligned — and its aggregation into the util::Table machinery.
+//
+// The runner guarantees outcome order is spec order regardless of worker
+// count, so everything here is deterministic by construction.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "campaign/scenario.h"
+#include "util/table.h"
+
+namespace lazyeye::campaign {
+
+template <typename R>
+struct CampaignResult {
+  std::vector<ScenarioSpec> specs;
+  std::vector<R> outcomes;  // outcomes[i] belongs to specs[i]
+
+  std::size_t size() const { return specs.size(); }
+
+  /// Groups cell indices by an arbitrary key (e.g. delay, client), in
+  /// first-seen order of the key.
+  template <typename K>
+  std::vector<std::pair<K, std::vector<std::size_t>>> group_by(
+      const std::function<K(const ScenarioSpec&)>& key) const {
+    std::vector<std::pair<K, std::vector<std::size_t>>> groups;
+    std::map<K, std::size_t> slot;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const K k = key(specs[i]);
+      auto it = slot.find(k);
+      if (it == slot.end()) {
+        slot.emplace(k, groups.size());
+        groups.push_back({k, {i}});
+      } else {
+        groups[it->second].second.push_back(i);
+      }
+    }
+    return groups;
+  }
+};
+
+/// One rendered table column: header, alignment, and the cell formatter.
+template <typename R>
+struct TableColumn {
+  std::string header;
+  TextTable::Align align = TextTable::Align::kLeft;
+  std::function<std::string(const ScenarioSpec&, const R&)> cell;
+};
+
+/// Renders one row per cell (specs in matrix order) into a TextTable.
+template <typename R>
+TextTable to_table(const CampaignResult<R>& result,
+                   const std::vector<TableColumn<R>>& columns) {
+  std::vector<std::string> headers;
+  headers.reserve(columns.size());
+  for (const auto& c : columns) headers.push_back(c.header);
+  TextTable table{std::move(headers)};
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    table.set_align(c, columns[c].align);
+  }
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    std::vector<std::string> row;
+    row.reserve(columns.size());
+    for (const auto& c : columns) {
+      row.push_back(c.cell(result.specs[i], result.outcomes[i]));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+/// Runs a spec matrix through a runner and returns the paired result.
+template <typename R>
+CampaignResult<R> run_campaign(
+    const CampaignRunner& runner, std::vector<ScenarioSpec> specs,
+    const std::function<R(const ScenarioSpec&)>& executor) {
+  CampaignResult<R> result;
+  result.outcomes = runner.run(specs, executor);
+  result.specs = std::move(specs);
+  return result;
+}
+
+}  // namespace lazyeye::campaign

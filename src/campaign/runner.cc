@@ -1,0 +1,76 @@
+#include "campaign/runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace lazyeye::campaign {
+
+CampaignRunner::CampaignRunner(RunnerOptions options)
+    : options_{std::move(options)} {}
+
+int CampaignRunner::resolved_workers(std::size_t jobs) const {
+  int workers = options_.workers;
+  if (workers <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (static_cast<std::size_t>(workers) > jobs) {
+    workers = jobs == 0 ? 1 : static_cast<int>(jobs);
+  }
+  return workers;
+}
+
+void CampaignRunner::run_indexed(
+    std::size_t count, const std::function<void(std::size_t)>& job) const {
+  if (count == 0) return;
+  const int workers = resolved_workers(count);
+
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+  auto report_progress = [&] {
+    if (!options_.progress) return;
+    std::lock_guard<std::mutex> lock{progress_mutex};
+    options_.progress(++done, count);
+  };
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      job(i);
+      report_progress();
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker_body = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        job(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      report_progress();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (int w = 1; w < workers; ++w) pool.emplace_back(worker_body);
+  worker_body();  // the calling thread is worker 0
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace lazyeye::campaign

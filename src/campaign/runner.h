@@ -1,0 +1,65 @@
+// CampaignRunner: shards ScenarioSpec cells across a worker pool.
+//
+// Each worker claims cells off a shared atomic cursor and executes them in a
+// fully isolated simnet world (the executor builds the world from the spec's
+// seed). Results land in a pre-sized vector indexed by cell order, so the
+// aggregated output is byte-identical for 1 worker and N workers — worker
+// count is purely a wall-clock knob.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "campaign/scenario.h"
+
+namespace lazyeye::campaign {
+
+struct RunnerOptions {
+  /// Worker threads; 0 means "one per hardware thread". The pool is clamped
+  /// to the matrix size; an effective count of 1 runs inline on the calling
+  /// thread (no pool).
+  int workers = 0;
+
+  /// Optional progress hook, invoked after each completed cell with
+  /// (cells_done, cells_total). May be called from any worker; calls are
+  /// serialised by the runner.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(RunnerOptions options = {});
+
+  /// The worker count a matrix of `jobs` cells would actually use.
+  int resolved_workers(std::size_t jobs) const;
+
+  /// Executes `executor` for every spec and returns the results in spec
+  /// order. The executor must be self-contained per call (it may run
+  /// concurrently from several threads on *different* specs). If any
+  /// executor call throws, the first exception is rethrown on the calling
+  /// thread after the pool drains.
+  template <typename R>
+  std::vector<R> run(const std::vector<ScenarioSpec>& specs,
+                     const std::function<R(const ScenarioSpec&)>& executor) const {
+    // Workers write distinct results[i] slots concurrently; vector<bool>
+    // packs bits, so neighbouring slots would share a byte (a data race).
+    static_assert(!std::is_same_v<R, bool>,
+                  "use e.g. char or int instead of bool outcomes");
+    std::vector<R> results(specs.size());
+    run_indexed(specs.size(), [&](std::size_t i) {
+      results[i] = executor(specs[i]);
+    });
+    return results;
+  }
+
+ private:
+  /// Non-template core: runs job(0..count-1) across the pool.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& job) const;
+
+  RunnerOptions options_;
+};
+
+}  // namespace lazyeye::campaign

@@ -1,0 +1,16 @@
+#include "campaign/scenario.h"
+
+namespace lazyeye::campaign {
+
+const char* case_kind_name(CaseKind kind) {
+  switch (kind) {
+    case CaseKind::kCad: return "cad";
+    case CaseKind::kResolutionDelay: return "rd";
+    case CaseKind::kAddressSelection: return "addr-selection";
+    case CaseKind::kWebToolRepetition: return "webtool-rep";
+    case CaseKind::kResolverCell: return "resolver-cell";
+  }
+  return "?";
+}
+
+}  // namespace lazyeye::campaign

@@ -1,0 +1,74 @@
+// Declarative description of one measurement run (one cell of a scenario
+// matrix).
+//
+// Every experiment in this repo — the testbed's CAD/RD/address-selection
+// sweeps (Figure 2), the web tool's delay-bucket × repetition campaigns
+// (Figure 4), the resolver lab's delay × repetition matrix (Table 3) — is a
+// grid of independent (configuration × repetition) cells. A ScenarioSpec
+// captures one cell as plain data: which client/service, which delay knob,
+// which repetition, and crucially which *seed* the isolated simnet world is
+// built from. Because each cell owns its world and its seed, cells can run
+// in any order on any number of workers and still produce byte-identical
+// results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dns/rr.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace lazyeye::campaign {
+
+/// The measurement case a spec describes. Executors dispatch on this.
+enum class CaseKind {
+  kCad,               // dual-stack target, IPv6 path delayed
+  kResolutionDelay,   // DNS answer of `delayed_type` delayed
+  kAddressSelection,  // `per_family` unresponsive addresses per family
+  kWebToolRepetition, // one web-tool repetition over the whole bucket grid
+  kResolverCell,      // one resolver-lab (delay, repetition) cell
+};
+
+const char* case_kind_name(CaseKind kind);
+
+struct ScenarioSpec {
+  /// Dense index of this cell in its campaign's matrix; doubles as the
+  /// result slot, so aggregation order never depends on worker scheduling.
+  std::uint64_t id = 0;
+
+  /// Per-cell seed. The executor derives every RNG in the cell's world from
+  /// this value (directly or through world_seed()/client_seed()), never from
+  /// shared mutable state — that is what makes sharding deterministic.
+  std::uint64_t seed = 1;
+
+  CaseKind kind = CaseKind::kCad;
+  int repetition = 0;
+  int grid_index = 0;  // position in the delay grid / bucket list
+
+  /// Human-readable cell name for tables and progress output.
+  std::string label;
+
+  /// Knobs interpreted per kind.
+  std::string client;   // client profile display name ("" when n/a)
+  std::string service;  // resolver service name ("" when n/a)
+  SimTime delay{0};     // IPv6 path delay (CAD) or DNS answer delay (RD)
+  /// DNS behaviour: when true the delay knob shapes the answer of
+  /// `delayed_type` instead of the IPv6 path (web-tool RD cells).
+  bool delay_dns = false;
+  dns::RrType delayed_type = dns::RrType::kAaaa;
+  int per_family = 0;   // address-selection width
+
+  /// Independent streams derived from `seed` for executors that need more
+  /// than one generator per cell (world netem vs client behaviour).
+  std::uint64_t world_seed() const { return derive(0x9e3779b9ULL); }
+  std::uint64_t client_seed() const { return derive(0xc2b2ae35ULL); }
+
+ private:
+  std::uint64_t derive(std::uint64_t stream) const {
+    SplitMix64 mix{seed ^ (stream * 0xd6e8feb86659fd93ULL)};
+    return mix.next();
+  }
+};
+
+}  // namespace lazyeye::campaign

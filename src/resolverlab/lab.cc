@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "campaign/runner.h"
 #include "dns/auth_server.h"
 #include "dns/recursive_resolver.h"
 #include "simnet/network.h"
@@ -205,49 +206,86 @@ bool check_ipv6_only_capability(const resolvers::ServiceProfile& service,
   return resolved;
 }
 
+std::vector<campaign::ScenarioSpec> cell_specs(
+    const resolvers::ServiceProfile& service, const LabConfig& config) {
+  std::vector<campaign::ScenarioSpec> specs;
+  specs.reserve(config.delay_grid.size() *
+                static_cast<std::size_t>(config.repetitions));
+  std::uint64_t cell = 0;
+  for (std::size_t di = 0; di < config.delay_grid.size(); ++di) {
+    for (int rep = 0; rep < config.repetitions; ++rep) {
+      campaign::ScenarioSpec spec;
+      spec.id = cell;
+      spec.kind = campaign::CaseKind::kResolverCell;
+      // The seed sequence the serial loop consumed: config.seed + 1, +2, ...
+      // in (delay-major, repetition-minor) order.
+      spec.seed = config.seed + cell + 1;
+      spec.repetition = rep;
+      spec.grid_index = static_cast<int>(di);
+      spec.service = service.service;
+      spec.delay = config.delay_grid[di];
+      spec.label = lazyeye::str_format(
+          "%s %s rep%d", service.service.c_str(),
+          format_duration(spec.delay).c_str(), rep);
+      specs.push_back(std::move(spec));
+      ++cell;
+    }
+  }
+  return specs;
+}
+
+RunObservation run_cell(const resolvers::ServiceProfile& service,
+                        const campaign::ScenarioSpec& spec) {
+  auto run = build_run(service, spec.delay, spec.grid_index, spec.repetition,
+                       spec.seed, /*v6_only=*/false);
+  bool resolved = false;
+  SimTime completed{0};
+  run->resolver->resolve(run->qname, dns::RrType::kA,
+                         [&resolved, &completed,
+                          net = &run->net](const dns::QueryOutcome& out) {
+                           resolved = out.ok;
+                           completed = net->loop().now();
+                         });
+  run->net.loop().run();
+  return observe(*run, spec.delay, spec.repetition, resolved, completed);
+}
+
 ServiceMetrics measure_service(const resolvers::ServiceProfile& service,
                                const LabConfig& config) {
   ServiceMetrics metrics;
   metrics.service = service.service;
 
-  std::uint64_t seed = config.seed;
   std::map<std::int64_t, std::pair<int, int>> v6_success_by_delay;  // (v6, n)
   int first_query_v6 = 0;
   int first_query_total = 0;
 
-  for (std::size_t di = 0; di < config.delay_grid.size(); ++di) {
-    const SimTime delay = config.delay_grid[di];
-    for (int rep = 0; rep < config.repetitions; ++rep) {
-      ++seed;
-      auto run = build_run(service, delay, static_cast<int>(di), rep, seed,
-                           /*v6_only=*/false);
-      bool resolved = false;
-      SimTime completed{0};
-      run->resolver->resolve(run->qname, dns::RrType::kA,
-                             [&resolved, &completed,
-                              net = &run->net](const dns::QueryOutcome& out) {
-                               resolved = out.ok;
-                               completed = net->loop().now();
-                             });
-      run->net.loop().run();
-      RunObservation obs = observe(*run, delay, rep, resolved, completed);
+  // Shard the (delay × repetition) matrix across the worker pool. Each cell
+  // is an isolated world seeded from its spec, and observations come back in
+  // matrix order, so the aggregation below is worker-count independent.
+  campaign::RunnerOptions runner_options;
+  runner_options.workers = config.workers;
+  campaign::CampaignRunner runner{runner_options};
+  std::vector<RunObservation> observations = runner.run<RunObservation>(
+      cell_specs(service, config), [&](const campaign::ScenarioSpec& spec) {
+        return run_cell(service, spec);
+      });
 
-      if (obs.v6_main_queries + obs.v4_main_queries > 0) {
-        ++first_query_total;
-        if (obs.first_query_v6) ++first_query_v6;
-      }
-      // Max-IPv6-delay statistics condition on the runs where the resolver
-      // chose IPv6 in the first place (otherwise services with a low IPv6
-      // share could never reach a majority at any delay).
-      if (obs.first_query_v6) {
-        auto& bucket = v6_success_by_delay[delay.count()];
-        bucket.second += 1;
-        if (obs.answer_via_v6) bucket.first += 1;
-      }
-      metrics.max_ipv6_packets =
-          std::max(metrics.max_ipv6_packets, obs.v6_main_queries);
-      metrics.runs.push_back(std::move(obs));
+  for (RunObservation& obs : observations) {
+    if (obs.v6_main_queries + obs.v4_main_queries > 0) {
+      ++first_query_total;
+      if (obs.first_query_v6) ++first_query_v6;
     }
+    // Max-IPv6-delay statistics condition on the runs where the resolver
+    // chose IPv6 in the first place (otherwise services with a low IPv6
+    // share could never reach a majority at any delay).
+    if (obs.first_query_v6) {
+      auto& bucket = v6_success_by_delay[obs.configured_delay.count()];
+      bucket.second += 1;
+      if (obs.answer_via_v6) bucket.first += 1;
+    }
+    metrics.max_ipv6_packets =
+        std::max(metrics.max_ipv6_packets, obs.v6_main_queries);
+    metrics.runs.push_back(std::move(obs));
   }
 
   // ---- Aggregation ----------------------------------------------------------

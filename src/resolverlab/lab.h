@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/scenario.h"
 #include "resolvers/service_profiles.h"
 #include "util/time.h"
 
@@ -22,6 +23,9 @@ struct LabConfig {
   /// Repetitions per delay (fresh zone + network each).
   int repetitions = 9;
   std::uint64_t seed = 42;
+  /// Campaign worker threads (0 = one per hardware thread). Results are
+  /// identical for any worker count.
+  int workers = 0;
 
   static LabConfig paper_grid();
 };
@@ -62,7 +66,21 @@ struct ServiceMetrics {
 bool check_ipv6_only_capability(const resolvers::ServiceProfile& service,
                                 std::uint64_t seed = 7);
 
-/// Runs the full campaign for one service.
+/// Enumerates the service's (delay × repetition) matrix as campaign cells.
+/// Each cell's seed is config.seed + flat_index + 1 — the same sequence the
+/// original serial loop consumed, so measurements are reproducible across
+/// versions and worker counts.
+std::vector<campaign::ScenarioSpec> cell_specs(
+    const resolvers::ServiceProfile& service, const LabConfig& config);
+
+/// Stateless executor for one (delay, repetition) cell: builds the
+/// delegation tree in an isolated world seeded from the spec, resolves, and
+/// reads the authoritative-side query log. Thread-safe across cells.
+RunObservation run_cell(const resolvers::ServiceProfile& service,
+                        const campaign::ScenarioSpec& spec);
+
+/// Runs the full campaign for one service (cells sharded across
+/// config.workers threads).
 ServiceMetrics measure_service(const resolvers::ServiceProfile& service,
                                const LabConfig& config);
 

@@ -1,6 +1,6 @@
 #include "simnet/event_loop.h"
 
-#include <memory>
+#include <algorithm>
 #include <stdexcept>
 
 namespace lazyeye::simnet {
@@ -15,8 +15,8 @@ constexpr std::uint64_t kRunawayCap = 200'000'000;
 TimerId EventLoop::schedule_at(SimTime when, Callback cb) {
   if (when < now_) when = now_;
   const std::uint64_t id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id,
-                    std::make_shared<Callback>(std::move(cb))});
+  heap_.push_back(Event{when, next_seq_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
   live_.insert(id);
   return TimerId{id};
 }
@@ -27,24 +27,20 @@ TimerId EventLoop::schedule_after(SimTime delay, Callback cb) {
 
 bool EventLoop::cancel(TimerId id) {
   if (!id.valid()) return false;
-  // Lazy deletion: remember the id; skip when popped.
-  if (live_.erase(id.value) == 0) return false;  // already ran or cancelled
-  cancelled_.insert(id.value);
-  return true;
+  // Lazy deletion: ids not in live_ are skipped (and pruned) when their heap
+  // node reaches the top.
+  return live_.erase(id.value) != 0;
 }
 
 bool EventLoop::pop_one() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    live_.erase(ev.id);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (live_.erase(ev.id) == 0) continue;  // cancelled: prune and move on
     now_ = ev.when;
     ++processed_;
-    (*ev.cb)();
+    ev.cb();
     return true;
   }
   return false;
@@ -61,11 +57,12 @@ void EventLoop::run() {
 
 std::size_t EventLoop::run_until(SimTime deadline) {
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id)) {
-      cancelled_.erase(top.id);
-      queue_.pop();
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
+    if (live_.count(top.id) == 0) {
+      // Cancelled entry at the top: prune without running.
+      std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+      heap_.pop_back();
       continue;
     }
     if (top.when > deadline) break;

@@ -7,8 +7,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -66,20 +64,25 @@ class EventLoop {
     SimTime when;
     std::uint64_t seq;
     std::uint64_t id;
-    // Heap entries hold an index into callbacks_ storage? Keep it simple:
-    // the callback lives in the heap node; cancellation is lazy via set.
-    std::shared_ptr<Callback> cb;
-    bool operator>(const Event& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
+    // The callback lives in the heap node itself (moved in, moved out —
+    // no per-event allocation beyond what std::function needs).
+    Callback cb;
+  };
+  struct EventLater {
+    // Min-heap comparator for std::push_heap/std::pop_heap.
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
     }
   };
 
-  bool pop_one();  // runs the earliest event; false if queue empty
+  bool pop_one();  // runs the earliest live event; false if queue empty
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  /// Binary min-heap over (when, seq). Cancellation is lazy: an id absent
+  /// from live_ is skipped — and thereby pruned — when its node reaches the
+  /// top, so stale entries never outlive their scheduled time.
+  std::vector<Event> heap_;
   std::unordered_set<std::uint64_t> live_;  // scheduled, not yet run/cancelled
-  std::unordered_set<std::uint64_t> cancelled_;
   SimTime now_{0};
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;

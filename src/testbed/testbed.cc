@@ -1,5 +1,7 @@
 #include "testbed/testbed.h"
 
+#include <stdexcept>
+
 #include "dns/auth_server.h"
 #include "dns/test_params.h"
 #include "util/strings.h"
@@ -11,7 +13,9 @@ using simnet::IpAddress;
 
 std::vector<SimTime> SweepSpec::values() const {
   std::vector<SimTime> out;
-  if (step.count() <= 0) {
+  // Degenerate grids collapse to {from}: a non-positive step would loop
+  // forever, and to < from would silently produce an empty sweep.
+  if (step.count() <= 0 || to < from) {
     out.push_back(from);
     return out;
   }
@@ -131,93 +135,165 @@ RunRecord analyze(const clients::ClientProfile& profile, Scenario& sc,
 
 }  // namespace
 
-RunRecord LocalTestbed::run_cad_case(const clients::ClientProfile& profile,
-                                     SimTime v6_delay, int repetition) {
-  auto sc = build_scenario(profile, options_, ++run_counter_);
+campaign::ScenarioSpec LocalTestbed::base_spec(
+    const clients::ClientProfile& profile, int repetition) {
+  campaign::ScenarioSpec spec;
+  // The run id doubles as the cell's seed input and its DNS nonce: the
+  // legacy serial entry points and the sweep generators draw from the same
+  // counter, so no two cells of one testbed ever share a world.
+  spec.seed = ++run_counter_;
+  spec.id = spec.seed - 1;
+  spec.repetition = repetition;
+  spec.client = profile.display_name();
+  return spec;
+}
 
-  // tc-netem on the server node: delay IPv6 *TCP* traffic (the paper's DNS
-  // runs on the same host; delaying all v6 would skew the DNS baseline, and
-  // the client's stub points at the v4 address anyway).
-  simnet::PacketFilter v6_tcp;
-  v6_tcp.family = Family::kIpv6;
-  v6_tcp.proto = simnet::Protocol::kTcp;
-  sc->server_host->egress().add_rule(v6_tcp,
-                                     simnet::NetemSpec::delay_only(v6_delay),
-                                     "delay v6");
+campaign::ScenarioSpec LocalTestbed::cad_spec(
+    const clients::ClientProfile& profile, SimTime v6_delay, int repetition) {
+  campaign::ScenarioSpec spec = base_spec(profile, repetition);
+  spec.kind = campaign::CaseKind::kCad;
+  spec.delay = v6_delay;
+  spec.label = lazyeye::str_format("cad %s %s rep%d", spec.client.c_str(),
+                                   format_duration(v6_delay).c_str(),
+                                   repetition);
+  return spec;
+}
 
-  // Unique name per run to rule out caching (nonce label).
-  const auto name = dns::make_test_name(
-      dns::DnsName::must_parse("cad.he-test.lab"),
-      lazyeye::str_format("%llu", static_cast<unsigned long long>(run_counter_)),
-      {});
-  sc->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
-  sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
+campaign::ScenarioSpec LocalTestbed::rd_spec(
+    const clients::ClientProfile& profile, dns::RrType delayed_type,
+    SimTime dns_delay, int repetition) {
+  campaign::ScenarioSpec spec = base_spec(profile, repetition);
+  spec.kind = campaign::CaseKind::kResolutionDelay;
+  spec.delay = dns_delay;
+  spec.delayed_type = delayed_type;
+  spec.label = lazyeye::str_format("rd %s %s rep%d", spec.client.c_str(),
+                                   format_duration(dns_delay).c_str(),
+                                   repetition);
+  return spec;
+}
+
+campaign::ScenarioSpec LocalTestbed::address_selection_spec(
+    const clients::ClientProfile& profile, int per_family, int repetition) {
+  campaign::ScenarioSpec spec = base_spec(profile, repetition);
+  spec.kind = campaign::CaseKind::kAddressSelection;
+  spec.per_family = per_family;
+  spec.label = lazyeye::str_format("sel %s %d+%d rep%d", spec.client.c_str(),
+                                   per_family, per_family, repetition);
+  return spec;
+}
+
+std::vector<campaign::ScenarioSpec> LocalTestbed::cad_sweep_specs(
+    const clients::ClientProfile& profile, const SweepSpec& sweep,
+    int repetitions) {
+  std::vector<campaign::ScenarioSpec> specs;
+  const auto values = sweep.values();
+  specs.reserve(values.size() * static_cast<std::size_t>(repetitions));
+  std::uint64_t cell = 0;
+  for (const SimTime delay : values) {
+    for (int rep = 0; rep < repetitions; ++rep) {
+      campaign::ScenarioSpec spec = cad_spec(profile, delay, rep);
+      spec.id = cell;
+      spec.grid_index = static_cast<int>(cell / repetitions);
+      ++cell;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+RunRecord LocalTestbed::run_spec(const clients::ClientProfile& profile,
+                                 const campaign::ScenarioSpec& spec) const {
+  const std::uint64_t run_id = spec.seed;
+  auto sc = build_scenario(profile, options_, run_id);
+  const auto nonce =
+      lazyeye::str_format("%llu", static_cast<unsigned long long>(run_id));
+
+  dns::DnsName name;
+  switch (spec.kind) {
+    case campaign::CaseKind::kCad: {
+      // tc-netem on the server node: delay IPv6 *TCP* traffic (the paper's
+      // DNS runs on the same host; delaying all v6 would skew the DNS
+      // baseline, and the client's stub points at the v4 address anyway).
+      simnet::PacketFilter v6_tcp;
+      v6_tcp.family = Family::kIpv6;
+      v6_tcp.proto = simnet::Protocol::kTcp;
+      sc->server_host->egress().add_rule(
+          v6_tcp, simnet::NetemSpec::delay_only(spec.delay), "delay v6");
+
+      // Unique name per run to rule out caching (nonce label).
+      name = dns::make_test_name(dns::DnsName::must_parse("cad.he-test.lab"),
+                                 nonce, {});
+      sc->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+      sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
+      break;
+    }
+    case campaign::CaseKind::kResolutionDelay: {
+      name = dns::make_test_name(dns::DnsName::must_parse("rd.he-test.lab"),
+                                 nonce, {{spec.delayed_type, spec.delay}});
+      sc->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+      sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
+      break;
+    }
+    case campaign::CaseKind::kAddressSelection: {
+      name = dns::make_test_name(dns::DnsName::must_parse("sel.he-test.lab"),
+                                 nonce, {});
+      // All records point to unresponsive addresses (no host owns them).
+      for (int i = 1; i <= spec.per_family; ++i) {
+        sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse(lazyeye::str_format(
+                                     "2001:db8:dead::%d", i)));
+        sc->zone->add_a(name, *simnet::Ipv4Address::parse(
+                                  lazyeye::str_format("10.99.0.%d", i)));
+      }
+      break;
+    }
+    default:
+      throw std::invalid_argument(
+          lazyeye::str_format("LocalTestbed::run_spec: unsupported kind %s",
+                              campaign::case_kind_name(spec.kind)));
+  }
 
   clients::FetchResult fetch;
   sc->client->fetch(name, 443, [&](const clients::FetchResult& r) {
     fetch = r;
   });
   sc->net.loop().run();
-  return analyze(profile, *sc, v6_delay, repetition, fetch);
+  return analyze(profile, *sc, spec.delay, spec.repetition, fetch);
+}
+
+std::vector<RunRecord> LocalTestbed::run_campaign(
+    const clients::ClientProfile& profile,
+    const std::vector<campaign::ScenarioSpec>& specs,
+    const campaign::CampaignRunner& runner) const {
+  return runner.run<RunRecord>(specs, [&](const campaign::ScenarioSpec& spec) {
+    return run_spec(profile, spec);
+  });
+}
+
+RunRecord LocalTestbed::run_cad_case(const clients::ClientProfile& profile,
+                                     SimTime v6_delay, int repetition) {
+  return run_spec(profile, cad_spec(profile, v6_delay, repetition));
 }
 
 RunRecord LocalTestbed::run_rd_case(const clients::ClientProfile& profile,
                                     dns::RrType delayed_type,
                                     SimTime dns_delay, int repetition) {
-  auto sc = build_scenario(profile, options_, ++run_counter_);
-
-  const auto name = dns::make_test_name(
-      dns::DnsName::must_parse("rd.he-test.lab"),
-      lazyeye::str_format("%llu", static_cast<unsigned long long>(run_counter_)),
-      {{delayed_type, dns_delay}});
-  sc->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
-  sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
-
-  clients::FetchResult fetch;
-  sc->client->fetch(name, 443, [&](const clients::FetchResult& r) {
-    fetch = r;
-  });
-  sc->net.loop().run();
-  return analyze(profile, *sc, dns_delay, repetition, fetch);
+  return run_spec(profile, rd_spec(profile, delayed_type, dns_delay,
+                                   repetition));
 }
 
 RunRecord LocalTestbed::run_address_selection_case(
     const clients::ClientProfile& profile, int per_family, int repetition) {
-  auto sc = build_scenario(profile, options_, ++run_counter_);
-
-  const auto name = dns::make_test_name(
-      dns::DnsName::must_parse("sel.he-test.lab"),
-      lazyeye::str_format("%llu", static_cast<unsigned long long>(run_counter_)),
-      {});
-  // All records point to unresponsive addresses (no host owns them).
-  for (int i = 1; i <= per_family; ++i) {
-    sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse(
-                                 lazyeye::str_format("2001:db8:dead::%d", i)));
-    sc->zone->add_a(name, *simnet::Ipv4Address::parse(
-                              lazyeye::str_format("10.99.0.%d", i)));
-  }
-
-  clients::FetchResult fetch;
-  bool finished = false;
-  sc->client->fetch(name, 443, [&](const clients::FetchResult& r) {
-    fetch = r;
-    finished = true;
-  });
-  sc->net.loop().run();
-  (void)finished;
-  return analyze(profile, *sc, SimTime{0}, repetition, fetch);
+  return run_spec(profile,
+                  address_selection_spec(profile, per_family, repetition));
 }
 
 std::vector<RunRecord> LocalTestbed::sweep_cad(
     const clients::ClientProfile& profile, const SweepSpec& sweep,
-    int repetitions) {
-  std::vector<RunRecord> out;
-  for (const SimTime delay : sweep.values()) {
-    for (int rep = 0; rep < repetitions; ++rep) {
-      out.push_back(run_cad_case(profile, delay, rep));
-    }
-  }
-  return out;
+    int repetitions, int workers) {
+  campaign::RunnerOptions options;
+  options.workers = workers;
+  return run_campaign(profile, cad_sweep_specs(profile, sweep, repetitions),
+                      campaign::CampaignRunner{options});
 }
 
 }  // namespace lazyeye::testbed

@@ -6,12 +6,21 @@
 // and a packet capture on the client node. Every run starts from a fresh
 // network and a fresh client ("drop and create a new container") so no
 // caching effects leak between configurations.
+//
+// Runs are described declaratively as campaign::ScenarioSpec cells: the
+// spec generators below allocate seeds, and run_spec() is a stateless
+// executor that builds the cell's isolated world — which is what lets
+// sweep_cad() shard a whole delay × repetition matrix across the
+// CampaignRunner worker pool with byte-identical results at any worker
+// count.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "campaign/runner.h"
+#include "campaign/scenario.h"
 #include "capture/analysis.h"
 #include "clients/client.h"
 #include "clients/profiles.h"
@@ -23,6 +32,9 @@ struct SweepSpec {
   SimTime to{0};
   SimTime step{0};
 
+  /// Grid points from..to inclusive. Degenerate specs (step <= 0, or an
+  /// empty to < from range) collapse to the single point `from` instead of
+  /// looping forever / yielding nothing.
   std::vector<SimTime> values() const;
 
   /// The paper's fine-grained CAD sweep: 0..400 ms in 5 ms steps.
@@ -77,12 +89,49 @@ class LocalTestbed {
   RunRecord run_address_selection_case(const clients::ClientProfile& profile,
                                        int per_family, int repetition = 0);
 
-  /// Sweeps the CAD case over a delay grid.
+  // ---- Campaign API ------------------------------------------------------
+  // Spec generators allocate each cell's run id (nonce + seed) from the
+  // testbed's counter, so mixing one-off cases and sweeps never reuses a
+  // world seed or a DNS nonce name.
+
+  campaign::ScenarioSpec cad_spec(const clients::ClientProfile& profile,
+                                  SimTime v6_delay, int repetition = 0);
+  campaign::ScenarioSpec rd_spec(const clients::ClientProfile& profile,
+                                 dns::RrType delayed_type, SimTime dns_delay,
+                                 int repetition = 0);
+  campaign::ScenarioSpec address_selection_spec(
+      const clients::ClientProfile& profile, int per_family,
+      int repetition = 0);
+
+  /// The full delay × repetition CAD matrix (delay-major, repetition-minor —
+  /// the same cell order the serial sweep used).
+  std::vector<campaign::ScenarioSpec> cad_sweep_specs(
+      const clients::ClientProfile& profile, const SweepSpec& sweep,
+      int repetitions = 1);
+
+  /// Stateless executor: builds the isolated simnet world described by
+  /// `spec` (seeded from spec.seed), runs it, and analyses the capture.
+  /// Thread-safe: concurrent calls on different specs never share state.
+  RunRecord run_spec(const clients::ClientProfile& profile,
+                     const campaign::ScenarioSpec& spec) const;
+
+  /// Shards `specs` across the runner's workers; results are in spec order.
+  std::vector<RunRecord> run_campaign(
+      const clients::ClientProfile& profile,
+      const std::vector<campaign::ScenarioSpec>& specs,
+      const campaign::CampaignRunner& runner) const;
+
+  /// Sweeps the CAD case over a delay grid. `workers` feeds the campaign
+  /// runner (0 = one per hardware thread); results are identical for any
+  /// worker count.
   std::vector<RunRecord> sweep_cad(const clients::ClientProfile& profile,
                                    const SweepSpec& sweep,
-                                   int repetitions = 1);
+                                   int repetitions = 1, int workers = 0);
 
  private:
+  campaign::ScenarioSpec base_spec(const clients::ClientProfile& profile,
+                                   int repetition);
+
   TestbedOptions options_;
   std::uint64_t run_counter_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "webtool/webtool.h"
 
+#include "campaign/runner.h"
 #include "dns/auth_server.h"
 #include "dns/test_params.h"
 #include "util/strings.h"
@@ -37,14 +38,37 @@ WebToolReport WebTool::run_rd_test(const clients::ClientProfile& profile,
                       delayed_type);
 }
 
-WebToolReport WebTool::run_campaign(const clients::ClientProfile& profile,
-                                    const std::string& os_name,
-                                    const std::string& os_version,
-                                    bool rd_mode, dns::RrType delayed_type) {
+std::vector<campaign::ScenarioSpec> WebTool::campaign_specs(
+    const clients::ClientProfile& profile, bool rd_mode,
+    dns::RrType delayed_type) const {
+  std::vector<campaign::ScenarioSpec> specs;
+  specs.reserve(config_.repetitions);
+  for (int rep = 0; rep < config_.repetitions; ++rep) {
+    campaign::ScenarioSpec spec;
+    spec.id = rep;
+    spec.kind = campaign::CaseKind::kWebToolRepetition;
+    spec.repetition = rep;
+    // One seed per repetition cell: the whole deployment (netem noise,
+    // client behaviour) for that repetition derives from it.
+    spec.seed = config_.seed * 1000003ULL + static_cast<std::uint64_t>(rep) + 1;
+    spec.client = profile.display_name();
+    spec.delay_dns = rd_mode;
+    spec.delayed_type = delayed_type;
+    spec.label = lazyeye::str_format("webtool %s rep%d", spec.client.c_str(),
+                                     rep);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+RepetitionOutcome WebTool::run_repetition(const clients::ClientProfile& profile,
+                                          const campaign::ScenarioSpec& spec) const {
+  const bool rd_mode = spec.delay_dns;
+  const dns::RrType delayed_type = spec.delayed_type;
   const std::size_t buckets = config_.delays.size();
 
-  // ---- Persistent deployment (one network for the whole campaign). --------
-  simnet::Network net{config_.seed};
+  // ---- Persistent deployment (one world for the whole repetition). --------
+  simnet::Network net{spec.world_seed()};
   simnet::Host& server = net.add_host("webtool-server");
   simnet::Host& client_host = net.add_host("client");
   client_host.add_address(IpAddress::must_parse("10.0.0.2"));
@@ -121,12 +145,47 @@ WebToolReport WebTool::run_campaign(const clients::ClientProfile& profile,
     domains.push_back(name);
   }
 
-  // ---- Client (persistent state across all fetches). ----------------------
+  // ---- Client (state persists across the repetition's buckets). -----------
   dns::StubOptions stub_options;
   stub_options.servers = {{dns_addr, 53}};
   clients::SimulatedClient client{client_host, profile, stub_options,
-                                  config_.seed * 101 + 7};
+                                  spec.client_seed()};
   client.set_web_conditions(true);
+
+  RepetitionOutcome outcome;
+  outcome.families.resize(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    clients::FetchResult fetch;
+    bool done = false;
+    client.fetch(domains[i], 443, [&](const clients::FetchResult& r) {
+      fetch = r;
+      done = true;
+    });
+    net.loop().run();
+    if (!done || !fetch.connection.ok || !fetch.response_received) continue;
+    // Client-side family determination from the echoed source address.
+    outcome.families[i] = fetch.response_text() == "2001:db8::2"
+                              ? Family::kIpv6
+                              : Family::kIpv4;
+  }
+
+  // Inconsistency: IPv4 at a smaller delay than a later IPv6 use.
+  bool v4_seen = false;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    if (!outcome.families[i]) continue;
+    if (*outcome.families[i] == Family::kIpv4) v4_seen = true;
+    if (*outcome.families[i] == Family::kIpv6 && v4_seen) {
+      outcome.inconsistent = true;
+    }
+  }
+  return outcome;
+}
+
+WebToolReport WebTool::run_campaign(const clients::ClientProfile& profile,
+                                    const std::string& os_name,
+                                    const std::string& os_version,
+                                    bool rd_mode, dns::RrType delayed_type) {
+  const std::size_t buckets = config_.delays.size();
 
   WebToolReport report;
   report.client = profile.display_name();
@@ -139,40 +198,28 @@ WebToolReport WebTool::run_campaign(const clients::ClientProfile& profile,
   }
   report.total_repetitions = config_.repetitions;
 
-  for (int rep = 0; rep < config_.repetitions; ++rep) {
-    std::vector<std::optional<Family>> families(buckets);
-    for (std::size_t i = 0; i < buckets; ++i) {
-      clients::FetchResult fetch;
-      bool done = false;
-      client.fetch(domains[i], 443, [&](const clients::FetchResult& r) {
-        fetch = r;
-        done = true;
+  // Shard the repetition cells across the worker pool; outcomes come back
+  // in repetition order, so aggregation is worker-count independent.
+  campaign::RunnerOptions runner_options;
+  runner_options.workers = config_.workers;
+  campaign::CampaignRunner runner{runner_options};
+  const auto outcomes = runner.run<RepetitionOutcome>(
+      campaign_specs(profile, rd_mode, delayed_type),
+      [&](const campaign::ScenarioSpec& spec) {
+        return run_repetition(profile, spec);
       });
-      net.loop().run();
-      if (!done || !fetch.connection.ok || !fetch.response_received) {
+
+  for (const RepetitionOutcome& outcome : outcomes) {
+    for (std::size_t i = 0; i < buckets; ++i) {
+      if (!outcome.families[i]) {
         ++report.per_delay[i].failures;
-        continue;
-      }
-      // Client-side family determination from the echoed source address.
-      const Family family = fetch.response_text() == "2001:db8::2"
-                                ? Family::kIpv6
-                                : Family::kIpv4;
-      families[i] = family;
-      if (family == Family::kIpv6) {
+      } else if (*outcome.families[i] == Family::kIpv6) {
         ++report.per_delay[i].v6_used;
       } else {
         ++report.per_delay[i].v4_used;
       }
     }
-    // Inconsistency: IPv4 at a smaller delay than a later IPv6 use.
-    bool v4_seen = false;
-    bool inconsistent = false;
-    for (std::size_t i = 0; i < buckets; ++i) {
-      if (!families[i]) continue;
-      if (*families[i] == Family::kIpv4) v4_seen = true;
-      if (*families[i] == Family::kIpv6 && v4_seen) inconsistent = true;
-    }
-    if (inconsistent) ++report.inconsistent_repetitions;
+    if (outcome.inconsistent) ++report.inconsistent_repetitions;
   }
 
   // Interval estimate from per-bucket majorities.

@@ -4,14 +4,21 @@
 // with a dedicated IPv4/IPv6 address pair and a dedicated domain (caching
 // avoidance). The server echoes the client's source address; everything is
 // evaluated client-side from that echo. Client and server state persist
-// across measurements (no per-run reset — unlike the local testbed), and
-// the network carries "real-world" noise.
+// across the buckets of a repetition (no per-fetch reset — unlike the local
+// testbed), and the network carries "real-world" noise.
+//
+// A campaign shards the bucket × repetition grid at repetition granularity:
+// each repetition is one campaign::ScenarioSpec cell owning a full isolated
+// deployment (all 18 buckets, persistent client), so repetitions run in
+// parallel while the within-repetition ordering the inconsistency metric
+// depends on stays sequential.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "campaign/scenario.h"
 #include "clients/client.h"
 #include "clients/profiles.h"
 #include "clients/user_agent.h"
@@ -25,6 +32,9 @@ struct WebToolConfig {
   std::uint64_t seed = 1;
   /// Real-world network conditions (jitter on every path).
   bool network_noise = true;
+  /// Campaign worker threads (0 = one per hardware thread). Results are
+  /// identical for any worker count.
+  int workers = 0;
 
   static WebToolConfig paper_default();
 };
@@ -38,6 +48,16 @@ struct DelayObservation {
   simnet::Family majority() const {
     return v6_used >= v4_used ? simnet::Family::kIpv6 : simnet::Family::kIpv4;
   }
+};
+
+/// What one repetition (one pass over all buckets) observed. This is the
+/// campaign cell outcome the aggregation consumes.
+struct RepetitionOutcome {
+  /// Established family per bucket; nullopt = fetch failed.
+  std::vector<std::optional<simnet::Family>> families;
+  /// Repetition-local inconsistency: IPv4 appeared at a smaller delay than
+  /// a later IPv6 use (the Safari signature, §5.1).
+  bool inconsistent = false;
 };
 
 struct WebToolReport {
@@ -69,6 +89,20 @@ class WebTool {
                             dns::RrType delayed_type = dns::RrType::kAaaa,
                             const std::string& os_name = "Linux",
                             const std::string& os_version = "");
+
+  /// One spec per repetition (the campaign cells run_cad_test/run_rd_test
+  /// shard across workers). `rd_mode` and `delayed_type` are recorded in
+  /// the specs (delay_dns/delayed_type), which are the single source of
+  /// truth the executor reads.
+  std::vector<campaign::ScenarioSpec> campaign_specs(
+      const clients::ClientProfile& profile, bool rd_mode,
+      dns::RrType delayed_type) const;
+
+  /// Stateless executor for one repetition cell: builds the full deployment
+  /// (all buckets) in an isolated world seeded from the spec and walks the
+  /// buckets with a persistent client. Thread-safe across distinct specs.
+  RepetitionOutcome run_repetition(const clients::ClientProfile& profile,
+                                   const campaign::ScenarioSpec& spec) const;
 
   const WebToolConfig& config() const { return config_; }
 

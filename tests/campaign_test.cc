@@ -1,0 +1,286 @@
+// Campaign engine tests: runner sharding semantics, and the core
+// determinism contract — the same spec matrix with the same seeds produces
+// byte-identical aggregated results for 1 worker and 4 workers, across all
+// three measurement layers (testbed, webtool, resolverlab).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "campaign/result.h"
+#include "campaign/runner.h"
+#include "campaign/scenario.h"
+#include "clients/profiles.h"
+#include "resolverlab/lab.h"
+#include "testbed/testbed.h"
+#include "util/strings.h"
+#include "webtool/webtool.h"
+
+namespace lazyeye::campaign {
+namespace {
+
+std::vector<ScenarioSpec> numbered_specs(std::size_t n) {
+  std::vector<ScenarioSpec> specs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    specs[i].id = i;
+    specs[i].seed = 100 + i;
+  }
+  return specs;
+}
+
+CampaignRunner runner_with(int workers) {
+  RunnerOptions options;
+  options.workers = workers;
+  return CampaignRunner{options};
+}
+
+// ------------------------------------------------------------- runner ----
+
+TEST(CampaignRunnerTest, ResultsComeBackInSpecOrder) {
+  const auto specs = numbered_specs(64);
+  const auto results = runner_with(4).run<std::uint64_t>(
+      specs, [](const ScenarioSpec& s) { return s.seed * 3; });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], (100 + i) * 3);
+  }
+}
+
+TEST(CampaignRunnerTest, EveryCellRunsExactlyOnce) {
+  const auto specs = numbered_specs(50);
+  std::atomic<int> calls{0};
+  runner_with(4).run<int>(specs, [&](const ScenarioSpec& s) {
+    calls.fetch_add(1);
+    return static_cast<int>(s.id);
+  });
+  EXPECT_EQ(calls.load(), 50);
+}
+
+TEST(CampaignRunnerTest, ResolvedWorkersClampsToJobAndHardware) {
+  EXPECT_EQ(runner_with(8).resolved_workers(3), 3);
+  EXPECT_EQ(runner_with(2).resolved_workers(100), 2);
+  EXPECT_GE(runner_with(0).resolved_workers(100), 1);  // auto
+  EXPECT_EQ(runner_with(4).resolved_workers(0), 1);
+}
+
+TEST(CampaignRunnerTest, ProgressCoversEveryCell) {
+  RunnerOptions options;
+  options.workers = 4;
+  std::set<std::size_t> seen;
+  std::size_t last_total = 0;
+  options.progress = [&](std::size_t done, std::size_t total) {
+    seen.insert(done);
+    last_total = total;
+  };
+  CampaignRunner runner{options};
+  runner.run<int>(numbered_specs(20),
+                  [](const ScenarioSpec& s) { return static_cast<int>(s.id); });
+  EXPECT_EQ(seen.size(), 20u);  // 1..20, serialised, no duplicates
+  EXPECT_EQ(*seen.rbegin(), 20u);
+  EXPECT_EQ(last_total, 20u);
+}
+
+TEST(CampaignRunnerTest, ExecutorExceptionPropagates) {
+  const auto specs = numbered_specs(16);
+  EXPECT_THROW(
+      runner_with(4).run<int>(specs,
+                              [](const ScenarioSpec& s) {
+                                if (s.id == 7) {
+                                  throw std::runtime_error("cell 7 boom");
+                                }
+                                return 0;
+                              }),
+      std::runtime_error);
+}
+
+TEST(ScenarioSpecTest, DerivedStreamsAreStableAndDistinct) {
+  ScenarioSpec a;
+  a.seed = 42;
+  ScenarioSpec b = a;
+  EXPECT_EQ(a.world_seed(), b.world_seed());
+  EXPECT_EQ(a.client_seed(), b.client_seed());
+  EXPECT_NE(a.world_seed(), a.client_seed());
+  b.seed = 43;
+  EXPECT_NE(a.world_seed(), b.world_seed());
+}
+
+// ------------------------------------------------------------- result ----
+
+TEST(CampaignResultTest, TableRendersOneRowPerCell) {
+  CampaignResult<int> result;
+  result.specs = numbered_specs(3);
+  for (auto& spec : result.specs) spec.label = "cell";
+  result.outcomes = {7, 8, 9};
+  const auto table = to_table<int>(
+      result, {{"Cell", TextTable::Align::kLeft,
+                [](const ScenarioSpec& s, const int&) { return s.label; }},
+               {"Value", TextTable::Align::kRight,
+                [](const ScenarioSpec&, const int& v) {
+                  return std::to_string(v);
+                }}});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("Cell"), std::string::npos);
+  EXPECT_NE(rendered.find("7"), std::string::npos);
+  EXPECT_NE(rendered.find("9"), std::string::npos);
+}
+
+TEST(CampaignResultTest, GroupByKeepsFirstSeenOrder) {
+  CampaignResult<int> result;
+  result.specs = numbered_specs(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    result.specs[i].grid_index = static_cast<int>(i % 2);
+  }
+  result.outcomes = {0, 1, 2, 3, 4, 5};
+  const auto groups = result.group_by<int>(
+      [](const ScenarioSpec& s) { return s.grid_index; });
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].first, 0);
+  EXPECT_EQ(groups[0].second, (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(groups[1].second, (std::vector<std::size_t>{1, 3, 5}));
+}
+
+// -------------------------------------------------------- determinism ----
+
+std::string serialize(const testbed::RunRecord& r) {
+  std::string out = r.client;
+  out += lazyeye::str_format(
+      "|%lld|%d|%d|%d|", static_cast<long long>(r.configured_delay.count()),
+      r.repetition, r.fetch_ok ? 1 : 0,
+      r.established_family ? static_cast<int>(*r.established_family) : -1);
+  out += r.observed_cad ? std::to_string(r.observed_cad->count()) : "-";
+  out += "|";
+  out += r.observed_rd ? std::to_string(r.observed_rd->count()) : "-";
+  out += lazyeye::str_format("|%d|%d|%d|", r.aaaa_query_first ? 1 : 0,
+                             r.v6_addresses_used, r.v4_addresses_used);
+  for (const auto family : r.attempt_sequence) {
+    out += std::to_string(static_cast<int>(family));
+  }
+  out += "|" + std::to_string(r.completion_time.count());
+  return out;
+}
+
+std::string serialize(const std::vector<testbed::RunRecord>& records) {
+  std::string out;
+  for (const auto& r : records) {
+    out += serialize(r);
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(CampaignDeterminismTest, TestbedSweepIdenticalForOneAndFourWorkers) {
+  const auto profile = clients::chromium_profile("Chrome", "130.0", "10-2024");
+  const testbed::SweepSpec sweep{ms(0), ms(400), ms(50)};
+
+  testbed::LocalTestbed bed;
+  const auto specs = bed.cad_sweep_specs(profile, sweep, /*repetitions=*/2);
+  ASSERT_EQ(specs.size(), 18u);  // 9 delays x 2 reps
+
+  const auto serial = bed.run_campaign(profile, specs, runner_with(1));
+  const auto parallel = bed.run_campaign(profile, specs, runner_with(4));
+  EXPECT_EQ(serialize(serial), serialize(parallel));
+}
+
+TEST(CampaignDeterminismTest, SweepCadMatchesSerialRunCadCaseSequence) {
+  // The sharded sweep must reproduce the exact records the legacy serial
+  // entry point produces from the same counter state.
+  const auto profile = clients::chromium_profile("Chrome", "130.0", "10-2024");
+  const testbed::SweepSpec sweep{ms(0), ms(300), ms(100)};
+
+  testbed::LocalTestbed serial_bed;
+  std::vector<testbed::RunRecord> serial;
+  for (const SimTime delay : sweep.values()) {
+    serial.push_back(serial_bed.run_cad_case(profile, delay, 0));
+  }
+
+  testbed::LocalTestbed campaign_bed;
+  const auto sharded = campaign_bed.sweep_cad(profile, sweep, 1, 4);
+  EXPECT_EQ(serialize(serial), serialize(sharded));
+}
+
+std::string serialize(const resolverlab::ServiceMetrics& m) {
+  std::string out = m.service;
+  out += lazyeye::str_format("|%d|%d|%.9f|", static_cast<int>(m.aaaa_order),
+                             m.aaaa_order_known ? 1 : 0, m.ipv6_share);
+  out += m.max_ipv6_delay ? std::to_string(m.max_ipv6_delay->count()) : "-";
+  out += lazyeye::str_format("|%d|%d\n", m.max_ipv6_packets,
+                             m.delay_unmeasurable ? 1 : 0);
+  for (const auto& run : m.runs) {
+    out += lazyeye::str_format(
+        "%lld|%d|%d|%lld|%d|%d|%d|%d|%d|%d|%d|%d\n",
+        static_cast<long long>(run.configured_delay.count()), run.repetition,
+        run.resolved ? 1 : 0, static_cast<long long>(run.completed.count()),
+        run.v6_main_queries, run.v4_main_queries, run.first_query_v6 ? 1 : 0,
+        run.answer_via_v6 ? 1 : 0, run.aaaa_ns_seen ? 1 : 0,
+        run.a_ns_seen ? 1 : 0, run.aaaa_before_a ? 1 : 0,
+        run.ns_queries_parallel ? 1 : 0);
+  }
+  return out;
+}
+
+TEST(CampaignDeterminismTest, ResolverLabIdenticalForOneAndFourWorkers) {
+  const auto service = resolvers::find_service_profile("Unbound");
+  ASSERT_TRUE(service);
+  resolverlab::LabConfig config;
+  config.delay_grid = {ms(0), ms(199), ms(375), ms(799)};
+  config.repetitions = 6;
+  config.seed = 31;
+
+  config.workers = 1;
+  const auto serial = resolverlab::measure_service(*service, config);
+  config.workers = 4;
+  const auto parallel = resolverlab::measure_service(*service, config);
+  EXPECT_EQ(serialize(serial), serialize(parallel));
+}
+
+std::string serialize(const webtool::WebToolReport& r) {
+  std::string out = r.client + "|" + r.user_agent;
+  out += lazyeye::str_format("|%d|%d|", r.inconsistent_repetitions,
+                             r.total_repetitions);
+  out += r.interval_low ? std::to_string(r.interval_low->count()) : "-";
+  out += "|";
+  out += r.interval_high ? std::to_string(r.interval_high->count()) : "-";
+  out += "\n";
+  for (const auto& obs : r.per_delay) {
+    out += lazyeye::str_format("%lld|%d|%d|%d\n",
+                               static_cast<long long>(obs.delay.count()),
+                               obs.v6_used, obs.v4_used, obs.failures);
+  }
+  return out;
+}
+
+TEST(CampaignDeterminismTest, WebToolIdenticalForOneAndFourWorkers) {
+  webtool::WebToolConfig config = webtool::WebToolConfig::paper_default();
+  config.repetitions = 4;
+  config.seed = 5;
+
+  config.workers = 1;
+  const auto serial = webtool::WebTool{config}.run_cad_test(
+      clients::safari_profile("17.6"));
+  config.workers = 4;
+  const auto parallel = webtool::WebTool{config}.run_cad_test(
+      clients::safari_profile("17.6"));
+  EXPECT_EQ(serialize(serial), serialize(parallel));
+}
+
+TEST(CampaignDeterminismTest, ResolverCellSpecsUseTheSerialSeedSequence) {
+  const auto service = resolvers::find_service_profile("BIND");
+  ASSERT_TRUE(service);
+  resolverlab::LabConfig config;
+  config.delay_grid = {ms(0), ms(100)};
+  config.repetitions = 3;
+  config.seed = 1000;
+  const auto specs = resolverlab::cell_specs(*service, config);
+  ASSERT_EQ(specs.size(), 6u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].seed, 1000 + i + 1);
+    EXPECT_EQ(specs[i].id, i);
+  }
+  EXPECT_EQ(specs[0].delay, ms(0));
+  EXPECT_EQ(specs[3].delay, ms(100));
+  EXPECT_EQ(specs[4].repetition, 1);
+}
+
+}  // namespace
+}  // namespace lazyeye::campaign

@@ -72,6 +72,48 @@ TEST(EventLoopTest, CancelInvalidIdFails) {
   EXPECT_FALSE(loop.cancel(TimerId{999}));
 }
 
+TEST(EventLoopTest, CancelledEventsLeavePendingImmediately) {
+  EventLoop loop;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(loop.schedule_at(ms(i), [] {}));
+  }
+  EXPECT_EQ(loop.pending(), 100u);
+  for (const TimerId id : ids) EXPECT_TRUE(loop.cancel(id));
+  EXPECT_EQ(loop.pending(), 0u);
+  // Cancelled heap entries are pruned as they surface; none executes.
+  loop.run();
+  EXPECT_EQ(loop.processed(), 0u);
+}
+
+TEST(EventLoopTest, CancelBookkeepingDoesNotAccumulateAcrossRounds) {
+  // Long campaigns schedule + cancel endlessly (retransmit timers etc.);
+  // after each drained round no cancellation bookkeeping may survive.
+  EventLoop loop;
+  for (int round = 0; round < 50; ++round) {
+    const TimerId keep = loop.schedule_after(ms(1), [] {});
+    const TimerId drop = loop.schedule_after(ms(2), [] {});
+    EXPECT_TRUE(loop.cancel(drop));
+    (void)keep;
+    loop.run();
+    EXPECT_EQ(loop.pending(), 0u);
+  }
+  EXPECT_EQ(loop.processed(), 50u);
+}
+
+TEST(EventLoopTest, RunUntilSkipsCancelledHeadWithoutAdvancingTime) {
+  EventLoop loop;
+  const TimerId head = loop.schedule_at(ms(5), [] {});
+  bool ran = false;
+  loop.schedule_at(ms(50), [&] { ran = true; });
+  EXPECT_TRUE(loop.cancel(head));
+  EXPECT_EQ(loop.run_until(ms(10)), 0u);
+  EXPECT_EQ(loop.now(), ms(10));
+  EXPECT_FALSE(ran);
+  loop.run();
+  EXPECT_TRUE(ran);
+}
+
 TEST(EventLoopTest, RunUntilStopsAtDeadline) {
   EventLoop loop;
   std::vector<int> order;

@@ -21,6 +21,20 @@ TEST(SweepSpecTest, ValueGeneration) {
   EXPECT_EQ((SweepSpec{ms(7), ms(7), ms(0)}.values().size()), 1u);
 }
 
+TEST(SweepSpecTest, NonPositiveStepCollapsesToSinglePoint) {
+  // A zero or negative step must not loop forever.
+  EXPECT_EQ((SweepSpec{ms(10), ms(40), ms(0)}.values()),
+            (std::vector<SimTime>{ms(10)}));
+  EXPECT_EQ((SweepSpec{ms(10), ms(40), ms(-5)}.values()),
+            (std::vector<SimTime>{ms(10)}));
+}
+
+TEST(SweepSpecTest, InvertedRangeCollapsesToSinglePoint) {
+  // to < from must not silently produce an empty sweep.
+  EXPECT_EQ((SweepSpec{ms(40), ms(10), ms(5)}.values()),
+            (std::vector<SimTime>{ms(40)}));
+}
+
 TEST(SweepSpecTest, PaperGrids) {
   EXPECT_EQ(SweepSpec::fine_cad().values().size(), 81u);  // 0..400 step 5
   EXPECT_GT(SweepSpec::coarse_cad().values().size(), 5u);
