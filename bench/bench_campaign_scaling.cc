@@ -4,13 +4,22 @@
 // workers, and reports runs/sec plus speedup vs the serial baseline.
 //
 // It also cross-checks the determinism contract on the way: every worker
-// count must produce byte-identical records.
+// count must produce byte-identical records — and the v2 streaming path
+// must deliver cells in spec order (the serialised bytes double as the
+// order check).
+//
+// `--smoke` runs a drastically reduced grid at 1 and 2 workers — a CI-fast
+// API regression check for the bench driver itself, not a measurement.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "campaign/registry.h"
 #include "campaign/runner.h"
+#include "campaign/sink.h"
 #include "clients/profiles.h"
 #include "testbed/testbed.h"
 
@@ -18,55 +27,71 @@ using namespace lazyeye;
 
 namespace {
 
-std::string serialize(const std::vector<testbed::RunRecord>& records) {
-  std::string out;
-  for (const auto& r : records) {
-    out += r.client;
-    out += '|';
-    out += std::to_string(r.configured_delay.count());
-    out += '|';
-    out += r.established_family
-               ? std::to_string(static_cast<int>(*r.established_family))
-               : "-";
-    out += '|';
-    out += r.observed_cad ? std::to_string(r.observed_cad->count()) : "-";
-    out += '|';
-    out += std::to_string(r.completion_time.count());
-    out += '\n';
-  }
-  return out;
+void serialize(const testbed::RunRecord& r, std::string& out) {
+  out += r.client;
+  out += '|';
+  out += std::to_string(r.configured_delay.count());
+  out += '|';
+  out += r.established_family
+             ? std::to_string(static_cast<int>(*r.established_family))
+             : "-";
+  out += '|';
+  out += r.observed_cad ? std::to_string(r.observed_cad->count()) : "-";
+  out += '|';
+  out += std::to_string(r.completion_time.count());
+  out += '\n';
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
   const auto profile = clients::chromium_profile("Chrome", "130.0", "10-2024");
-  const testbed::SweepSpec sweep = testbed::SweepSpec::fine_cad();
-  const int repetitions = 2;
+  const testbed::SweepSpec sweep =
+      smoke ? testbed::SweepSpec{ms(0), ms(400), ms(100)}
+            : testbed::SweepSpec::fine_cad();
+  const int repetitions = smoke ? 1 : 2;
+  const std::vector<int> worker_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
 
   testbed::LocalTestbed bed;
   const auto specs = bed.cad_sweep_specs(profile, sweep, repetitions);
-  std::printf("Campaign scaling: figure2 CAD sweep workload, %zu cells "
+
+  // v2 path: the testbed's executors plug into a registry, and the bench
+  // streams records through a callback sink (spec-order delivery), folding
+  // them straight into the determinism fingerprint.
+  campaign::Registry<testbed::RunRecord> registry;
+  testbed::register_executors(registry, bed, {profile});
+
+  std::printf("Campaign scaling%s: figure2 CAD sweep workload, %zu cells "
               "(%zu delays x %d reps), hardware threads: %u\n\n",
-              specs.size(), sweep.values().size(), repetitions,
+              smoke ? " (smoke mode)" : "", specs.size(),
+              sweep.values().size(), repetitions,
               std::thread::hardware_concurrency());
   std::printf("%8s %12s %12s %10s\n", "workers", "wall [ms]", "runs/sec",
               "speedup");
 
   double serial_seconds = 0.0;
   std::string serial_bytes;
-  for (const int workers : {1, 2, 4}) {
+  for (const int workers : worker_counts) {
     campaign::RunnerOptions options;
     options.workers = workers;
     const campaign::CampaignRunner runner{options};
 
+    std::string bytes;
+    bytes.reserve(specs.size() * 48);
+    campaign::CallbackSink<testbed::RunRecord> sink{
+        [&bytes](const campaign::ScenarioSpec&, testbed::RunRecord record) {
+          serialize(record, bytes);
+        }};
+
     const auto start = std::chrono::steady_clock::now();
-    const auto records = bed.run_campaign(profile, specs, runner);
+    registry.run(runner, specs, sink);
     const auto elapsed = std::chrono::steady_clock::now() - start;
     const double seconds =
         std::chrono::duration<double>(elapsed).count();
 
-    const std::string bytes = serialize(records);
     if (workers == 1) {
       serial_seconds = seconds;
       serial_bytes = bytes;

@@ -6,12 +6,17 @@
 // '4' = IPv4 established, 'x' = failure; plus the observed CAD from the
 // packet capture.
 //
-// Each client row is one campaign: the delay grid is sharded across the
-// CampaignRunner worker pool (results are identical to the serial sweep).
+// Campaign API v2: ALL client rows ride in ONE multi-client matrix — every
+// (client, delay) cell shares a single CampaignRunner pool via the executor
+// registry, and the collecting sink hands back records in spec order
+// (profile-major), so each row prints exactly what a per-client sweep
+// produced.
 #include <cstdio>
 #include <map>
 
+#include "campaign/registry.h"
 #include "campaign/runner.h"
+#include "campaign/sink.h"
 #include "clients/profiles.h"
 #include "testbed/testbed.h"
 #include "util/table.h"
@@ -24,26 +29,34 @@ int main() {
   const testbed::SweepSpec sweep{ms(0), ms(400), ms(25)};
   testbed::LocalTestbed bed;
 
+  // One joint matrix: every Figure 2 client × the whole delay grid, executed
+  // by one pool through the registry.
+  const auto profiles = clients::local_testbed_profiles();
+  const auto specs = bed.multi_client_cad_specs(profiles, sweep);
+
   const campaign::CampaignRunner runner;
   std::printf("Figure 2: established address family vs configured IPv6 "
               "delay (local testbed)\n");
   std::printf("Sweep: 0..400 ms step 25 ms. '6' IPv6, '4' IPv4, 'x' "
               "failure. Campaign workers: %d.\n\n",
-              runner.resolved_workers(sweep.values().size()));
+              runner.resolved_workers(specs.size()));
 
   std::printf("%-28s", "delay [ms]:");
   for (const SimTime d : sweep.values()) {
     std::printf("%4lld", static_cast<long long>(to_ms(d)));
   }
   std::printf("\n");
+  campaign::Registry<testbed::RunRecord> registry;
+  testbed::register_executors(registry, bed, profiles);
+  const auto result = registry.run_collect(runner, specs);
 
+  const std::size_t cells_per_client = sweep.values().size();
   std::map<std::string, SimTime> observed_cads;
-  for (const auto& profile : clients::local_testbed_profiles()) {
-    std::printf("%-28s", profile.figure_label().c_str());
-    const auto records =
-        bed.run_campaign(profile, bed.cad_sweep_specs(profile, sweep), runner);
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    std::printf("%-28s", profiles[p].figure_label().c_str());
     std::optional<SimTime> cad;
-    for (const auto& rec : records) {
+    for (std::size_t i = 0; i < cells_per_client; ++i) {
+      const auto& rec = result.outcomes[p * cells_per_client + i];
       char symbol = 'x';
       if (rec.established_family == simnet::Family::kIpv6) symbol = '6';
       if (rec.established_family == simnet::Family::kIpv4) symbol = '4';
@@ -51,7 +64,7 @@ int main() {
       if (rec.observed_cad && !cad) cad = rec.observed_cad;
     }
     if (cad) {
-      observed_cads[profile.figure_label()] = *cad;
+      observed_cads[profiles[p].figure_label()] = *cad;
       std::printf("   CAD=%s", format_duration(*cad).c_str());
     } else {
       std::printf("   CAD=-");

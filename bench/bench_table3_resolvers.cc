@@ -3,6 +3,7 @@
 // IPv6 packets per resolution, for the local resolver software and every
 // IPv6-capable open service.
 #include <cstdio>
+#include <vector>
 
 #include "resolverlab/lab.h"
 #include "resolvers/service_profiles.h"
@@ -17,8 +18,10 @@ int main() {
   // need enough IPv6-choosing runs per delay bucket for the max-delay
   // estimate to stabilise (the simulation is cheap).
   config.repetitions = 40;
-  // Shard each service's (delay x repetition) matrix across all hardware
-  // threads; the aggregated rows are identical to a serial run.
+  // Cross-service campaign (v2): ALL Table 3 rows share one worker pool —
+  // every (service, delay, repetition) cell lands in a single matrix, so
+  // fast services' leftover capacity drains slow services' cells. Rows are
+  // identical to per-service serial runs.
   config.workers = 0;
 
   TextTable table{{"Service", "AAAA Query", "IPv6 Share", "Max. IPv6 Delay",
@@ -30,14 +33,21 @@ int main() {
   table.set_align(7, TextTable::Align::kRight);
   table.set_align(8, TextTable::Align::kRight);
 
-  bool separated = false;
+  std::vector<resolvers::ServiceProfile> services;
   for (const auto& service : resolvers::all_service_profiles()) {
     if (!service.ipv6_resolution_capable) continue;  // Table 4 exclusion
+    services.push_back(service);
+  }
+  const auto rows = resolverlab::measure_services(services, config);
+
+  bool separated = false;
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    const auto& service = services[s];
+    const auto& metrics = rows[s];
     if (!service.local_software && !separated) {
       table.add_separator();
       separated = true;
     }
-    const auto metrics = resolverlab::measure_service(service, config);
 
     std::string order = metrics.aaaa_order_known
                             ? resolvers::aaaa_order_symbol(metrics.aaaa_order)

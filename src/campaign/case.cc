@@ -1,0 +1,23 @@
+#include "campaign/case.h"
+
+namespace lazyeye::campaign {
+
+const char* case_kind_name(CaseKind kind) {
+  // Adding a CasePayload alternative bumps kCaseKindCount and breaks this
+  // assert; the switch below has no default, so -Wswitch flags the missing
+  // enumerator too. Both fire at compile time — no stale names at runtime.
+  static_assert(kCaseKindCount == 5,
+                "new case kind: extend case_kind_name and CaseTraits");
+  switch (kind) {
+    case CaseKind::kCad: return CaseTraits<CadCase>::kName;
+    case CaseKind::kResolutionDelay:
+      return CaseTraits<ResolutionDelayCase>::kName;
+    case CaseKind::kAddressSelection:
+      return CaseTraits<AddressSelectionCase>::kName;
+    case CaseKind::kWebRepetition: return CaseTraits<WebRepetitionCase>::kName;
+    case CaseKind::kResolverCell: return CaseTraits<ResolverCellCase>::kName;
+  }
+  return "?";  // unreachable for in-range values; keeps UB away for casts
+}
+
+}  // namespace lazyeye::campaign

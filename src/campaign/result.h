@@ -1,17 +1,20 @@
 // CampaignResult: a completed scenario matrix — specs plus their outcomes,
 // index-aligned — and its aggregation into the util::Table machinery.
 //
-// The runner guarantees outcome order is spec order regardless of worker
-// count, so everything here is deterministic by construction.
+// The runner delivers outcomes in spec order regardless of worker count
+// (see runner.h), so everything here is deterministic by construction. The
+// materialised form is produced by a CollectingSink (sink.h); campaigns
+// that aggregate on the fly stream through a ResultSink instead and never
+// build one of these.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "campaign/runner.h"
 #include "campaign/scenario.h"
 #include "util/table.h"
 
@@ -73,17 +76,6 @@ TextTable to_table(const CampaignResult<R>& result,
     table.add_row(std::move(row));
   }
   return table;
-}
-
-/// Runs a spec matrix through a runner and returns the paired result.
-template <typename R>
-CampaignResult<R> run_campaign(
-    const CampaignRunner& runner, std::vector<ScenarioSpec> specs,
-    const std::function<R(const ScenarioSpec&)>& executor) {
-  CampaignResult<R> result;
-  result.outcomes = runner.run(specs, executor);
-  result.specs = std::move(specs);
-  return result;
 }
 
 }  // namespace lazyeye::campaign

@@ -2,17 +2,20 @@
 //
 // Each worker claims cells off a shared atomic cursor and executes them in a
 // fully isolated simnet world (the executor builds the world from the spec's
-// seed). Results land in a pre-sized vector indexed by cell order, so the
-// aggregated output is byte-identical for 1 worker and N workers — worker
-// count is purely a wall-clock knob.
+// seed). Completed cells are re-ordered into spec order and streamed to a
+// ResultSink — the sink sees cell i only after cells 0..i-1, regardless of
+// which worker finished first, so aggregated output is byte-identical for
+// 1 worker and N workers. Worker count is purely a wall-clock knob.
 #pragma once
 
 #include <cstddef>
 #include <functional>
-#include <type_traits>
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "campaign/scenario.h"
+#include "campaign/sink.h"
 
 namespace lazyeye::campaign {
 
@@ -23,8 +26,8 @@ struct RunnerOptions {
   int workers = 0;
 
   /// Optional progress hook, invoked after each completed cell with
-  /// (cells_done, cells_total). May be called from any worker; calls are
-  /// serialised by the runner.
+  /// (cells_done, cells_total) in completion order. May be called from any
+  /// worker; calls are serialised by the runner.
   std::function<void(std::size_t, std::size_t)> progress;
 };
 
@@ -35,22 +38,64 @@ class CampaignRunner {
   /// The worker count a matrix of `jobs` cells would actually use.
   int resolved_workers(std::size_t jobs) const;
 
-  /// Executes `executor` for every spec and returns the results in spec
-  /// order. The executor must be self-contained per call (it may run
-  /// concurrently from several threads on *different* specs). If any
-  /// executor call throws, the first exception is rethrown on the calling
-  /// thread after the pool drains.
+  /// Executes `executor` for every spec and streams each outcome to `sink`
+  /// in spec order (see sink.h for the delivery contract). The executor
+  /// must be self-contained per call (it may run concurrently from several
+  /// threads on *different* specs). Out-of-order completions are parked in
+  /// a pending map and released as soon as every earlier cell has been
+  /// delivered, so memory high-water tracks how far completions run ahead
+  /// of the slowest undelivered cell — typically a few cells on balanced
+  /// matrices, but a pathologically slow head cell can park everything
+  /// behind it (no backpressure on the claim cursor yet; see ROADMAP). If
+  /// any executor or sink call throws, the first exception is rethrown on
+  /// the calling thread after the pool drains (sink.end() is not called).
+  template <typename R>
+  void run_streaming(const std::vector<ScenarioSpec>& specs,
+                     const std::function<R(const ScenarioSpec&)>& executor,
+                     ResultSink<R>& sink) const {
+    std::map<std::size_t, R> pending;  // finished cells awaiting delivery
+    std::mutex emit_mutex;
+    std::size_t next_to_emit = 0;
+    bool delivery_failed = false;
+
+    sink.begin(specs.size());
+    run_indexed(specs.size(), [&](std::size_t i) {
+      R outcome = executor(specs[i]);
+      std::lock_guard<std::mutex> lock{emit_mutex};
+      pending.emplace(i, std::move(outcome));
+      while (!delivery_failed) {
+        const auto ready = pending.find(next_to_emit);
+        if (ready == pending.end()) break;
+        // Claim the cell before delivering: if the sink throws, no other
+        // worker's drain may re-deliver it (it would be moved-from), and
+        // delivery stops for good — the exception surfaces as the
+        // campaign's first error.
+        R outcome_ready = std::move(ready->second);
+        pending.erase(ready);
+        const std::size_t cell = next_to_emit++;
+        try {
+          sink.cell(specs[cell], std::move(outcome_ready));
+        } catch (...) {
+          delivery_failed = true;
+          throw;
+        }
+      }
+    });
+    sink.end();
+  }
+
+  /// Convenience wrapper: collects the streamed outcomes into a vector in
+  /// spec order. Prefer run_streaming with a sink when the aggregation can
+  /// fold cells incrementally.
   template <typename R>
   std::vector<R> run(const std::vector<ScenarioSpec>& specs,
                      const std::function<R(const ScenarioSpec&)>& executor) const {
-    // Workers write distinct results[i] slots concurrently; vector<bool>
-    // packs bits, so neighbouring slots would share a byte (a data race).
-    static_assert(!std::is_same_v<R, bool>,
-                  "use e.g. char or int instead of bool outcomes");
-    std::vector<R> results(specs.size());
-    run_indexed(specs.size(), [&](std::size_t i) {
-      results[i] = executor(specs[i]);
-    });
+    std::vector<R> results;
+    results.reserve(specs.size());
+    CallbackSink<R> sink{[&results](const ScenarioSpec&, R outcome) {
+      results.push_back(std::move(outcome));
+    }};
+    run_streaming<R>(specs, executor, sink);
     return results;
   }
 

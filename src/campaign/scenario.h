@@ -1,36 +1,25 @@
 // Declarative description of one measurement run (one cell of a scenario
-// matrix).
+// matrix) — campaign API v2.
 //
-// Every experiment in this repo — the testbed's CAD/RD/address-selection
-// sweeps (Figure 2), the web tool's delay-bucket × repetition campaigns
-// (Figure 4), the resolver lab's delay × repetition matrix (Table 3) — is a
-// grid of independent (configuration × repetition) cells. A ScenarioSpec
-// captures one cell as plain data: which client/service, which delay knob,
-// which repetition, and crucially which *seed* the isolated simnet world is
-// built from. Because each cell owns its world and its seed, cells can run
-// in any order on any number of workers and still produce byte-identical
-// results.
+// A ScenarioSpec is the shared envelope every cell carries — dense id,
+// per-cell seed, repetition, grid position, label, client — plus a typed
+// payload (case.h) holding exactly the parameters of its measurement case.
+// Because each cell owns its world and its seed, cells can run in any order
+// on any number of workers and still produce byte-identical results; and
+// because the payload is a closed variant, one matrix can mix case kinds
+// (testbed CAD cells next to resolver-lab cells) and an executor registry
+// can dispatch on the payload type alone.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <variant>
 
-#include "dns/rr.h"
+#include "campaign/case.h"
 #include "util/rng.h"
 #include "util/time.h"
 
 namespace lazyeye::campaign {
-
-/// The measurement case a spec describes. Executors dispatch on this.
-enum class CaseKind {
-  kCad,               // dual-stack target, IPv6 path delayed
-  kResolutionDelay,   // DNS answer of `delayed_type` delayed
-  kAddressSelection,  // `per_family` unresponsive addresses per family
-  kWebToolRepetition, // one web-tool repetition over the whole bucket grid
-  kResolverCell,      // one resolver-lab (delay, repetition) cell
-};
-
-const char* case_kind_name(CaseKind kind);
 
 struct ScenarioSpec {
   /// Dense index of this cell in its campaign's matrix; doubles as the
@@ -42,22 +31,29 @@ struct ScenarioSpec {
   /// shared mutable state — that is what makes sharding deterministic.
   std::uint64_t seed = 1;
 
-  CaseKind kind = CaseKind::kCad;
   int repetition = 0;
   int grid_index = 0;  // position in the delay grid / bucket list
 
   /// Human-readable cell name for tables and progress output.
   std::string label;
 
-  /// Knobs interpreted per kind.
-  std::string client;   // client profile display name ("" when n/a)
-  std::string service;  // resolver service name ("" when n/a)
-  SimTime delay{0};     // IPv6 path delay (CAD) or DNS answer delay (RD)
-  /// DNS behaviour: when true the delay knob shapes the answer of
-  /// `delayed_type` instead of the IPv6 path (web-tool RD cells).
-  bool delay_dns = false;
-  dns::RrType delayed_type = dns::RrType::kAaaa;
-  int per_family = 0;   // address-selection width
+  /// Client profile display name ("" when the case has no client). Part of
+  /// the envelope rather than a payload field so multi-client batches can
+  /// mix profiles within one kind, and executors resolve the profile from
+  /// their registered pool.
+  std::string client;
+
+  /// The measurement case this cell runs (typed; see case.h).
+  CasePayload payload = CadCase{};
+
+  /// Discriminator of the payload (registries index executor tables by it).
+  CaseKind kind() const { return kind_of(payload); }
+
+  /// Payload accessor: nullptr when the cell holds a different case type.
+  template <typename C>
+  const C* get_if() const {
+    return std::get_if<C>(&payload);
+  }
 
   /// Independent streams derived from `seed` for executors that need more
   /// than one generator per cell (world netem vs client behaviour).

@@ -1,0 +1,80 @@
+// ResultSink: streaming per-cell delivery of campaign outcomes.
+//
+// v1's run() materialised every outcome vector before any aggregation could
+// start; v2 pushes each cell to a sink *in spec order* as soon as it (and
+// all cells before it) completed. Aggregations that fold cells into running
+// counters (the web tool's per-bucket tallies, the resolver lab's Table 3
+// rows) never hold the full record vector; campaigns that do want the
+// materialised matrix use CollectingSink, which reproduces the v1
+// CampaignResult byte-for-byte.
+//
+// Delivery contract (enforced by CampaignRunner::run_streaming):
+//   - begin(n) once, on the calling thread, before any cell.
+//   - cell(spec, outcome) exactly once per cell, in spec order, serialised
+//     (never concurrently) — but possibly from different worker threads.
+//   - end() once after the last cell; skipped when an executor throws.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "campaign/result.h"
+#include "campaign/scenario.h"
+
+namespace lazyeye::campaign {
+
+template <typename R>
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Called once with the matrix size before the first cell.
+  virtual void begin(std::size_t cells_total) { (void)cells_total; }
+
+  /// Called once per cell, in spec order, calls serialised.
+  virtual void cell(const ScenarioSpec& spec, R outcome) = 0;
+
+  /// Called once after the last cell (not called when the campaign throws).
+  virtual void end() {}
+};
+
+/// Materialises the matrix into a CampaignResult — the v1 behaviour, now
+/// just one sink among others.
+template <typename R>
+class CollectingSink final : public ResultSink<R> {
+ public:
+  void begin(std::size_t cells_total) override {
+    result_.specs.reserve(cells_total);
+    result_.outcomes.reserve(cells_total);
+  }
+
+  void cell(const ScenarioSpec& spec, R outcome) override {
+    result_.specs.push_back(spec);
+    result_.outcomes.push_back(std::move(outcome));
+  }
+
+  const CampaignResult<R>& result() const& { return result_; }
+  CampaignResult<R> take() && { return std::move(result_); }
+
+ private:
+  CampaignResult<R> result_;
+};
+
+/// Adapts a callable into a sink for on-the-fly aggregation.
+template <typename R>
+class CallbackSink final : public ResultSink<R> {
+ public:
+  using CellFn = std::function<void(const ScenarioSpec&, R)>;
+
+  explicit CallbackSink(CellFn on_cell) : on_cell_{std::move(on_cell)} {}
+
+  void cell(const ScenarioSpec& spec, R outcome) override {
+    on_cell_(spec, std::move(outcome));
+  }
+
+ private:
+  CellFn on_cell_;
+};
+
+}  // namespace lazyeye::campaign

@@ -51,6 +51,19 @@ std::uint64_t HappyEyeballsEngine::connect(const dns::DnsName& hostname,
   s.opts = options_;
   s.started = host_.network().loop().now();
 
+  // Reject a nonsensical parameter space up front: a configuration error is
+  // delivered through the normal completion path (handler fires exactly
+  // once). Deferred to the loop so the handler never runs re-entrantly
+  // inside connect() — every other completion path fires from the loop.
+  if (const Status config = s.opts.validate(); !config.ok()) {
+    host_.network().loop().schedule_after(
+        SimTime{0},
+        [this, id, error = "configuration: " + config.error()] {
+          fail(id, error);
+        });
+    return id;
+  }
+
   s.overall_timer = host_.network().loop().schedule_after(
       s.opts.overall_timeout, [this, id] { fail(id, "overall timeout"); });
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/strings.h"
+
 namespace lazyeye::he {
 
 const char* he_version_name(HeVersion v) {
@@ -24,6 +26,35 @@ SimTime DynamicCad::effective(std::optional<SimTime> smoothed_rtt) const {
 SimTime HeOptions::effective_cad(std::optional<SimTime> smoothed_rtt) const {
   if (dynamic_cad.enabled) return dynamic_cad.effective(smoothed_rtt);
   return connection_attempt_delay;
+}
+
+Status HeOptions::validate() const {
+  if (first_address_family_count < 1) {
+    return Status::failure(lazyeye::str_format(
+        "first_address_family_count must be >= 1 (got %d)",
+        first_address_family_count));
+  }
+  if (max_addresses_per_family < 1) {
+    return Status::failure(lazyeye::str_format(
+        "max_addresses_per_family must be >= 1 (got %d)",
+        max_addresses_per_family));
+  }
+  if (resolution_delay && resolution_delay->count() < 0) {
+    return Status::failure(lazyeye::str_format(
+        "resolution_delay must be non-negative (got %s)",
+        format_duration(*resolution_delay).c_str()));
+  }
+  if (connection_attempt_delay.count() < 0) {
+    return Status::failure(lazyeye::str_format(
+        "connection_attempt_delay must be non-negative (got %s)",
+        format_duration(connection_attempt_delay).c_str()));
+  }
+  if (overall_timeout.count() <= 0) {
+    return Status::failure(lazyeye::str_format(
+        "overall_timeout must be positive (got %s)",
+        format_duration(overall_timeout).c_str()));
+  }
+  return Status{};
 }
 
 HeOptions HeOptions::rfc6555() {

@@ -7,6 +7,7 @@
 
 #include "transport/quic.h"
 #include "transport/tcp.h"
+#include "util/result.h"
 #include "util/time.h"
 
 namespace lazyeye::he {
@@ -105,6 +106,15 @@ struct HeOptions {
 
   /// Effective CAD for the session (fixed or dynamic).
   SimTime effective_cad(std::optional<SimTime> smoothed_rtt) const;
+
+  /// Sanity-checks the parameter space the engine is about to run with:
+  /// first_address_family_count >= 1, max_addresses_per_family >= 1,
+  /// non-negative resolution_delay (when set) and connection_attempt_delay,
+  /// and a positive overall timeout. The engine validates at session start
+  /// and surfaces a configuration error instead of silently misbehaving
+  /// (an FAFC of 0 would starve the attempt plan; a negative delay would
+  /// fire its timer in the past and drag virtual time backwards).
+  Status validate() const;
 
   // Presets matching the RFC/draft recommendations (Table 1).
   static HeOptions rfc6555();

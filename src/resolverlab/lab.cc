@@ -216,17 +216,16 @@ std::vector<campaign::ScenarioSpec> cell_specs(
     for (int rep = 0; rep < config.repetitions; ++rep) {
       campaign::ScenarioSpec spec;
       spec.id = cell;
-      spec.kind = campaign::CaseKind::kResolverCell;
       // The seed sequence the serial loop consumed: config.seed + 1, +2, ...
       // in (delay-major, repetition-minor) order.
       spec.seed = config.seed + cell + 1;
       spec.repetition = rep;
       spec.grid_index = static_cast<int>(di);
-      spec.service = service.service;
-      spec.delay = config.delay_grid[di];
+      spec.payload =
+          campaign::ResolverCellCase{service.service, config.delay_grid[di]};
       spec.label = lazyeye::str_format(
           "%s %s rep%d", service.service.c_str(),
-          format_duration(spec.delay).c_str(), rep);
+          format_duration(config.delay_grid[di]).c_str(), rep);
       specs.push_back(std::move(spec));
       ++cell;
     }
@@ -234,10 +233,32 @@ std::vector<campaign::ScenarioSpec> cell_specs(
   return specs;
 }
 
+std::vector<campaign::ScenarioSpec> cross_service_cell_specs(
+    const std::vector<resolvers::ServiceProfile>& services,
+    const LabConfig& config) {
+  std::vector<campaign::ScenarioSpec> specs;
+  specs.reserve(services.size() * config.delay_grid.size() *
+                static_cast<std::size_t>(config.repetitions));
+  std::uint64_t cell = 0;
+  for (const auto& service : services) {
+    // Each service keeps its solo seed sequence (different services run
+    // different engines, so re-using the sequence across blocks is what
+    // makes the joint matrix reproduce every solo campaign exactly).
+    for (campaign::ScenarioSpec& spec : cell_specs(service, config)) {
+      spec.id = cell++;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
 RunObservation run_cell(const resolvers::ServiceProfile& service,
                         const campaign::ScenarioSpec& spec) {
-  auto run = build_run(service, spec.delay, spec.grid_index, spec.repetition,
-                       spec.seed, /*v6_only=*/false);
+  // Throws bad_variant_access on a non-resolver cell: routing a foreign
+  // case here is a programming error, not a measurement outcome.
+  const auto& cell = std::get<campaign::ResolverCellCase>(spec.payload);
+  auto run = build_run(service, cell.v6_delay, spec.grid_index,
+                       spec.repetition, spec.seed, /*v6_only=*/false);
   bool resolved = false;
   SimTime completed{0};
   run->resolver->resolve(run->qname, dns::RrType::kA,
@@ -247,28 +268,17 @@ RunObservation run_cell(const resolvers::ServiceProfile& service,
                            completed = net->loop().now();
                          });
   run->net.loop().run();
-  return observe(*run, spec.delay, spec.repetition, resolved, completed);
+  return observe(*run, cell.v6_delay, spec.repetition, resolved, completed);
 }
 
-ServiceMetrics measure_service(const resolvers::ServiceProfile& service,
-                               const LabConfig& config) {
+ServiceMetrics aggregate_service(const resolvers::ServiceProfile& service,
+                                 std::vector<RunObservation> observations) {
   ServiceMetrics metrics;
   metrics.service = service.service;
 
   std::map<std::int64_t, std::pair<int, int>> v6_success_by_delay;  // (v6, n)
   int first_query_v6 = 0;
   int first_query_total = 0;
-
-  // Shard the (delay × repetition) matrix across the worker pool. Each cell
-  // is an isolated world seeded from its spec, and observations come back in
-  // matrix order, so the aggregation below is worker-count independent.
-  campaign::RunnerOptions runner_options;
-  runner_options.workers = config.workers;
-  campaign::CampaignRunner runner{runner_options};
-  std::vector<RunObservation> observations = runner.run<RunObservation>(
-      cell_specs(service, config), [&](const campaign::ScenarioSpec& spec) {
-        return run_cell(service, spec);
-      });
 
   for (RunObservation& obs : observations) {
     if (obs.v6_main_queries + obs.v4_main_queries > 0) {
@@ -345,6 +355,50 @@ ServiceMetrics measure_service(const resolvers::ServiceProfile& service,
     metrics.delay_unmeasurable = parallel * 2 > with_ns_queries;
   }
   return metrics;
+}
+
+ServiceMetrics measure_service(const resolvers::ServiceProfile& service,
+                               const LabConfig& config) {
+  std::vector<ServiceMetrics> rows = measure_services({service}, config);
+  return std::move(rows.front());
+}
+
+std::vector<ServiceMetrics> measure_services(
+    const std::vector<resolvers::ServiceProfile>& services,
+    const LabConfig& config) {
+  // One joint matrix, one worker pool: every service's cells interleave
+  // freely across workers. Each cell is an isolated world seeded from its
+  // spec, and the sink streams observations in spec order (service-major),
+  // so per-service aggregation is worker-count independent and identical
+  // to running each service's campaign alone.
+  const auto specs = cross_service_cell_specs(services, config);
+
+  campaign::Registry<RunObservation> registry;
+  register_executor(registry, services);
+
+  std::vector<std::vector<RunObservation>> per_service(services.size());
+  const std::size_t cells_per_service =
+      services.empty() ? 0 : specs.size() / services.size();
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    per_service[s].reserve(cells_per_service);
+  }
+  campaign::CallbackSink<RunObservation> sink{
+      [&](const campaign::ScenarioSpec& spec, RunObservation obs) {
+        // Spec order is service-major, so the service block index is just
+        // id / block size.
+        per_service[spec.id / cells_per_service].push_back(std::move(obs));
+      }};
+
+  campaign::RunnerOptions runner_options;
+  runner_options.workers = config.workers;
+  registry.run(campaign::CampaignRunner{runner_options}, specs, sink);
+
+  std::vector<ServiceMetrics> rows;
+  rows.reserve(services.size());
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    rows.push_back(aggregate_service(services[s], std::move(per_service[s])));
+  }
+  return rows;
 }
 
 }  // namespace lazyeye::resolverlab

@@ -5,12 +5,21 @@
 // (cache-effect avoidance), traffic shaping on the authoritative server's
 // IPv6 path, and evaluates resolvers *purely from the authoritative-side
 // query log* — the resolver engine is a black box to the measurement.
+//
+// Campaign API v2: each (delay, repetition) cell is a ScenarioSpec carrying
+// a ResolverCellCase payload that names the service, so cells of *different*
+// services can share one worker pool — measure_services() runs every
+// Table 3 row in a single campaign while keeping each service's serial seed
+// sequence (per-service results are byte-identical to a solo campaign).
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "campaign/registry.h"
 #include "campaign/scenario.h"
 #include "resolvers/service_profiles.h"
 #include "util/time.h"
@@ -73,15 +82,55 @@ bool check_ipv6_only_capability(const resolvers::ServiceProfile& service,
 std::vector<campaign::ScenarioSpec> cell_specs(
     const resolvers::ServiceProfile& service, const LabConfig& config);
 
+/// One joint matrix covering all `services` (service-major: service A's
+/// full delay × repetition block, then B's, ...). Each service's block
+/// keeps its own serial seed sequence, so per-service observations are
+/// identical to a solo campaign; ids are dense across the joint matrix.
+std::vector<campaign::ScenarioSpec> cross_service_cell_specs(
+    const std::vector<resolvers::ServiceProfile>& services,
+    const LabConfig& config);
+
 /// Stateless executor for one (delay, repetition) cell: builds the
 /// delegation tree in an isolated world seeded from the spec, resolves, and
 /// reads the authoritative-side query log. Thread-safe across cells.
 RunObservation run_cell(const resolvers::ServiceProfile& service,
                         const campaign::ScenarioSpec& spec);
 
+/// Folds one service's observations (in matrix order) into its Table 3 row.
+ServiceMetrics aggregate_service(const resolvers::ServiceProfile& service,
+                                 std::vector<RunObservation> observations);
+
 /// Runs the full campaign for one service (cells sharded across
 /// config.workers threads).
 ServiceMetrics measure_service(const resolvers::ServiceProfile& service,
                                const LabConfig& config);
+
+/// Cross-service campaign: all services' matrices in ONE worker pool (the
+/// ROADMAP's "all Table 3 rows in one pool"). Returns one metrics row per
+/// service, in input order, byte-identical to measure_service() per
+/// service at any worker count.
+std::vector<ServiceMetrics> measure_services(
+    const std::vector<resolvers::ServiceProfile>& services,
+    const LabConfig& config);
+
+/// Plugs the resolver-cell case into a campaign registry. Cells name their
+/// service in the payload; it is resolved against `services` (copied into
+/// the executor).
+template <typename Outcome>
+void register_executor(campaign::Registry<Outcome>& registry,
+                       std::vector<resolvers::ServiceProfile> services) {
+  auto pool = std::make_shared<const std::vector<resolvers::ServiceProfile>>(
+      std::move(services));
+  registry.template add<campaign::ResolverCellCase>(
+      [pool](const campaign::ScenarioSpec& spec,
+             const campaign::ResolverCellCase& cell) {
+        return run_cell(
+            campaign::find_registered(
+                *pool, cell.service,
+                [](const resolvers::ServiceProfile& s) { return s.service; },
+                "resolverlab"),
+            spec);
+      });
+}
 
 }  // namespace lazyeye::resolverlab

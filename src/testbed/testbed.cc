@@ -151,8 +151,7 @@ campaign::ScenarioSpec LocalTestbed::base_spec(
 campaign::ScenarioSpec LocalTestbed::cad_spec(
     const clients::ClientProfile& profile, SimTime v6_delay, int repetition) {
   campaign::ScenarioSpec spec = base_spec(profile, repetition);
-  spec.kind = campaign::CaseKind::kCad;
-  spec.delay = v6_delay;
+  spec.payload = campaign::CadCase{v6_delay};
   spec.label = lazyeye::str_format("cad %s %s rep%d", spec.client.c_str(),
                                    format_duration(v6_delay).c_str(),
                                    repetition);
@@ -163,9 +162,7 @@ campaign::ScenarioSpec LocalTestbed::rd_spec(
     const clients::ClientProfile& profile, dns::RrType delayed_type,
     SimTime dns_delay, int repetition) {
   campaign::ScenarioSpec spec = base_spec(profile, repetition);
-  spec.kind = campaign::CaseKind::kResolutionDelay;
-  spec.delay = dns_delay;
-  spec.delayed_type = delayed_type;
+  spec.payload = campaign::ResolutionDelayCase{delayed_type, dns_delay};
   spec.label = lazyeye::str_format("rd %s %s rep%d", spec.client.c_str(),
                                    format_duration(dns_delay).c_str(),
                                    repetition);
@@ -175,8 +172,7 @@ campaign::ScenarioSpec LocalTestbed::rd_spec(
 campaign::ScenarioSpec LocalTestbed::address_selection_spec(
     const clients::ClientProfile& profile, int per_family, int repetition) {
   campaign::ScenarioSpec spec = base_spec(profile, repetition);
-  spec.kind = campaign::CaseKind::kAddressSelection;
-  spec.per_family = per_family;
+  spec.payload = campaign::AddressSelectionCase{per_family};
   spec.label = lazyeye::str_format("sel %s %d+%d rep%d", spec.client.c_str(),
                                    per_family, per_family, repetition);
   return spec;
@@ -201,6 +197,24 @@ std::vector<campaign::ScenarioSpec> LocalTestbed::cad_sweep_specs(
   return specs;
 }
 
+std::vector<campaign::ScenarioSpec> LocalTestbed::multi_client_cad_specs(
+    const std::vector<clients::ClientProfile>& profiles, const SweepSpec& sweep,
+    int repetitions) {
+  std::vector<campaign::ScenarioSpec> specs;
+  std::uint64_t cell = 0;
+  for (const auto& profile : profiles) {
+    // Per-profile generation draws seeds from the shared counter, so the
+    // joint matrix reproduces exactly the worlds that generating each
+    // profile's sweep back to back would have produced.
+    for (campaign::ScenarioSpec& spec :
+         cad_sweep_specs(profile, sweep, repetitions)) {
+      spec.id = cell++;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
 RunRecord LocalTestbed::run_spec(const clients::ClientProfile& profile,
                                  const campaign::ScenarioSpec& spec) const {
   const std::uint64_t run_id = spec.seed;
@@ -209,47 +223,43 @@ RunRecord LocalTestbed::run_spec(const clients::ClientProfile& profile,
       lazyeye::str_format("%llu", static_cast<unsigned long long>(run_id));
 
   dns::DnsName name;
-  switch (spec.kind) {
-    case campaign::CaseKind::kCad: {
-      // tc-netem on the server node: delay IPv6 *TCP* traffic (the paper's
-      // DNS runs on the same host; delaying all v6 would skew the DNS
-      // baseline, and the client's stub points at the v4 address anyway).
-      simnet::PacketFilter v6_tcp;
-      v6_tcp.family = Family::kIpv6;
-      v6_tcp.proto = simnet::Protocol::kTcp;
-      sc->server_host->egress().add_rule(
-          v6_tcp, simnet::NetemSpec::delay_only(spec.delay), "delay v6");
+  SimTime configured_delay{0};
+  if (const auto* cad = spec.get_if<campaign::CadCase>()) {
+    configured_delay = cad->v6_delay;
+    // tc-netem on the server node: delay IPv6 *TCP* traffic (the paper's
+    // DNS runs on the same host; delaying all v6 would skew the DNS
+    // baseline, and the client's stub points at the v4 address anyway).
+    simnet::PacketFilter v6_tcp;
+    v6_tcp.family = Family::kIpv6;
+    v6_tcp.proto = simnet::Protocol::kTcp;
+    sc->server_host->egress().add_rule(
+        v6_tcp, simnet::NetemSpec::delay_only(cad->v6_delay), "delay v6");
 
-      // Unique name per run to rule out caching (nonce label).
-      name = dns::make_test_name(dns::DnsName::must_parse("cad.he-test.lab"),
-                                 nonce, {});
-      sc->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
-      sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
-      break;
+    // Unique name per run to rule out caching (nonce label).
+    name = dns::make_test_name(dns::DnsName::must_parse("cad.he-test.lab"),
+                               nonce, {});
+    sc->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+    sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
+  } else if (const auto* rd = spec.get_if<campaign::ResolutionDelayCase>()) {
+    configured_delay = rd->dns_delay;
+    name = dns::make_test_name(dns::DnsName::must_parse("rd.he-test.lab"),
+                               nonce, {{rd->delayed_type, rd->dns_delay}});
+    sc->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
+    sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
+  } else if (const auto* sel = spec.get_if<campaign::AddressSelectionCase>()) {
+    name = dns::make_test_name(dns::DnsName::must_parse("sel.he-test.lab"),
+                               nonce, {});
+    // All records point to unresponsive addresses (no host owns them).
+    for (int i = 1; i <= sel->per_family; ++i) {
+      sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse(lazyeye::str_format(
+                                   "2001:db8:dead::%d", i)));
+      sc->zone->add_a(name, *simnet::Ipv4Address::parse(
+                                lazyeye::str_format("10.99.0.%d", i)));
     }
-    case campaign::CaseKind::kResolutionDelay: {
-      name = dns::make_test_name(dns::DnsName::must_parse("rd.he-test.lab"),
-                                 nonce, {{spec.delayed_type, spec.delay}});
-      sc->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
-      sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
-      break;
-    }
-    case campaign::CaseKind::kAddressSelection: {
-      name = dns::make_test_name(dns::DnsName::must_parse("sel.he-test.lab"),
-                                 nonce, {});
-      // All records point to unresponsive addresses (no host owns them).
-      for (int i = 1; i <= spec.per_family; ++i) {
-        sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse(lazyeye::str_format(
-                                     "2001:db8:dead::%d", i)));
-        sc->zone->add_a(name, *simnet::Ipv4Address::parse(
-                                  lazyeye::str_format("10.99.0.%d", i)));
-      }
-      break;
-    }
-    default:
-      throw std::invalid_argument(
-          lazyeye::str_format("LocalTestbed::run_spec: unsupported kind %s",
-                              campaign::case_kind_name(spec.kind)));
+  } else {
+    throw std::invalid_argument(
+        lazyeye::str_format("LocalTestbed::run_spec: unsupported case %s",
+                            campaign::case_name(spec.payload)));
   }
 
   clients::FetchResult fetch;
@@ -257,7 +267,7 @@ RunRecord LocalTestbed::run_spec(const clients::ClientProfile& profile,
     fetch = r;
   });
   sc->net.loop().run();
-  return analyze(profile, *sc, spec.delay, spec.repetition, fetch);
+  return analyze(profile, *sc, configured_delay, spec.repetition, fetch);
 }
 
 std::vector<RunRecord> LocalTestbed::run_campaign(

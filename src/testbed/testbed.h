@@ -7,18 +7,23 @@
 // network and a fresh client ("drop and create a new container") so no
 // caching effects leak between configurations.
 //
-// Runs are described declaratively as campaign::ScenarioSpec cells: the
-// spec generators below allocate seeds, and run_spec() is a stateless
-// executor that builds the cell's isolated world — which is what lets
-// sweep_cad() shard a whole delay × repetition matrix across the
-// CampaignRunner worker pool with byte-identical results at any worker
-// count.
+// Runs are described declaratively as campaign cells (v2 typed payloads:
+// CadCase / ResolutionDelayCase / AddressSelectionCase): the spec
+// generators below allocate seeds, and run_spec() is a stateless executor
+// that builds the cell's isolated world — which is what lets whole delay ×
+// repetition × client matrices shard across the CampaignRunner worker pool
+// with byte-identical results at any worker count. register_executors()
+// plugs the three testbed case types into a campaign::Registry so testbed
+// cells can ride in mixed-kind matrices.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "campaign/registry.h"
 #include "campaign/runner.h"
 #include "campaign/scenario.h"
 #include "capture/analysis.h"
@@ -89,7 +94,7 @@ class LocalTestbed {
   RunRecord run_address_selection_case(const clients::ClientProfile& profile,
                                        int per_family, int repetition = 0);
 
-  // ---- Campaign API ------------------------------------------------------
+  // ---- Campaign API v2 ---------------------------------------------------
   // Spec generators allocate each cell's run id (nonce + seed) from the
   // testbed's counter, so mixing one-off cases and sweeps never reuses a
   // world seed or a DNS nonce name.
@@ -108,6 +113,14 @@ class LocalTestbed {
   std::vector<campaign::ScenarioSpec> cad_sweep_specs(
       const clients::ClientProfile& profile, const SweepSpec& sweep,
       int repetitions = 1);
+
+  /// One CAD matrix batching several client profiles into a single campaign
+  /// (profile-major, then delay-major, repetition-minor — the same counter
+  /// sequence as generating each profile's sweep back to back). Ids are
+  /// dense across the joint matrix.
+  std::vector<campaign::ScenarioSpec> multi_client_cad_specs(
+      const std::vector<clients::ClientProfile>& profiles,
+      const SweepSpec& sweep, int repetitions = 1);
 
   /// Stateless executor: builds the isolated simnet world described by
   /// `spec` (seeded from spec.seed), runs it, and analyses the capture.
@@ -135,5 +148,34 @@ class LocalTestbed {
   TestbedOptions options_;
   std::uint64_t run_counter_ = 0;
 };
+
+/// Plugs the three testbed case types (CAD, RD, address selection) into a
+/// campaign registry. Cells carry the client display name in their
+/// envelope; it is resolved against `profiles` — the campaign's client pool
+/// — so one matrix can batch several client profiles. `bed` must outlive
+/// the registry; the pool is copied into the executors.
+template <typename Outcome>
+void register_executors(campaign::Registry<Outcome>& registry,
+                        const LocalTestbed& bed,
+                        std::vector<clients::ClientProfile> profiles) {
+  auto pool = std::make_shared<const std::vector<clients::ClientProfile>>(
+      std::move(profiles));
+  auto resolve =
+      [pool](const campaign::ScenarioSpec& spec) -> const clients::ClientProfile& {
+    return campaign::find_registered(
+        *pool, spec.client,
+        [](const clients::ClientProfile& p) { return p.display_name(); },
+        "testbed");
+  };
+  // One executor body serves all three case types: run_spec() dispatches on
+  // the payload itself.
+  auto execute = [&bed, resolve](const campaign::ScenarioSpec& spec,
+                                 const auto& /*case payload*/) {
+    return bed.run_spec(resolve(spec), spec);
+  };
+  registry.template add<campaign::CadCase>(execute);
+  registry.template add<campaign::ResolutionDelayCase>(execute);
+  registry.template add<campaign::AddressSelectionCase>(execute);
+}
 
 }  // namespace lazyeye::testbed

@@ -1,6 +1,7 @@
 #include "webtool/webtool.h"
 
 #include "campaign/runner.h"
+#include "campaign/sink.h"
 #include "dns/auth_server.h"
 #include "dns/test_params.h"
 #include "util/strings.h"
@@ -46,14 +47,12 @@ std::vector<campaign::ScenarioSpec> WebTool::campaign_specs(
   for (int rep = 0; rep < config_.repetitions; ++rep) {
     campaign::ScenarioSpec spec;
     spec.id = rep;
-    spec.kind = campaign::CaseKind::kWebToolRepetition;
     spec.repetition = rep;
     // One seed per repetition cell: the whole deployment (netem noise,
     // client behaviour) for that repetition derives from it.
     spec.seed = config_.seed * 1000003ULL + static_cast<std::uint64_t>(rep) + 1;
     spec.client = profile.display_name();
-    spec.delay_dns = rd_mode;
-    spec.delayed_type = delayed_type;
+    spec.payload = campaign::WebRepetitionCase{rd_mode, delayed_type};
     spec.label = lazyeye::str_format("webtool %s rep%d", spec.client.c_str(),
                                      rep);
     specs.push_back(std::move(spec));
@@ -63,8 +62,11 @@ std::vector<campaign::ScenarioSpec> WebTool::campaign_specs(
 
 RepetitionOutcome WebTool::run_repetition(const clients::ClientProfile& profile,
                                           const campaign::ScenarioSpec& spec) const {
-  const bool rd_mode = spec.delay_dns;
-  const dns::RrType delayed_type = spec.delayed_type;
+  // Throws bad_variant_access on a non-web cell: routing a foreign case
+  // here is a programming error, not a measurement outcome.
+  const auto& rep_case = std::get<campaign::WebRepetitionCase>(spec.payload);
+  const bool rd_mode = rep_case.rd_mode;
+  const dns::RrType delayed_type = rep_case.delayed_type;
   const std::size_t buckets = config_.delays.size();
 
   // ---- Persistent deployment (one world for the whole repetition). --------
@@ -198,29 +200,32 @@ WebToolReport WebTool::run_campaign(const clients::ClientProfile& profile,
   }
   report.total_repetitions = config_.repetitions;
 
-  // Shard the repetition cells across the worker pool; outcomes come back
-  // in repetition order, so aggregation is worker-count independent.
+  // Shard the repetition cells across the worker pool and fold each outcome
+  // into the report as it streams in. Delivery is in repetition order (the
+  // sink contract), so aggregation is worker-count independent — and no
+  // outcome vector is ever materialised.
   campaign::RunnerOptions runner_options;
   runner_options.workers = config_.workers;
   campaign::CampaignRunner runner{runner_options};
-  const auto outcomes = runner.run<RepetitionOutcome>(
+  campaign::CallbackSink<RepetitionOutcome> sink{
+      [&](const campaign::ScenarioSpec&, RepetitionOutcome outcome) {
+        for (std::size_t i = 0; i < buckets; ++i) {
+          if (!outcome.families[i]) {
+            ++report.per_delay[i].failures;
+          } else if (*outcome.families[i] == Family::kIpv6) {
+            ++report.per_delay[i].v6_used;
+          } else {
+            ++report.per_delay[i].v4_used;
+          }
+        }
+        if (outcome.inconsistent) ++report.inconsistent_repetitions;
+      }};
+  runner.run_streaming<RepetitionOutcome>(
       campaign_specs(profile, rd_mode, delayed_type),
       [&](const campaign::ScenarioSpec& spec) {
         return run_repetition(profile, spec);
-      });
-
-  for (const RepetitionOutcome& outcome : outcomes) {
-    for (std::size_t i = 0; i < buckets; ++i) {
-      if (!outcome.families[i]) {
-        ++report.per_delay[i].failures;
-      } else if (*outcome.families[i] == Family::kIpv6) {
-        ++report.per_delay[i].v6_used;
-      } else {
-        ++report.per_delay[i].v4_used;
-      }
-    }
-    if (outcome.inconsistent) ++report.inconsistent_repetitions;
-  }
+      },
+      sink);
 
   // Interval estimate from per-bucket majorities.
   for (std::size_t i = 0; i < buckets; ++i) {

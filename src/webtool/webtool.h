@@ -14,10 +14,13 @@
 // depends on stays sequential.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "campaign/registry.h"
 #include "campaign/scenario.h"
 #include "clients/client.h"
 #include "clients/profiles.h"
@@ -92,7 +95,7 @@ class WebTool {
 
   /// One spec per repetition (the campaign cells run_cad_test/run_rd_test
   /// shard across workers). `rd_mode` and `delayed_type` are recorded in
-  /// the specs (delay_dns/delayed_type), which are the single source of
+  /// each cell's WebRepetitionCase payload, which is the single source of
   /// truth the executor reads.
   std::vector<campaign::ScenarioSpec> campaign_specs(
       const clients::ClientProfile& profile, bool rd_mode,
@@ -114,5 +117,26 @@ class WebTool {
 
   WebToolConfig config_;
 };
+
+/// Plugs the web-tool repetition case into a campaign registry. Cells carry
+/// the client display name; it is resolved against `profiles` so one matrix
+/// can batch several client profiles. `tool` must outlive the registry.
+template <typename Outcome>
+void register_executor(campaign::Registry<Outcome>& registry,
+                       const WebTool& tool,
+                       std::vector<clients::ClientProfile> profiles) {
+  auto pool = std::make_shared<const std::vector<clients::ClientProfile>>(
+      std::move(profiles));
+  registry.template add<campaign::WebRepetitionCase>(
+      [&tool, pool](const campaign::ScenarioSpec& spec,
+                    const campaign::WebRepetitionCase&) {
+        return tool.run_repetition(
+            campaign::find_registered(
+                *pool, spec.client,
+                [](const clients::ClientProfile& p) { return p.display_name(); },
+                "webtool"),
+            spec);
+      });
+}
 
 }  // namespace lazyeye::webtool

@@ -1,16 +1,22 @@
-// Campaign engine tests: runner sharding semantics, and the core
-// determinism contract — the same spec matrix with the same seeds produces
-// byte-identical aggregated results for 1 worker and 4 workers, across all
-// three measurement layers (testbed, webtool, resolverlab).
+// Campaign engine tests (API v2): typed payload dispatch through the
+// executor registry, streaming sink delivery order, runner sharding edge
+// semantics, and the core determinism contract — the same spec matrix with
+// the same seeds produces byte-identical aggregated results for 1 worker
+// and 4 workers, across all three measurement layers and for mixed-kind
+// matrices that batch several layers into one worker pool.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <set>
 #include <stdexcept>
+#include <thread>
+#include <variant>
 
+#include "campaign/registry.h"
 #include "campaign/result.h"
 #include "campaign/runner.h"
 #include "campaign/scenario.h"
+#include "campaign/sink.h"
 #include "clients/profiles.h"
 #include "resolverlab/lab.h"
 #include "testbed/testbed.h"
@@ -33,6 +39,37 @@ CampaignRunner runner_with(int workers) {
   RunnerOptions options;
   options.workers = workers;
   return CampaignRunner{options};
+}
+
+// ------------------------------------------------------------- payload ----
+
+TEST(CasePayloadTest, KindTracksAlternative) {
+  ScenarioSpec spec;
+  EXPECT_EQ(spec.kind(), CaseKind::kCad);  // default payload
+  spec.payload = ResolverCellCase{"Unbound", ms(100)};
+  EXPECT_EQ(spec.kind(), CaseKind::kResolverCell);
+  ASSERT_NE(spec.get_if<ResolverCellCase>(), nullptr);
+  EXPECT_EQ(spec.get_if<ResolverCellCase>()->service, "Unbound");
+  EXPECT_EQ(spec.get_if<CadCase>(), nullptr);
+}
+
+TEST(CasePayloadTest, NamesAreStableAndExhaustive) {
+  EXPECT_STREQ(case_name(CadCase{}), "cad");
+  EXPECT_STREQ(case_name(ResolutionDelayCase{}), "rd");
+  EXPECT_STREQ(case_name(AddressSelectionCase{}), "addr-selection");
+  EXPECT_STREQ(case_name(WebRepetitionCase{}), "webtool-rep");
+  EXPECT_STREQ(case_name(ResolverCellCase{}), "resolver-cell");
+  // The payload-typed and discriminator-typed name functions must agree for
+  // every kind (both are tied to CasePayload at compile time).
+  EXPECT_STREQ(case_kind_name(CaseKind::kCad), case_name(CadCase{}));
+  EXPECT_STREQ(case_kind_name(CaseKind::kResolutionDelay),
+               case_name(ResolutionDelayCase{}));
+  EXPECT_STREQ(case_kind_name(CaseKind::kAddressSelection),
+               case_name(AddressSelectionCase{}));
+  EXPECT_STREQ(case_kind_name(CaseKind::kWebRepetition),
+               case_name(WebRepetitionCase{}));
+  EXPECT_STREQ(case_kind_name(CaseKind::kResolverCell),
+               case_name(ResolverCellCase{}));
 }
 
 // ------------------------------------------------------------- runner ----
@@ -81,6 +118,27 @@ TEST(CampaignRunnerTest, ProgressCoversEveryCell) {
   EXPECT_EQ(last_total, 20u);
 }
 
+TEST(CampaignRunnerTest, ProgressFiresExactlyCellsTotalTimesMonotonically) {
+  RunnerOptions options;
+  options.workers = 4;
+  std::vector<std::size_t> counts;
+  std::size_t total_seen = 0;
+  options.progress = [&](std::size_t done, std::size_t total) {
+    counts.push_back(done);  // calls are serialised by the runner
+    total_seen = total;
+  };
+  CampaignRunner runner{options};
+  const std::size_t cells_total = 33;
+  runner.run<int>(numbered_specs(cells_total),
+                  [](const ScenarioSpec& s) { return static_cast<int>(s.id); });
+  ASSERT_EQ(counts.size(), cells_total);  // exactly once per cell
+  EXPECT_EQ(total_seen, cells_total);
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GE(counts[i], counts[i - 1]);  // monotonically non-decreasing
+  }
+  EXPECT_EQ(counts.back(), cells_total);
+}
+
 TEST(CampaignRunnerTest, ExecutorExceptionPropagates) {
   const auto specs = numbered_specs(16);
   EXPECT_THROW(
@@ -94,6 +152,27 @@ TEST(CampaignRunnerTest, ExecutorExceptionPropagates) {
       std::runtime_error);
 }
 
+TEST(CampaignRunnerTest, FirstExecutorExceptionRethrownOnCallingThread) {
+  const auto specs = numbered_specs(32);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::string caught;
+  std::thread::id catcher;
+  try {
+    runner_with(4).run<int>(specs, [](const ScenarioSpec& s) -> int {
+      throw std::runtime_error(
+          lazyeye::str_format("cell %llu boom",
+                              static_cast<unsigned long long>(s.id)));
+    });
+  } catch (const std::runtime_error& e) {
+    caught = e.what();
+    catcher = std::this_thread::get_id();
+  }
+  // The pool drains and the *first* stored exception surfaces on the thread
+  // that called run(), not on a worker.
+  EXPECT_EQ(catcher, caller);
+  EXPECT_NE(caught.find("boom"), std::string::npos);
+}
+
 TEST(ScenarioSpecTest, DerivedStreamsAreStableAndDistinct) {
   ScenarioSpec a;
   a.seed = 42;
@@ -105,39 +184,164 @@ TEST(ScenarioSpecTest, DerivedStreamsAreStableAndDistinct) {
   EXPECT_NE(a.world_seed(), b.world_seed());
 }
 
-// ------------------------------------------------------------- result ----
+// --------------------------------------------------------------- sinks ----
 
-TEST(CampaignResultTest, TableRendersOneRowPerCell) {
-  CampaignResult<int> result;
-  result.specs = numbered_specs(3);
-  for (auto& spec : result.specs) spec.label = "cell";
-  result.outcomes = {7, 8, 9};
-  const auto table = to_table<int>(
-      result, {{"Cell", TextTable::Align::kLeft,
-                [](const ScenarioSpec& s, const int&) { return s.label; }},
-               {"Value", TextTable::Align::kRight,
-                [](const ScenarioSpec&, const int& v) {
-                  return std::to_string(v);
-                }}});
-  const std::string rendered = table.render();
-  EXPECT_NE(rendered.find("Cell"), std::string::npos);
-  EXPECT_NE(rendered.find("7"), std::string::npos);
-  EXPECT_NE(rendered.find("9"), std::string::npos);
+TEST(ResultSinkTest, StreamingDeliveryIsInSpecOrderWithBeginAndEnd) {
+  const auto specs = numbered_specs(40);
+  std::vector<std::uint64_t> delivered;
+  int begins = 0;
+  int ends = 0;
+  std::size_t announced = 0;
+
+  struct OrderSink final : ResultSink<std::uint64_t> {
+    std::vector<std::uint64_t>* delivered;
+    int* begins;
+    int* ends;
+    std::size_t* announced;
+    void begin(std::size_t n) override {
+      ++*begins;
+      *announced = n;
+    }
+    void cell(const ScenarioSpec& spec, std::uint64_t outcome) override {
+      EXPECT_EQ(spec.id * 7, outcome);
+      delivered->push_back(spec.id);
+    }
+    void end() override { ++*ends; }
+  } sink;
+  sink.delivered = &delivered;
+  sink.begins = &begins;
+  sink.ends = &ends;
+  sink.announced = &announced;
+
+  const std::function<std::uint64_t(const ScenarioSpec&)> executor =
+      [](const ScenarioSpec& s) { return s.id * 7; };
+  runner_with(4).run_streaming<std::uint64_t>(specs, executor, sink);
+
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(ends, 1);
+  EXPECT_EQ(announced, 40u);
+  ASSERT_EQ(delivered.size(), 40u);
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    EXPECT_EQ(delivered[i], i);  // strictly spec order despite 4 workers
+  }
 }
 
-TEST(CampaignResultTest, GroupByKeepsFirstSeenOrder) {
-  CampaignResult<int> result;
-  result.specs = numbered_specs(6);
-  for (std::size_t i = 0; i < 6; ++i) {
-    result.specs[i].grid_index = static_cast<int>(i % 2);
+TEST(ResultSinkTest, EndSkippedWhenAnExecutorThrows) {
+  const auto specs = numbered_specs(16);
+  bool ended = false;
+  struct EndSink final : ResultSink<int> {
+    bool* ended;
+    void cell(const ScenarioSpec&, int) override {}
+    void end() override { *ended = true; }
+  } sink;
+  sink.ended = &ended;
+  const std::function<int(const ScenarioSpec&)> executor =
+      [](const ScenarioSpec& s) -> int {
+    if (s.id == 3) throw std::runtime_error("boom");
+    return 0;
+  };
+  EXPECT_THROW(runner_with(4).run_streaming<int>(specs, executor, sink),
+               std::runtime_error);
+  EXPECT_FALSE(ended);
+}
+
+TEST(ResultSinkTest, SinkExceptionStopsDeliveryAndPropagates) {
+  const auto specs = numbered_specs(24);
+  std::vector<std::uint64_t> delivered;
+  CallbackSink<int> sink{[&](const ScenarioSpec& spec, int) {
+    if (spec.id == 5) throw std::runtime_error("sink boom");
+    delivered.push_back(spec.id);
+  }};
+  const std::function<int(const ScenarioSpec&)> executor =
+      [](const ScenarioSpec& s) { return static_cast<int>(s.id); };
+  EXPECT_THROW(runner_with(4).run_streaming<int>(specs, executor, sink),
+               std::runtime_error);
+  // Cells before the failing one were delivered exactly once, in order;
+  // nothing was re-delivered or delivered after the sink threw.
+  EXPECT_EQ(delivered, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResultSinkTest, StreamingAndCollectingSinksRenderIdenticalTables) {
+  auto specs = numbered_specs(12);
+  for (auto& spec : specs) {
+    spec.label = lazyeye::str_format(
+        "cell%llu", static_cast<unsigned long long>(spec.id));
   }
-  result.outcomes = {0, 1, 2, 3, 4, 5};
-  const auto groups = result.group_by<int>(
-      [](const ScenarioSpec& s) { return s.grid_index; });
-  ASSERT_EQ(groups.size(), 2u);
-  EXPECT_EQ(groups[0].first, 0);
-  EXPECT_EQ(groups[0].second, (std::vector<std::size_t>{0, 2, 4}));
-  EXPECT_EQ(groups[1].second, (std::vector<std::size_t>{1, 3, 5}));
+  const std::function<int(const ScenarioSpec&)> executor =
+      [](const ScenarioSpec& s) { return static_cast<int>(s.seed % 7); };
+  const std::vector<TableColumn<int>> columns{
+      {"Cell", TextTable::Align::kLeft,
+       [](const ScenarioSpec& s, const int&) { return s.label; }},
+      {"Value", TextTable::Align::kRight,
+       [](const ScenarioSpec&, const int& v) { return std::to_string(v); }}};
+
+  // Collecting path: materialise, then render.
+  CollectingSink<int> collecting;
+  runner_with(4).run_streaming<int>(specs, executor, collecting);
+  const std::string collected_table =
+      to_table<int>(collecting.result(), columns).render();
+
+  // Streaming path: build the same table row by row as cells arrive.
+  std::vector<std::string> headers;
+  for (const auto& c : columns) headers.push_back(c.header);
+  TextTable streamed{std::move(headers)};
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    streamed.set_align(c, columns[c].align);
+  }
+  CallbackSink<int> streaming{[&](const ScenarioSpec& spec, int outcome) {
+    std::vector<std::string> row;
+    for (const auto& c : columns) row.push_back(c.cell(spec, outcome));
+    streamed.add_row(std::move(row));
+  }};
+  runner_with(4).run_streaming<int>(specs, executor, streaming);
+
+  EXPECT_EQ(streamed.render(), collected_table);  // byte-identical
+}
+
+// ------------------------------------------------------------ registry ----
+
+TEST(RegistryTest, DispatchesOnPayloadType) {
+  Registry<int> registry;
+  registry.add<CadCase>([](const ScenarioSpec&, const CadCase& c) {
+    return static_cast<int>(to_ms(c.v6_delay));
+  });
+  registry.add<AddressSelectionCase>(
+      [](const ScenarioSpec&, const AddressSelectionCase& c) {
+        return 1000 + c.per_family;
+      });
+  EXPECT_TRUE(registry.has(CaseKind::kCad));
+  EXPECT_TRUE(registry.has(CaseKind::kAddressSelection));
+  EXPECT_FALSE(registry.has(CaseKind::kResolverCell));
+
+  std::vector<ScenarioSpec> specs = numbered_specs(4);
+  specs[0].payload = CadCase{ms(250)};
+  specs[1].payload = AddressSelectionCase{10};
+  specs[2].payload = CadCase{ms(50)};
+  specs[3].payload = AddressSelectionCase{3};
+
+  const auto result = registry.run_collect(runner_with(2), specs);
+  ASSERT_EQ(result.size(), 4u);
+  EXPECT_EQ(result.outcomes, (std::vector<int>{250, 1010, 50, 1003}));
+}
+
+TEST(RegistryTest, RejectsUnregisteredKindBeforeLaunchingThePool) {
+  Registry<int> registry;
+  registry.add<CadCase>([](const ScenarioSpec&, const CadCase&) { return 0; });
+
+  std::vector<ScenarioSpec> specs = numbered_specs(2);
+  specs[1].payload = ResolverCellCase{"Unbound", ms(0)};
+
+  std::atomic<int> executed{0};
+  Registry<int> counting;
+  counting.add<CadCase>([&](const ScenarioSpec&, const CadCase&) {
+    return executed.fetch_add(1);
+  });
+  CollectingSink<int> sink;
+  EXPECT_THROW(counting.run(runner_with(2), specs, sink),
+               std::invalid_argument);
+  EXPECT_EQ(executed.load(), 0);  // validation failed fast, no cell ran
+
+  EXPECT_THROW(registry.execute(specs[1]), std::invalid_argument);
 }
 
 // -------------------------------------------------------- determinism ----
@@ -199,6 +403,49 @@ TEST(CampaignDeterminismTest, SweepCadMatchesSerialRunCadCaseSequence) {
   EXPECT_EQ(serialize(serial), serialize(sharded));
 }
 
+TEST(CampaignDeterminismTest, MultiClientBatchMatchesPerClientSweeps) {
+  // One campaign batching two client profiles must reproduce, per client,
+  // the records of consecutive single-client sweeps on one testbed.
+  const std::vector<clients::ClientProfile> profiles{
+      clients::chromium_profile("Chrome", "130.0", "10-2024"),
+      clients::firefox_profile("132.0", "10-2024"),
+  };
+  const testbed::SweepSpec sweep{ms(0), ms(300), ms(150)};
+
+  testbed::LocalTestbed serial_bed;
+  std::vector<testbed::RunRecord> serial;
+  for (const auto& profile : profiles) {
+    for (const auto& rec : serial_bed.run_campaign(
+             profile, serial_bed.cad_sweep_specs(profile, sweep),
+             runner_with(1))) {
+      serial.push_back(rec);
+    }
+  }
+
+  testbed::LocalTestbed batch_bed;
+  const auto specs = batch_bed.multi_client_cad_specs(profiles, sweep);
+  ASSERT_EQ(specs.size(), serial.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].id, i);  // dense ids across the joint matrix
+  }
+
+  Registry<testbed::RunRecord> registry;
+  testbed::register_executors(registry, batch_bed, profiles);
+  const auto batched = registry.run_collect(runner_with(4), specs);
+  EXPECT_EQ(serialize(serial), serialize(batched.outcomes));
+}
+
+std::string serialize(const resolverlab::RunObservation& run) {
+  return lazyeye::str_format(
+      "%lld|%d|%d|%lld|%d|%d|%d|%d|%d|%d|%d|%d\n",
+      static_cast<long long>(run.configured_delay.count()), run.repetition,
+      run.resolved ? 1 : 0, static_cast<long long>(run.completed.count()),
+      run.v6_main_queries, run.v4_main_queries, run.first_query_v6 ? 1 : 0,
+      run.answer_via_v6 ? 1 : 0, run.aaaa_ns_seen ? 1 : 0,
+      run.a_ns_seen ? 1 : 0, run.aaaa_before_a ? 1 : 0,
+      run.ns_queries_parallel ? 1 : 0);
+}
+
 std::string serialize(const resolverlab::ServiceMetrics& m) {
   std::string out = m.service;
   out += lazyeye::str_format("|%d|%d|%.9f|", static_cast<int>(m.aaaa_order),
@@ -206,16 +453,7 @@ std::string serialize(const resolverlab::ServiceMetrics& m) {
   out += m.max_ipv6_delay ? std::to_string(m.max_ipv6_delay->count()) : "-";
   out += lazyeye::str_format("|%d|%d\n", m.max_ipv6_packets,
                              m.delay_unmeasurable ? 1 : 0);
-  for (const auto& run : m.runs) {
-    out += lazyeye::str_format(
-        "%lld|%d|%d|%lld|%d|%d|%d|%d|%d|%d|%d|%d\n",
-        static_cast<long long>(run.configured_delay.count()), run.repetition,
-        run.resolved ? 1 : 0, static_cast<long long>(run.completed.count()),
-        run.v6_main_queries, run.v4_main_queries, run.first_query_v6 ? 1 : 0,
-        run.answer_via_v6 ? 1 : 0, run.aaaa_ns_seen ? 1 : 0,
-        run.a_ns_seen ? 1 : 0, run.aaaa_before_a ? 1 : 0,
-        run.ns_queries_parallel ? 1 : 0);
-  }
+  for (const auto& run : m.runs) out += serialize(run);
   return out;
 }
 
@@ -232,6 +470,89 @@ TEST(CampaignDeterminismTest, ResolverLabIdenticalForOneAndFourWorkers) {
   config.workers = 4;
   const auto parallel = resolverlab::measure_service(*service, config);
   EXPECT_EQ(serialize(serial), serialize(parallel));
+}
+
+TEST(CampaignDeterminismTest, CrossServiceCampaignMatchesSoloCampaigns) {
+  // All Table 3 rows in one pool: the joint matrix must reproduce every
+  // solo campaign's row byte-for-byte, at any worker count.
+  const auto unbound = resolvers::find_service_profile("Unbound");
+  const auto bind = resolvers::find_service_profile("BIND");
+  ASSERT_TRUE(unbound);
+  ASSERT_TRUE(bind);
+  const std::vector<resolvers::ServiceProfile> services{*unbound, *bind};
+
+  resolverlab::LabConfig config;
+  config.delay_grid = {ms(0), ms(199), ms(799)};
+  config.repetitions = 4;
+  config.seed = 77;
+
+  config.workers = 1;
+  std::string solo;
+  for (const auto& service : services) {
+    solo += serialize(resolverlab::measure_service(service, config));
+  }
+
+  config.workers = 4;
+  std::string joint;
+  for (const auto& row : resolverlab::measure_services(services, config)) {
+    joint += serialize(row);
+  }
+  EXPECT_EQ(solo, joint);
+}
+
+TEST(CampaignDeterminismTest, MixedKindMatrixIdenticalForOneAndFourWorkers) {
+  // One CampaignRunner pool executing testbed CAD cells for two client
+  // profiles *and* resolver-lab cells for two services, via one registry —
+  // the mixed-kind matrix the v1 per-layer run loops could not express.
+  using MixedOutcome =
+      std::variant<testbed::RunRecord, resolverlab::RunObservation>;
+
+  const std::vector<clients::ClientProfile> profiles{
+      clients::chromium_profile("Chrome", "130.0", "10-2024"),
+      clients::curl_profile(),
+  };
+  const auto unbound = resolvers::find_service_profile("Unbound");
+  const auto bind = resolvers::find_service_profile("BIND");
+  ASSERT_TRUE(unbound);
+  ASSERT_TRUE(bind);
+  const std::vector<resolvers::ServiceProfile> services{*unbound, *bind};
+
+  resolverlab::LabConfig lab_config;
+  lab_config.delay_grid = {ms(0), ms(375)};
+  lab_config.repetitions = 2;
+  lab_config.seed = 9;
+
+  auto run_matrix = [&](int workers) {
+    testbed::LocalTestbed bed;
+    std::vector<ScenarioSpec> specs = bed.multi_client_cad_specs(
+        profiles, testbed::SweepSpec{ms(0), ms(300), ms(150)});
+    for (ScenarioSpec& spec :
+         resolverlab::cross_service_cell_specs(services, lab_config)) {
+      specs.push_back(std::move(spec));
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) specs[i].id = i;
+
+    Registry<MixedOutcome> registry;
+    testbed::register_executors(registry, bed, profiles);
+    resolverlab::register_executor(registry, services);
+
+    std::string bytes;
+    CallbackSink<MixedOutcome> sink{
+        [&bytes](const ScenarioSpec& spec, MixedOutcome outcome) {
+          bytes += spec.label;
+          bytes += ':';
+          std::visit([&bytes](const auto& o) { bytes += serialize(o); },
+                     outcome);
+          bytes += '\n';
+        }};
+    registry.run(runner_with(workers), specs, sink);
+    return bytes;
+  };
+
+  const std::string serial = run_matrix(1);
+  const std::string parallel = run_matrix(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
 }
 
 std::string serialize(const webtool::WebToolReport& r) {
@@ -276,10 +597,47 @@ TEST(CampaignDeterminismTest, ResolverCellSpecsUseTheSerialSeedSequence) {
   for (std::size_t i = 0; i < specs.size(); ++i) {
     EXPECT_EQ(specs[i].seed, 1000 + i + 1);
     EXPECT_EQ(specs[i].id, i);
+    ASSERT_NE(specs[i].get_if<ResolverCellCase>(), nullptr);
+    EXPECT_EQ(specs[i].get_if<ResolverCellCase>()->service, "BIND");
   }
-  EXPECT_EQ(specs[0].delay, ms(0));
-  EXPECT_EQ(specs[3].delay, ms(100));
+  EXPECT_EQ(specs[0].get_if<ResolverCellCase>()->v6_delay, ms(0));
+  EXPECT_EQ(specs[3].get_if<ResolverCellCase>()->v6_delay, ms(100));
   EXPECT_EQ(specs[4].repetition, 1);
+}
+
+// ------------------------------------------------------------- result ----
+
+TEST(CampaignResultTest, TableRendersOneRowPerCell) {
+  CampaignResult<int> result;
+  result.specs = numbered_specs(3);
+  for (auto& spec : result.specs) spec.label = "cell";
+  result.outcomes = {7, 8, 9};
+  const auto table = to_table<int>(
+      result, {{"Cell", TextTable::Align::kLeft,
+                [](const ScenarioSpec& s, const int&) { return s.label; }},
+               {"Value", TextTable::Align::kRight,
+                [](const ScenarioSpec&, const int& v) {
+                  return std::to_string(v);
+                }}});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("Cell"), std::string::npos);
+  EXPECT_NE(rendered.find("7"), std::string::npos);
+  EXPECT_NE(rendered.find("9"), std::string::npos);
+}
+
+TEST(CampaignResultTest, GroupByKeepsFirstSeenOrder) {
+  CampaignResult<int> result;
+  result.specs = numbered_specs(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    result.specs[i].grid_index = static_cast<int>(i % 2);
+  }
+  result.outcomes = {0, 1, 2, 3, 4, 5};
+  const auto groups = result.group_by<int>(
+      [](const ScenarioSpec& s) { return s.grid_index; });
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].first, 0);
+  EXPECT_EQ(groups[0].second, (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(groups[1].second, (std::vector<std::size_t>{1, 3, 5}));
 }
 
 }  // namespace

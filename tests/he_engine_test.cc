@@ -523,5 +523,57 @@ TEST_F(EngineFixture, TraceEventNamesAreStable) {
   EXPECT_STREQ(he_event_type_name(HeEvent::Type::kFailed), "failed");
 }
 
+TEST(HeOptionsValidateTest, AcceptsAllPresets) {
+  EXPECT_TRUE(HeOptions::rfc6555().validate().ok());
+  EXPECT_TRUE(HeOptions::rfc8305().validate().ok());
+  EXPECT_TRUE(HeOptions::v3_draft().validate().ok());
+  EXPECT_TRUE(HeOptions::none().validate().ok());
+}
+
+TEST(HeOptionsValidateTest, RejectsDegenerateParameters) {
+  HeOptions o = HeOptions::rfc8305();
+  o.first_address_family_count = 0;
+  EXPECT_FALSE(o.validate().ok());
+
+  o = HeOptions::rfc8305();
+  o.max_addresses_per_family = 0;
+  EXPECT_FALSE(o.validate().ok());
+
+  o = HeOptions::rfc8305();
+  o.resolution_delay = ms(-50);
+  EXPECT_FALSE(o.validate().ok());
+  o.resolution_delay = std::nullopt;  // "no RD" stays a valid configuration
+  EXPECT_TRUE(o.validate().ok());
+
+  o = HeOptions::rfc8305();
+  o.connection_attempt_delay = ms(-250);
+  EXPECT_FALSE(o.validate().ok());
+
+  o = HeOptions::rfc8305();
+  o.overall_timeout = SimTime{0};
+  EXPECT_FALSE(o.validate().ok());
+}
+
+TEST_F(EngineFixture, InvalidConfigurationFailsTheSessionAtStart) {
+  HeOptions o = HeOptions::rfc8305();
+  o.first_address_family_count = 0;
+  engine->set_options(o);
+
+  const auto result = run_connect(N("www.he.lab"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("configuration"), std::string::npos);
+  EXPECT_NE(result.error.find("first_address_family_count"),
+            std::string::npos);
+  EXPECT_EQ(engine->active_sessions(), 0u);  // session fully torn down
+
+  // A negative resolution delay is caught the same way.
+  o = HeOptions::rfc8305();
+  o.resolution_delay = ms(-1);
+  engine->set_options(o);
+  const auto rd_result = run_connect(N("www.he.lab"));
+  EXPECT_FALSE(rd_result.ok);
+  EXPECT_NE(rd_result.error.find("resolution_delay"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace lazyeye::he
