@@ -1,18 +1,28 @@
-// Campaign scaling micro-bench: runs the Figure 2 CAD sweep workload (one
+// Campaign scaling bench: runs the Figure 2 CAD sweep workload (one
 // Chromium profile over the fine 0..400 ms / 5 ms grid, 2 repetitions =
-// 162 isolated simnet worlds) through the CampaignRunner at 1, 2, and 4
-// workers, and reports runs/sec plus speedup vs the serial baseline.
+// 162 isolated simnet worlds) through the CampaignRunner at 1, 2, 4, and 8
+// workers — all on ONE persistent WorkerPool, so every count after the
+// first reuses parked threads — and reports runs/sec plus speedup vs the
+// serial baseline. A second section measures the EventLoop hot path:
+// events/sec and a heap-allocations-per-event proxy (global operator new
+// counting), which the InlineCallback small-buffer path should keep near 0.
 //
 // It also cross-checks the determinism contract on the way: every worker
 // count must produce byte-identical records — and the v2 streaming path
 // must deliver cells in spec order (the serialised bytes double as the
 // order check).
 //
+// Machine-readable output: writes BENCH_campaign_scaling.json (override
+// with --json <path>) so CI can archive the perf trajectory.
+//
 // `--smoke` runs a drastically reduced grid at 1 and 2 workers — a CI-fast
 // API regression check for the bench driver itself, not a measurement.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,10 +30,30 @@
 #include "campaign/registry.h"
 #include "campaign/runner.h"
 #include "campaign/sink.h"
+#include "campaign/worker_pool.h"
 #include "clients/profiles.h"
+#include "simnet/event_loop.h"
 #include "testbed/testbed.h"
 
 using namespace lazyeye;
+
+// ---- allocation counting (proxy for per-event heap traffic) ---------------
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -42,10 +72,110 @@ void serialize(const testbed::RunRecord& r, std::string& out) {
   out += '\n';
 }
 
+struct WorkerPoint {
+  int workers = 0;
+  double wall_ms = 0.0;
+  double runs_per_sec = 0.0;
+  double speedup = 1.0;
+};
+
+struct EventLoopPoint {
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double allocs_per_event = 0.0;
+};
+
+/// Schedule/run churn matching the simulation profile (timer chains: each
+/// callback schedules a successor, like retransmit/HE-attempt timers).
+EventLoopPoint measure_eventloop(std::uint64_t events) {
+  simnet::EventLoop loop;
+  struct Chain {
+    simnet::EventLoop* loop;
+    std::uint64_t* remaining;
+    void operator()() const {
+      if (--*remaining == 0) return;
+      loop->schedule_after(ms(1), *this);
+    }
+  };
+  // Seed 64 concurrent chains so the heap stays realistically populated.
+  constexpr std::uint64_t chains = 64;
+  std::uint64_t budgets[chains];
+  const std::uint64_t spread = events / chains;
+  for (std::uint64_t c = 0; c < chains; ++c) {
+    budgets[c] = spread;
+  }
+  budgets[0] += events - spread * chains;
+
+  const std::uint64_t alloc_before =
+      g_allocations.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t c = 0; c < chains; ++c) {
+    if (budgets[c] == 0) continue;
+    loop.schedule_after(ms(c), Chain{&loop, &budgets[c]});
+  }
+  loop.run();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const std::uint64_t alloc_after =
+      g_allocations.load(std::memory_order_relaxed);
+
+  EventLoopPoint point;
+  point.events = loop.processed();
+  const double seconds = std::chrono::duration<double>(elapsed).count();
+  point.events_per_sec = seconds > 0 ? point.events / seconds : 0.0;
+  point.allocs_per_event =
+      point.events > 0
+          ? static_cast<double>(alloc_after - alloc_before) / point.events
+          : 0.0;
+  return point;
+}
+
+void write_json(const std::string& path, bool smoke, std::size_t cells,
+                const std::vector<WorkerPoint>& points,
+                const EventLoopPoint& ev, int pool_threads) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"campaign_scaling\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"cells\": %zu,\n", cells);
+  std::fprintf(f, "  \"pool_threads_started\": %d,\n", pool_threads);
+  std::fprintf(f, "  \"workers\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const WorkerPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"workers\": %d, \"wall_ms\": %.3f, "
+                 "\"runs_per_sec\": %.3f, \"speedup\": %.3f}%s\n",
+                 p.workers, p.wall_ms, p.runs_per_sec, p.speedup,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"eventloop\": {\"events\": %llu, \"events_per_sec\": %.1f, "
+               "\"allocs_per_event\": %.4f}\n",
+               static_cast<unsigned long long>(ev.events), ev.events_per_sec,
+               ev.allocs_per_event);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nWrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  std::string json_path = "BENCH_campaign_scaling.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
+      json_path = argv[++a];
+    }
+  }
 
   const auto profile = clients::chromium_profile("Chrome", "130.0", "10-2024");
   const testbed::SweepSpec sweep =
@@ -53,16 +183,18 @@ int main(int argc, char** argv) {
             : testbed::SweepSpec::fine_cad();
   const int repetitions = smoke ? 1 : 2;
   const std::vector<int> worker_counts =
-      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
 
   testbed::LocalTestbed bed;
   const auto specs = bed.cad_sweep_specs(profile, sweep, repetitions);
 
   // v2 path: the testbed's executors plug into a registry, and the bench
   // streams records through a callback sink (spec-order delivery), folding
-  // them straight into the determinism fingerprint.
+  // them straight into the determinism fingerprint. Every worker count runs
+  // on the same persistent pool — counts after the first reuse its threads.
   campaign::Registry<testbed::RunRecord> registry;
   testbed::register_executors(registry, bed, {profile});
+  campaign::WorkerPool& pool = campaign::WorkerPool::shared();
 
   std::printf("Campaign scaling%s: figure2 CAD sweep workload, %zu cells "
               "(%zu delays x %d reps), hardware threads: %u\n\n",
@@ -72,11 +204,13 @@ int main(int argc, char** argv) {
   std::printf("%8s %12s %12s %10s\n", "workers", "wall [ms]", "runs/sec",
               "speedup");
 
+  std::vector<WorkerPoint> points;
   double serial_seconds = 0.0;
   std::string serial_bytes;
   for (const int workers : worker_counts) {
     campaign::RunnerOptions options;
     options.workers = workers;
+    options.pool = &pool;
     const campaign::CampaignRunner runner{options};
 
     std::string bytes;
@@ -100,10 +234,28 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    std::printf("%8d %12.1f %12.1f %9.2fx\n", workers, seconds * 1e3,
-                specs.size() / seconds, serial_seconds / seconds);
+    WorkerPoint point;
+    point.workers = workers;
+    point.wall_ms = seconds * 1e3;
+    point.runs_per_sec = specs.size() / seconds;
+    point.speedup = serial_seconds / seconds;
+    points.push_back(point);
+    std::printf("%8d %12.1f %12.1f %9.2fx\n", workers, point.wall_ms,
+                point.runs_per_sec, point.speedup);
   }
 
-  std::printf("\nAll worker counts produced byte-identical records.\n");
+  std::printf("\nAll worker counts produced byte-identical records "
+              "(pool threads started: %d, campaigns served: %llu).\n",
+              pool.threads_started(),
+              static_cast<unsigned long long>(pool.jobs_run()));
+
+  const EventLoopPoint ev = measure_eventloop(smoke ? 200'000 : 2'000'000);
+  std::printf("\nEventLoop: %llu events, %.0f events/sec, "
+              "%.4f heap allocations/event (InlineCallback inline path)\n",
+              static_cast<unsigned long long>(ev.events), ev.events_per_sec,
+              ev.allocs_per_event);
+
+  write_json(json_path, smoke, specs.size(), points, ev,
+             pool.threads_started());
   return 0;
 }

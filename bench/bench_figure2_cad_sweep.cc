@@ -30,9 +30,10 @@ int main() {
   testbed::LocalTestbed bed;
 
   // One joint matrix: every Figure 2 client × the whole delay grid, executed
-  // by one pool through the registry.
+  // by one pool through the registry. The matrix is a lazy SpecStream —
+  // cells are generated as workers claim them, never materialised.
   const auto profiles = clients::local_testbed_profiles();
-  const auto specs = bed.multi_client_cad_specs(profiles, sweep);
+  const auto specs = bed.multi_client_cad_stream(profiles, sweep);
 
   const campaign::CampaignRunner runner;
   std::printf("Figure 2: established address family vs configured IPv6 "

@@ -1,12 +1,19 @@
 // Core micro-benchmarks (google-benchmark): DNS wire codec, event loop,
-// netem processing, TCP handshake simulation, full HE session.
+// netem processing, TCP handshake simulation, full HE session — plus the
+// bench_eventloop_micro section covering the allocation-lean scheduling
+// path (InlineCallback dispatch, schedule/cancel churn with generation-
+// tagged timer slots). Run just that section with
+// --benchmark_filter='EventLoop|InlineCallback'.
 #include <benchmark/benchmark.h>
+
+#include <functional>
 
 #include "capture/capture.h"
 #include "dns/auth_server.h"
 #include "dns/message.h"
 #include "he/address_selection.h"
 #include "he/engine.h"
+#include "simnet/inline_callback.h"
 #include "simnet/network.h"
 
 using namespace lazyeye;
@@ -58,6 +65,75 @@ void BM_EventLoopScheduleRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventLoopScheduleRun)->Arg(100)->Arg(1000)->Arg(10000);
+
+// ---- bench_eventloop_micro -------------------------------------------------
+// The campaign hot path schedules DNS-timeout / TCP-retransmit / HE-attempt
+// timers constantly; these isolate that path.
+
+void BM_EventLoopScheduleCancelChurn(benchmark::State& state) {
+  // Retransmit-timer profile: arm a timer, cancel it before it fires, arm
+  // the next. Exercises slot recycling + generation bumping, with no event
+  // ever executing.
+  simnet::EventLoop loop;
+  int armed = 0;
+  for (auto _ : state) {
+    const simnet::TimerId keep = loop.schedule_after(ms(5), [&armed] { ++armed; });
+    const simnet::TimerId drop = loop.schedule_after(ms(10), [&armed] { ++armed; });
+    benchmark::DoNotOptimize(loop.cancel(drop));
+    benchmark::DoNotOptimize(loop.cancel(keep));
+    loop.run_for(ms(0));  // prune the two dead heap nodes
+  }
+  benchmark::DoNotOptimize(armed);
+}
+BENCHMARK(BM_EventLoopScheduleCancelChurn);
+
+void BM_EventLoopTimerChain(benchmark::State& state) {
+  // Each callback schedules its successor — the self-sustaining pattern of
+  // HE attempt timers. Measures steady-state schedule+dispatch cost.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    simnet::EventLoop loop;
+    int remaining = n;
+    struct Chain {
+      simnet::EventLoop* loop;
+      int* remaining;
+      void operator()() const {
+        if (--*remaining > 0) loop->schedule_after(ms(1), *this);
+      }
+    };
+    loop.schedule_after(ms(0), Chain{&loop, &remaining});
+    loop.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+}
+BENCHMARK(BM_EventLoopTimerChain)->Arg(1000)->Arg(10000);
+
+void BM_InlineCallbackSmall(benchmark::State& state) {
+  // Construction + dispatch of a capture that fits the inline buffer (the
+  // common timer lambda shape: a couple of pointers).
+  std::uint64_t counter = 0;
+  std::uint64_t* p = &counter;
+  for (auto _ : state) {
+    simnet::InlineCallback cb{[p] { ++*p; }};
+    cb();
+    benchmark::DoNotOptimize(cb.is_inline());
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_InlineCallbackSmall);
+
+void BM_StdFunctionSmall(benchmark::State& state) {
+  // Same callable through std::function, for the comparison row.
+  std::uint64_t counter = 0;
+  std::uint64_t* p = &counter;
+  for (auto _ : state) {
+    std::function<void()> cb{[p] { ++*p; }};
+    cb();
+    benchmark::DoNotOptimize(&cb);
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_StdFunctionSmall);
 
 void BM_NetemProcess(benchmark::State& state) {
   simnet::NetemQdisc qdisc;

@@ -1,10 +1,15 @@
-// Campaign API v2 showcase: one worker pool, three measurement layers.
+// Campaign fast-path showcase: one persistent worker pool, three
+// measurement layers, a lazy mixed-kind matrix, streaming delivery.
 //
 // Builds a single mixed-kind matrix — a multi-client testbed CAD batch
 // (Chrome + Firefox + curl), a web-tool repetition, and resolver-lab cells
-// for two Table 3 services — registers each layer's executor in one
-// campaign::Registry, and streams the cells through a ResultSink in spec
-// order. The same matrix is byte-identical at any worker count.
+// for two Table 3 services — as a lazy SpecStream (no spec vector is ever
+// materialised), registers each layer's executor in one campaign::Registry,
+// and streams the cells through a ResultSink in spec order with claim-
+// cursor backpressure bounding the reorder buffer. Both campaigns below run
+// on the process-wide WorkerPool, so the second one reuses the first one's
+// parked threads. The same matrix is byte-identical at any worker count and
+// any max_reorder_ahead.
 //
 //   $ ./example_mixed_campaign
 #include <cstdio>
@@ -14,6 +19,8 @@
 #include "campaign/registry.h"
 #include "campaign/runner.h"
 #include "campaign/sink.h"
+#include "campaign/spec_stream.h"
+#include "campaign/worker_pool.h"
 #include "clients/profiles.h"
 #include "resolverlab/lab.h"
 #include "testbed/testbed.h"
@@ -27,7 +34,7 @@ using MixedOutcome = std::variant<testbed::RunRecord,
                                   resolverlab::RunObservation>;
 
 int main() {
-  // ---- Assemble the matrix -------------------------------------------------
+  // ---- Describe the matrix lazily ------------------------------------------
   const std::vector<clients::ClientProfile> clients_pool{
       clients::chromium_profile("Chrome", "130.0", "10-2024"),
       clients::firefox_profile("132.0", "10-2024"),
@@ -35,17 +42,15 @@ int main() {
   };
 
   testbed::LocalTestbed bed;
-  std::vector<campaign::ScenarioSpec> specs = bed.multi_client_cad_specs(
+  const campaign::SpecStream testbed_cells = bed.multi_client_cad_stream(
       clients_pool, testbed::SweepSpec{ms(0), ms(400), ms(200)});
 
   webtool::WebToolConfig web_config = webtool::WebToolConfig::paper_default();
   web_config.repetitions = 1;
+  web_config.workers = 2;  // force the pool path even on 1-core boxes
   webtool::WebTool tool{web_config};
-  for (auto& spec :
-       tool.campaign_specs(clients_pool[0], /*rd_mode=*/false,
-                           dns::RrType::kAaaa)) {
-    specs.push_back(std::move(spec));
-  }
+  const campaign::SpecStream web_cells = tool.campaign_spec_stream(
+      clients_pool[0], /*rd_mode=*/false, dns::RrType::kAaaa);
 
   resolverlab::LabConfig lab_config;
   lab_config.delay_grid = {ms(0), ms(375)};
@@ -57,13 +62,25 @@ int main() {
     return 1;
   }
   const std::vector<resolvers::ServiceProfile> services{*unbound, *bind};
-  for (auto& spec :
-       resolverlab::cross_service_cell_specs(services, lab_config)) {
-    specs.push_back(std::move(spec));
-  }
+  const campaign::SpecStream resolver_cells =
+      resolverlab::cross_service_cell_spec_stream(services, lab_config);
 
-  // Re-number the joint matrix densely (ids double as result slots).
-  for (std::size_t i = 0; i < specs.size(); ++i) specs[i].id = i;
+  // Concatenate the three layer streams into one lazy joint matrix: cells
+  // are generated only when a worker claims them, and ids are re-numbered
+  // densely on the fly (ids double as result slots).
+  const std::size_t n_testbed = testbed_cells.size();
+  const std::size_t n_web = web_cells.size();
+  const std::size_t total = n_testbed + n_web + resolver_cells.size();
+  const campaign::SpecStream specs{
+      total, [&](std::size_t i) {
+        campaign::ScenarioSpec spec =
+            i < n_testbed ? testbed_cells.at(i)
+            : i < n_testbed + n_web
+                ? web_cells.at(i - n_testbed)
+                : resolver_cells.at(i - n_testbed - n_web);
+        spec.id = i;
+        return spec;
+      }};
 
   // ---- Register executors, run once, stream results ------------------------
   campaign::Registry<MixedOutcome> registry;
@@ -71,13 +88,16 @@ int main() {
   webtool::register_executor(registry, tool, clients_pool);
   resolverlab::register_executor(registry, services);
 
-  std::printf("Mixed-kind campaign: %zu cells (testbed CAD x %zu clients, "
-              "webtool, resolver lab x %zu services) in one pool\n\n",
-              specs.size(), clients_pool.size(), services.size());
+  std::printf("Mixed-kind campaign: %zu lazily-generated cells (testbed CAD "
+              "x %zu clients, webtool, resolver lab x %zu services) in one "
+              "persistent pool\n\n",
+              total, clients_pool.size(), services.size());
   std::printf("%-6s %-14s %-34s %s\n", "cell", "case", "label", "outcome");
 
   campaign::RunnerOptions options;
-  options.workers = 0;  // one per hardware thread
+  options.workers = 4;            // explicit: pool path even on 1-core boxes
+  options.max_reorder_ahead = 8;  // bound the reorder buffer at 8 cells
+  options.pool = &campaign::WorkerPool::shared();
   campaign::CallbackSink<MixedOutcome> sink{[](const campaign::ScenarioSpec& spec,
                                                MixedOutcome outcome) {
     std::string summary = std::visit(
@@ -114,9 +134,30 @@ int main() {
                 campaign::case_name(spec.payload), spec.label.c_str(),
                 summary.c_str());
   }};
-  registry.run(campaign::CampaignRunner{options}, specs, sink);
+  const campaign::CampaignRunner runner{options};
+  registry.run(runner, specs, sink);
 
-  std::printf("\nCells streamed in spec order; rerun with any worker count "
-              "for byte-identical output.\n");
+  // ---- Second campaign on the same (already warm) pool ---------------------
+  webtool::WebToolConfig second_config = webtool::WebToolConfig::paper_default();
+  second_config.repetitions = 4;  // 4 repetition cells shard across the pool
+  second_config.workers = 2;
+  const auto report = webtool::WebTool{second_config}.run_cad_test(clients_pool[0]);
+  std::printf("\nSecond campaign on the warm pool: webtool CAD interval for "
+              "%s = (%s, %s]\n",
+              report.client.c_str(),
+              report.interval_low ? format_duration(*report.interval_low).c_str()
+                                  : "-",
+              report.interval_high
+                  ? format_duration(*report.interval_high).c_str()
+                  : "-");
+
+  const campaign::WorkerPool& pool = campaign::WorkerPool::shared();
+  std::printf("\nShared pool: %d threads started once, %llu campaigns "
+              "served; reorder buffer high-water %zu (cap %zu). Rerun with "
+              "any worker count or cap for byte-identical output.\n",
+              pool.threads_started(),
+              static_cast<unsigned long long>(pool.jobs_run()),
+              runner.last_run_stats().reorder_high_water,
+              options.max_reorder_ahead);
   return 0;
 }

@@ -99,10 +99,30 @@ class Registry {
         sink);
   }
 
+  /// Streams a lazy matrix through `runner` into `sink`. Unlike the vector
+  /// overload there is no pre-launch executor check (enumerating the stream
+  /// would defeat its point): a cell whose kind has no registered executor
+  /// fails mid-run via execute()'s std::invalid_argument.
+  void run(const CampaignRunner& runner, const SpecStream& specs,
+           ResultSink<Outcome>& sink) const {
+    runner.run_streaming<Outcome>(
+        specs, [this](const ScenarioSpec& spec) { return execute(spec); },
+        sink);
+  }
+
   /// Convenience: runs the matrix into a CollectingSink and returns the
   /// materialised CampaignResult.
   CampaignResult<Outcome> run_collect(const CampaignRunner& runner,
                                       const std::vector<ScenarioSpec>& specs) const {
+    CollectingSink<Outcome> sink;
+    run(runner, specs, sink);
+    return std::move(sink).take();
+  }
+
+  /// Stream-input variant: the matrix stays lazy on the way in, only the
+  /// outcomes are materialised.
+  CampaignResult<Outcome> run_collect(const CampaignRunner& runner,
+                                      const SpecStream& specs) const {
     CollectingSink<Outcome> sink;
     run(runner, specs, sink);
     return std::move(sink).take();

@@ -22,15 +22,21 @@ int CampaignRunner::resolved_workers(std::size_t jobs) const {
   return workers;
 }
 
-void CampaignRunner::run_indexed(
-    std::size_t count, const std::function<void(std::size_t)>& job) const {
-  if (count == 0) return;
+int CampaignRunner::run_indexed(std::size_t count,
+                                const std::function<void(std::size_t)>& job,
+                                ClaimGate* gate) const {
+  if (count == 0) return 0;
   const int workers = resolved_workers(count);
 
-  std::mutex progress_mutex;
+  // Cells completing with no hook installed touch neither the counter nor
+  // the mutex. With a hook, the count is claimed and the hook invoked under
+  // one lock: the contract promises serialised, monotonically increasing
+  // (done, total) calls, so the claim cannot move outside it — which also
+  // means a plain counter under the mutex is all the synchronisation left.
   std::size_t done = 0;
+  std::mutex progress_mutex;
+  const bool report = static_cast<bool>(options_.progress);
   auto report_progress = [&] {
-    if (!options_.progress) return;
     std::lock_guard<std::mutex> lock{progress_mutex};
     options_.progress(++done, count);
   };
@@ -38,9 +44,9 @@ void CampaignRunner::run_indexed(
   if (workers <= 1) {
     for (std::size_t i = 0; i < count; ++i) {
       job(i);
-      report_progress();
+      if (report) report_progress();
     }
-    return;
+    return workers;
   }
 
   std::atomic<std::size_t> cursor{0};
@@ -52,25 +58,33 @@ void CampaignRunner::run_indexed(
     while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
+      // Claims are handed out in index order, so every index below a gated
+      // one is already owned by some worker — the wait always resolves.
+      if (gate != nullptr && !gate->wait_for_claim(i)) return;
       try {
         job(i);
+        // Inside the try: a throwing user hook must fail the campaign, not
+        // unwind through the pool while other workers still run.
+        if (report) report_progress();
       } catch (...) {
-        std::lock_guard<std::mutex> lock{error_mutex};
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+        }
         failed.store(true, std::memory_order_relaxed);
+        // Release claimers parked behind the (now dead) emit cursor.
+        if (gate != nullptr) gate->abort();
         return;
       }
-      report_progress();
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (int w = 1; w < workers; ++w) pool.emplace_back(worker_body);
-  worker_body();  // the calling thread is worker 0
-  for (auto& t : pool) t.join();
+  WorkerPool& pool = options_.pool != nullptr ? *options_.pool
+                                              : WorkerPool::shared();
+  pool.run_job(workers - 1, worker_body);
 
   if (first_error) std::rethrow_exception(first_error);
+  return workers;
 }
 
 }  // namespace lazyeye::campaign

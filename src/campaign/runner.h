@@ -1,4 +1,4 @@
-// CampaignRunner: shards ScenarioSpec cells across a worker pool.
+// CampaignRunner: shards ScenarioSpec cells across a persistent worker pool.
 //
 // Each worker claims cells off a shared atomic cursor and executes them in a
 // fully isolated simnet world (the executor builds the world from the spec's
@@ -6,16 +6,31 @@
 // ResultSink — the sink sees cell i only after cells 0..i-1, regardless of
 // which worker finished first, so aggregated output is byte-identical for
 // 1 worker and N workers. Worker count is purely a wall-clock knob.
+//
+// Hot-path properties:
+//   - Threads come from a persistent WorkerPool (the process-wide shared
+//     pool by default), parked between campaigns instead of re-spawned.
+//   - The claim cursor honours `max_reorder_ahead` backpressure: workers
+//     stop claiming cells that would run further ahead of the next
+//     undelivered cell than the cap allows, so a pathologically slow head
+//     cell bounds the pending reorder buffer instead of parking the whole
+//     matrix behind it.
+//   - Matrices can be lazy (SpecStream): specs are generated per claimed
+//     cell, so matrix size never dictates memory high-water.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "campaign/scenario.h"
 #include "campaign/sink.h"
+#include "campaign/spec_stream.h"
+#include "campaign/worker_pool.h"
 
 namespace lazyeye::campaign {
 
@@ -25,70 +40,144 @@ struct RunnerOptions {
   /// thread (no pool).
   int workers = 0;
 
+  /// Backpressure cap on the streaming reorder buffer: a worker only claims
+  /// cell i once i <= (next undelivered cell) + max_reorder_ahead, so at
+  /// most max_reorder_ahead completed cells are ever parked awaiting an
+  /// earlier one. 0 = unbounded (claim as fast as workers drain the
+  /// cursor). Effective parallelism is min(workers, max_reorder_ahead + 1);
+  /// results are byte-identical for every setting.
+  std::size_t max_reorder_ahead = 0;
+
+  /// Pool to borrow threads from; nullptr = WorkerPool::shared(). The pool
+  /// must outlive every run made with these options. Campaigns on one pool
+  /// are serialised: two threads launching campaigns on the shared pool
+  /// take turns (each still parallelises internally). Point workloads that
+  /// must overlap — or whose executors block on anything outside their own
+  /// cell — at private pools.
+  WorkerPool* pool = nullptr;
+
   /// Optional progress hook, invoked after each completed cell with
   /// (cells_done, cells_total) in completion order. May be called from any
-  /// worker; calls are serialised by the runner.
+  /// worker; calls are serialised by the runner. A throwing hook fails the
+  /// campaign like a throwing executor (first exception rethrown).
   std::function<void(std::size_t, std::size_t)> progress;
 };
 
 class CampaignRunner {
  public:
+  /// Counters from the most recent completed run on this runner. Runs
+  /// accumulate into locals and publish here under a lock, so concurrent
+  /// runs on one (const) runner stay well-defined — the last run to finish
+  /// wins. Campaigns already parallelise internally; prefer sharing the
+  /// WorkerPool over sharing a runner.
+  struct RunStats {
+    /// Max completed cells parked in the reorder buffer awaiting an earlier
+    /// cell. Bounded by max_reorder_ahead when that is non-zero.
+    std::size_t reorder_high_water = 0;
+    std::size_t cells = 0;
+    int workers_used = 0;
+  };
+
   explicit CampaignRunner(RunnerOptions options = {});
 
   /// The worker count a matrix of `jobs` cells would actually use.
   int resolved_workers(std::size_t jobs) const;
 
-  /// Executes `executor` for every spec and streams each outcome to `sink`
-  /// in spec order (see sink.h for the delivery contract). The executor
-  /// must be self-contained per call (it may run concurrently from several
-  /// threads on *different* specs). Out-of-order completions are parked in
-  /// a pending map and released as soon as every earlier cell has been
-  /// delivered, so memory high-water tracks how far completions run ahead
-  /// of the slowest undelivered cell — typically a few cells on balanced
-  /// matrices, but a pathologically slow head cell can park everything
-  /// behind it (no backpressure on the claim cursor yet; see ROADMAP). If
-  /// any executor or sink call throws, the first exception is rethrown on
-  /// the calling thread after the pool drains (sink.end() is not called).
+  RunStats last_run_stats() const {
+    std::lock_guard<std::mutex> lock{stats_mutex_};
+    return stats_;
+  }
+
+  /// Executes `executor` for every cell of the (possibly lazy) stream and
+  /// delivers each outcome to `sink` in spec order (see sink.h for the
+  /// delivery contract). The executor must be self-contained per call (it
+  /// may run concurrently from several threads on *different* specs).
+  /// Out-of-order completions are parked in a pending map and released as
+  /// soon as every earlier cell has been delivered; with
+  /// options.max_reorder_ahead set, the claim cursor stalls rather than let
+  /// the parked set outgrow the cap, so a slow head cell can no longer park
+  /// the whole matrix. If any executor or sink call throws, the first
+  /// exception is rethrown on the calling thread after the pool drains
+  /// (sink.end() is not called).
   template <typename R>
-  void run_streaming(const std::vector<ScenarioSpec>& specs,
+  void run_streaming(const SpecStream& specs,
                      const std::function<R(const ScenarioSpec&)>& executor,
                      ResultSink<R>& sink) const {
-    std::map<std::size_t, R> pending;  // finished cells awaiting delivery
+    struct PendingCell {
+      ScenarioSpec spec;  // stays empty for backed streams (see below)
+      R outcome;
+    };
+    // Streams backed by a materialised matrix (view()/of()) deliver specs
+    // straight out of that vector — no per-cell ScenarioSpec copy on the
+    // v1-style vector entry points. Only truly lazy streams generate and
+    // carry a spec per cell.
+    const std::vector<ScenarioSpec>* backed = specs.backing();
+    std::map<std::size_t, PendingCell> pending;  // finished, awaiting delivery
     std::mutex emit_mutex;
     std::size_t next_to_emit = 0;
     bool delivery_failed = false;
+    ClaimGate gate{options_.max_reorder_ahead};
+    RunStats run_stats;  // published to stats_ only when the run completes
+    run_stats.cells = specs.size();
 
-    sink.begin(specs.size());
-    run_indexed(specs.size(), [&](std::size_t i) {
-      R outcome = executor(specs[i]);
-      std::lock_guard<std::mutex> lock{emit_mutex};
-      pending.emplace(i, std::move(outcome));
+    // Caller holds emit_mutex. Claims each ready cell before delivering: if
+    // the sink throws, no other worker's drain may re-deliver it (it would
+    // be moved-from), and delivery stops for good — the exception surfaces
+    // as the campaign's first error.
+    auto drain_ready = [&](ResultSink<R>& out) {
       while (!delivery_failed) {
         const auto ready = pending.find(next_to_emit);
         if (ready == pending.end()) break;
-        // Claim the cell before delivering: if the sink throws, no other
-        // worker's drain may re-deliver it (it would be moved-from), and
-        // delivery stops for good — the exception surfaces as the
-        // campaign's first error.
-        R outcome_ready = std::move(ready->second);
+        PendingCell cell = std::move(ready->second);
         pending.erase(ready);
-        const std::size_t cell = next_to_emit++;
+        const std::size_t index = next_to_emit++;
         try {
-          sink.cell(specs[cell], std::move(outcome_ready));
+          out.cell(backed != nullptr ? (*backed)[index] : cell.spec,
+                   std::move(cell.outcome));
         } catch (...) {
           delivery_failed = true;
           throw;
         }
       }
-    });
+    };
+
+    sink.begin(specs.size());
+    run_stats.workers_used = run_indexed(
+        specs.size(),
+        [&](std::size_t i) {
+          ScenarioSpec spec;  // generated per cell only for lazy streams
+          if (backed == nullptr) spec = specs.at(i);
+          R outcome = executor(backed != nullptr ? (*backed)[i] : spec);
+          std::lock_guard<std::mutex> lock{emit_mutex};
+          pending.emplace(i, PendingCell{std::move(spec), std::move(outcome)});
+          drain_ready(sink);
+          if (pending.size() > run_stats.reorder_high_water) {
+            run_stats.reorder_high_water = pending.size();
+          }
+          gate.advance(next_to_emit);
+        },
+        &gate);
+    {
+      std::lock_guard<std::mutex> lock{stats_mutex_};
+      stats_ = run_stats;
+    }
     sink.end();
+  }
+
+  /// Materialised-matrix overload: streams over a non-owning view (specs
+  /// are delivered by reference, never copied per cell).
+  template <typename R>
+  void run_streaming(const std::vector<ScenarioSpec>& specs,
+                     const std::function<R(const ScenarioSpec&)>& executor,
+                     ResultSink<R>& sink) const {
+    run_streaming<R>(SpecStream::view(specs), executor, sink);
   }
 
   /// Convenience wrapper: collects the streamed outcomes into a vector in
   /// spec order. Prefer run_streaming with a sink when the aggregation can
   /// fold cells incrementally.
   template <typename R>
-  std::vector<R> run(const std::vector<ScenarioSpec>& specs,
+  std::vector<R> run(const SpecStream& specs,
                      const std::function<R(const ScenarioSpec&)>& executor) const {
     std::vector<R> results;
     results.reserve(specs.size());
@@ -99,12 +188,74 @@ class CampaignRunner {
     return results;
   }
 
+  template <typename R>
+  std::vector<R> run(const std::vector<ScenarioSpec>& specs,
+                     const std::function<R(const ScenarioSpec&)>& executor) const {
+    return run<R>(SpecStream::view(specs), executor);
+  }
+
  private:
-  /// Non-template core: runs job(0..count-1) across the pool.
-  void run_indexed(std::size_t count,
-                   const std::function<void(std::size_t)>& job) const;
+  /// Paces the claim cursor against the emit cursor. Workers claim cell
+  /// indices in order, then wait here until their index enters the window
+  /// [0, next_to_emit + max_ahead]; every emit advances the window. The
+  /// head index is always admissible, so progress never stalls — and on a
+  /// campaign failure the gate opens unconditionally so parked claimers
+  /// drain out.
+  class ClaimGate {
+   public:
+    explicit ClaimGate(std::size_t max_ahead) : max_ahead_{max_ahead} {}
+
+    /// Blocks until index may run. Returns false when the campaign failed
+    /// while waiting (the caller must not run the cell).
+    bool wait_for_claim(std::size_t index) {
+      if (max_ahead_ == 0) return true;
+      std::unique_lock<std::mutex> lock{mutex_};
+      cv_.wait(lock, [&] {
+        // Saturating form of index <= window_base_ + max_ahead_ (a huge
+        // cap like SIZE_MAX must mean "unbounded", not wrap to zero).
+        return aborted_ || index <= max_ahead_ ||
+               index - max_ahead_ <= window_base_;
+      });
+      return !aborted_;
+    }
+
+    void advance(std::size_t next_to_emit) {
+      if (max_ahead_ == 0) return;
+      {
+        std::lock_guard<std::mutex> lock{mutex_};
+        if (next_to_emit <= window_base_) return;
+        window_base_ = next_to_emit;
+      }
+      cv_.notify_all();
+    }
+
+    void abort() {
+      if (max_ahead_ == 0) return;
+      {
+        std::lock_guard<std::mutex> lock{mutex_};
+        aborted_ = true;
+      }
+      cv_.notify_all();
+    }
+
+   private:
+    const std::size_t max_ahead_;  // 0 = unbounded, gate is a no-op
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t window_base_ = 0;  // next undelivered cell
+    bool aborted_ = false;
+  };
+
+  /// Non-template core: runs job(0..count-1) across the pool, pacing claims
+  /// through `gate` (may be nullptr for ungated index runs). Returns the
+  /// worker count the run actually used.
+  int run_indexed(std::size_t count,
+                  const std::function<void(std::size_t)>& job,
+                  ClaimGate* gate) const;
 
   RunnerOptions options_;
+  mutable std::mutex stats_mutex_;  // guards stats_ (see last_run_stats)
+  mutable RunStats stats_;
 };
 
 }  // namespace lazyeye::campaign

@@ -1,0 +1,72 @@
+// SpecStream: lazily-generated scenario matrices.
+//
+// A million-cell sweep does not need a million materialised ScenarioSpecs
+// sitting in a vector before the first cell runs — every layer's spec
+// generator is a pure function of the cell index (seed arithmetic + label
+// formatting), so a campaign can carry just (count, index -> spec) and let
+// each worker build the specs it claims on demand. The memory high-water of
+// a streaming campaign then tracks the reorder window, not the matrix size.
+//
+// The generator MUST be pure and thread-safe: workers call at(i) from
+// several threads, in claim order, and the reorder path may never re-derive
+// a spec it already generated differently. All layer stream factories
+// (testbed::LocalTestbed::cad_sweep_stream, webtool::WebTool::
+// campaign_spec_stream, resolverlab::cell_spec_stream, ...) satisfy this by
+// computing seeds from the index alone.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "campaign/scenario.h"
+
+namespace lazyeye::campaign {
+
+class SpecStream {
+ public:
+  using Generator = std::function<ScenarioSpec(std::size_t)>;
+
+  SpecStream(std::size_t count, Generator generate)
+      : count_{count}, generate_{std::move(generate)} {}
+
+  /// Non-owning adapter over a materialised matrix (`specs` must outlive
+  /// the stream). Lets the vector-based entry points share the streaming
+  /// core without copying the matrix.
+  static SpecStream view(const std::vector<ScenarioSpec>& specs) {
+    SpecStream stream{specs.size(),
+                      [&specs](std::size_t i) { return specs[i]; }};
+    stream.backing_ = &specs;
+    return stream;
+  }
+
+  /// Owning adapter: moves the matrix into the stream.
+  static SpecStream of(std::vector<ScenarioSpec> specs) {
+    auto owned = std::make_shared<const std::vector<ScenarioSpec>>(
+        std::move(specs));
+    SpecStream stream{owned->size(),
+                      [owned](std::size_t i) { return (*owned)[i]; }};
+    stream.backing_ = owned.get();
+    return stream;
+  }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Generates cell i (thread-safe; see the purity contract above).
+  ScenarioSpec at(std::size_t i) const { return generate_(i); }
+
+  /// Non-null when the stream adapts a materialised matrix (view()/of()):
+  /// consumers may then read cells by reference instead of generating
+  /// copies. Lives exactly as long as at() stays valid.
+  const std::vector<ScenarioSpec>* backing() const { return backing_; }
+
+ private:
+  std::size_t count_;
+  Generator generate_;
+  const std::vector<ScenarioSpec>* backing_ = nullptr;
+};
+
+}  // namespace lazyeye::campaign

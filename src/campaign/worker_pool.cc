@@ -1,0 +1,151 @@
+#include "campaign/worker_pool.h"
+
+#include <algorithm>
+
+namespace lazyeye::campaign {
+
+namespace {
+
+// Pools the current thread is (transitively) executing a job body for.
+// run_job uses it to detect re-entry — a campaign launched from inside
+// another campaign's executor/sink/hook that leads back to a pool already
+// mid-job — and falls back to transient threads instead of self-deadlocking
+// on that pool's job_mutex_. The set is propagated from the launching
+// thread into every thread that runs the job's body, so the detection
+// survives pool hops (campaign on A -> executor campaigns on B -> B's
+// worker campaigns back on A).
+thread_local std::vector<const WorkerPool*> t_running_pools;
+
+bool running_inside(const WorkerPool* pool) {
+  return std::find(t_running_pools.begin(), t_running_pools.end(), pool) !=
+         t_running_pools.end();
+}
+
+// Installs `pools` as the thread's running-pool set for the body's scope.
+class ScopedRunningPools {
+ public:
+  explicit ScopedRunningPools(std::vector<const WorkerPool*> pools)
+      : prev_{std::move(t_running_pools)} {
+    t_running_pools = std::move(pools);
+  }
+  ~ScopedRunningPools() { t_running_pools = std::move(prev_); }
+
+ private:
+  std::vector<const WorkerPool*> prev_;
+};
+
+}  // namespace
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock{state_mutex_};
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int WorkerPool::threads_started() const {
+  std::lock_guard<std::mutex> lock{state_mutex_};
+  return static_cast<int>(threads_.size());
+}
+
+std::uint64_t WorkerPool::jobs_run() const {
+  std::lock_guard<std::mutex> lock{state_mutex_};
+  return jobs_run_;
+}
+
+void WorkerPool::ensure_threads(int wanted) {
+  while (static_cast<int>(threads_.size()) < wanted) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void WorkerPool::run_job(int helpers, const std::function<void()>& body) {
+  if (running_inside(this)) {
+    // Nested campaign launched from inside one of this pool's own job
+    // bodies: job_mutex_ is held (transitively) by the outer campaign, so
+    // queueing would self-deadlock. Run the inner campaign on transient
+    // threads instead — the pre-pool behaviour, paid only on recursion.
+    {
+      std::lock_guard<std::mutex> lock{state_mutex_};
+      ++jobs_run_;
+    }
+    std::vector<std::thread> transient;
+    transient.reserve(helpers > 0 ? static_cast<std::size_t>(helpers) : 0);
+    const std::vector<const WorkerPool*> inherited = t_running_pools;
+    for (int i = 0; i < helpers; ++i) {
+      transient.emplace_back([&body, inherited] {
+        ScopedRunningPools scope{inherited};  // deeper nesting detected too
+        body();
+      });
+    }
+    body();  // the caller's set already contains this pool
+    for (std::thread& t : transient) t.join();
+    return;
+  }
+  // One campaign at a time per pool: a concurrent second campaign parks
+  // here instead of interleaving with the first one's claim cursor.
+  std::lock_guard<std::mutex> job_lock{job_mutex_};
+  std::vector<const WorkerPool*> job_pools = t_running_pools;
+  job_pools.push_back(this);
+  if (helpers <= 0) {
+    {
+      std::lock_guard<std::mutex> lock{state_mutex_};
+      ++jobs_run_;
+    }
+    ScopedRunningPools scope{std::move(job_pools)};
+    body();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock{state_mutex_};
+    ensure_threads(helpers);
+    body_ = &body;
+    job_pools_ = &job_pools;  // outlives the job: run_job waits for active_==0
+    open_slots_ = helpers;
+    active_ = helpers;
+    ++job_seq_;
+    ++jobs_run_;
+  }
+  work_cv_.notify_all();
+  {
+    ScopedRunningPools scope{job_pools};
+    body();  // the calling thread is participant 0
+  }
+  std::unique_lock<std::mutex> lock{state_mutex_};
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  body_ = nullptr;
+  job_pools_ = nullptr;
+}
+
+void WorkerPool::worker_main() {
+  std::uint64_t seen_job = 0;
+  std::unique_lock<std::mutex> lock{state_mutex_};
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stopping_ || (job_seq_ != seen_job && open_slots_ > 0);
+    });
+    if (stopping_) return;
+    // Claim one participant slot of the current campaign. Which threads end
+    // up participating is irrelevant: results only depend on cell seeds.
+    seen_job = job_seq_;
+    --open_slots_;
+    const std::function<void()>* body = body_;
+    std::vector<const WorkerPool*> pools = *job_pools_;  // copied under lock
+    lock.unlock();
+    {
+      ScopedRunningPools scope{std::move(pools)};
+      (*body)();
+    }
+    lock.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace lazyeye::campaign

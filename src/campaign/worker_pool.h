@@ -1,0 +1,78 @@
+// WorkerPool: persistent, lazily-started campaign worker threads.
+//
+// Every CampaignRunner::run / run_streaming used to spawn fresh
+// std::threads and join them at the end — cheap for one big matrix, but a
+// real tax on workloads that run many campaigns back to back (mixed
+// testbed + webtool + resolverlab batches, bench sweeps at several worker
+// counts, repeated CI grids). A WorkerPool keeps its threads parked on a
+// condition variable between campaigns, so the second and every later
+// campaign pays a wake-up instead of thread creation.
+//
+// Threads are started lazily: the pool spawns only when a campaign actually
+// asks for helpers, and only as many as the widest campaign so far needed.
+// One process-wide pool (WorkerPool::shared()) is the default for every
+// runner, so testbed, webtool, and resolverlab campaigns all amortise the
+// same threads; runners can be pointed at a private pool via RunnerOptions.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lazyeye::campaign {
+
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// The process-wide pool every CampaignRunner uses unless its options
+  /// name another one. Lives (parked) until process exit.
+  static WorkerPool& shared();
+
+  /// Runs `body` concurrently on `helpers` pool threads plus the calling
+  /// thread, and returns when every participant finished. The pool grows on
+  /// demand to `helpers` threads and keeps them for later campaigns.
+  /// `body` must not throw (campaign workers trap their own exceptions).
+  /// Campaigns are serialised: a second concurrent campaign on the same
+  /// pool waits for the first to finish — determinism never depends on it.
+  /// Re-entrant: a campaign launched from inside one of this pool's job
+  /// bodies (an executor/sink/hook that itself runs a campaign) executes on
+  /// transient threads instead of deadlocking on the serialisation lock.
+  void run_job(int helpers, const std::function<void()>& body);
+
+  /// Threads this pool has ever started (they persist until destruction).
+  int threads_started() const;
+
+  /// Campaigns served so far (observability for benches / examples).
+  std::uint64_t jobs_run() const;
+
+ private:
+  void worker_main();
+  void ensure_threads(int wanted);  // callers hold state_mutex_
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable work_cv_;   // parked workers wait here
+  std::condition_variable done_cv_;   // the campaign thread waits here
+  std::vector<std::thread> threads_;
+  const std::function<void()>* body_ = nullptr;
+  /// Running-pool set of the current job's launching thread (plus this
+  /// pool); installed on every worker for the body's duration so nested
+  /// campaigns are detected across pool hops (see worker_pool.cc).
+  const std::vector<const WorkerPool*>* job_pools_ = nullptr;
+  std::uint64_t job_seq_ = 0;   // bumped per campaign; workers track it
+  int open_slots_ = 0;          // participants this campaign still wants
+  int active_ = 0;              // participants currently inside body
+  std::uint64_t jobs_run_ = 0;
+  bool stopping_ = false;
+
+  std::mutex job_mutex_;  // serialises whole campaigns on this pool
+};
+
+}  // namespace lazyeye::campaign

@@ -206,31 +206,77 @@ bool check_ipv6_only_capability(const resolvers::ServiceProfile& service,
   return resolved;
 }
 
+namespace {
+
+/// Pure per-index cell builder shared by the eager and lazy generators.
+/// The seed sequence is the one the original serial loop consumed:
+/// config.seed + 1, +2, ... in (delay-major, repetition-minor) order.
+campaign::ScenarioSpec resolver_cell_at(const std::string& service_name,
+                                        const std::vector<SimTime>& grid,
+                                        int repetitions,
+                                        std::uint64_t config_seed,
+                                        std::size_t cell) {
+  const std::size_t di = cell / static_cast<std::size_t>(repetitions);
+  const int rep = static_cast<int>(cell % static_cast<std::size_t>(repetitions));
+  campaign::ScenarioSpec spec;
+  spec.id = cell;
+  spec.seed = config_seed + cell + 1;
+  spec.repetition = rep;
+  spec.grid_index = static_cast<int>(di);
+  spec.payload = campaign::ResolverCellCase{service_name, grid[di]};
+  spec.label = lazyeye::str_format("%s %s rep%d", service_name.c_str(),
+                                   format_duration(grid[di]).c_str(), rep);
+  return spec;
+}
+
+}  // namespace
+
 std::vector<campaign::ScenarioSpec> cell_specs(
     const resolvers::ServiceProfile& service, const LabConfig& config) {
+  const std::size_t total = config.delay_grid.size() *
+                            static_cast<std::size_t>(config.repetitions);
   std::vector<campaign::ScenarioSpec> specs;
-  specs.reserve(config.delay_grid.size() *
-                static_cast<std::size_t>(config.repetitions));
-  std::uint64_t cell = 0;
-  for (std::size_t di = 0; di < config.delay_grid.size(); ++di) {
-    for (int rep = 0; rep < config.repetitions; ++rep) {
-      campaign::ScenarioSpec spec;
-      spec.id = cell;
-      // The seed sequence the serial loop consumed: config.seed + 1, +2, ...
-      // in (delay-major, repetition-minor) order.
-      spec.seed = config.seed + cell + 1;
-      spec.repetition = rep;
-      spec.grid_index = static_cast<int>(di);
-      spec.payload =
-          campaign::ResolverCellCase{service.service, config.delay_grid[di]};
-      spec.label = lazyeye::str_format(
-          "%s %s rep%d", service.service.c_str(),
-          format_duration(config.delay_grid[di]).c_str(), rep);
-      specs.push_back(std::move(spec));
-      ++cell;
-    }
+  specs.reserve(total);
+  for (std::size_t cell = 0; cell < total; ++cell) {
+    specs.push_back(resolver_cell_at(service.service, config.delay_grid,
+                                     config.repetitions, config.seed, cell));
   }
   return specs;
+}
+
+campaign::SpecStream cell_spec_stream(const resolvers::ServiceProfile& service,
+                                      const LabConfig& config) {
+  const std::size_t total = config.delay_grid.size() *
+                            static_cast<std::size_t>(config.repetitions);
+  return campaign::SpecStream{
+      total, [name = service.service, grid = config.delay_grid,
+              repetitions = config.repetitions, seed = config.seed](
+                 std::size_t cell) {
+        return resolver_cell_at(name, grid, repetitions, seed, cell);
+      }};
+}
+
+campaign::SpecStream cross_service_cell_spec_stream(
+    const std::vector<resolvers::ServiceProfile>& services,
+    const LabConfig& config) {
+  const std::size_t per_service = config.delay_grid.size() *
+                                  static_cast<std::size_t>(config.repetitions);
+  std::vector<std::string> names;
+  names.reserve(services.size());
+  for (const auto& service : services) names.push_back(service.service);
+  return campaign::SpecStream{
+      per_service * names.size(),
+      [names = std::move(names), grid = config.delay_grid,
+       repetitions = config.repetitions, seed = config.seed,
+       per_service](std::size_t i) {
+        // Service-major; each service's block keeps its solo seed sequence
+        // (see cross_service_cell_specs), ids dense across the joint matrix.
+        campaign::ScenarioSpec spec =
+            resolver_cell_at(names[i / per_service], grid, repetitions, seed,
+                             i % per_service);
+        spec.id = i;
+        return spec;
+      }};
 }
 
 std::vector<campaign::ScenarioSpec> cross_service_cell_specs(
@@ -370,8 +416,10 @@ std::vector<ServiceMetrics> measure_services(
   // freely across workers. Each cell is an isolated world seeded from its
   // spec, and the sink streams observations in spec order (service-major),
   // so per-service aggregation is worker-count independent and identical
-  // to running each service's campaign alone.
-  const auto specs = cross_service_cell_specs(services, config);
+  // to running each service's campaign alone. The matrix is lazy: cells are
+  // generated as workers claim them, never materialised as a vector.
+  const campaign::SpecStream specs =
+      cross_service_cell_spec_stream(services, config);
 
   campaign::Registry<RunObservation> registry;
   register_executor(registry, services);

@@ -21,6 +21,7 @@
 
 #include "campaign/registry.h"
 #include "campaign/scenario.h"
+#include "campaign/spec_stream.h"
 #include "resolvers/service_profiles.h"
 #include "util/time.h"
 
@@ -87,6 +88,16 @@ std::vector<campaign::ScenarioSpec> cell_specs(
 /// keeps its own serial seed sequence, so per-service observations are
 /// identical to a solo campaign; ids are dense across the joint matrix.
 std::vector<campaign::ScenarioSpec> cross_service_cell_specs(
+    const std::vector<resolvers::ServiceProfile>& services,
+    const LabConfig& config);
+
+/// Lazy equivalent of cell_specs(): cell-for-cell identical specs (same
+/// seed sequence), generated per claimed cell.
+campaign::SpecStream cell_spec_stream(const resolvers::ServiceProfile& service,
+                                      const LabConfig& config);
+
+/// Lazy equivalent of cross_service_cell_specs().
+campaign::SpecStream cross_service_cell_spec_stream(
     const std::vector<resolvers::ServiceProfile>& services,
     const LabConfig& config);
 

@@ -12,12 +12,51 @@ namespace {
 constexpr std::uint64_t kRunawayCap = 200'000'000;
 }  // namespace
 
+std::uint64_t EventLoop::arm_slot() {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slots_.size() >= kSlotMask) {
+      // > 16M concurrently armed timers means something is leaking events.
+      throw std::runtime_error("EventLoop: timer slot table exhausted");
+    }
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].armed = true;
+  ++live_count_;
+  return (slots_[slot].generation << kSlotBits) |
+         (static_cast<std::uint64_t>(slot) + 1);
+}
+
+bool EventLoop::slot_armed(std::uint64_t packed) const {
+  const std::uint64_t slot_plus1 = packed & kSlotMask;
+  if (slot_plus1 == 0 || slot_plus1 > slots_.size()) return false;
+  const Slot& s = slots_[slot_plus1 - 1];
+  return s.armed && s.generation == (packed >> kSlotBits);
+}
+
+void EventLoop::retire(std::uint64_t packed) {
+  const std::uint32_t slot = static_cast<std::uint32_t>((packed & kSlotMask) - 1);
+  Slot& s = slots_[slot];
+  if (s.armed) {
+    s.armed = false;
+    --live_count_;
+  }
+  // Invalidate every TimerId minted for this use of the slot, then recycle.
+  // Wrap at the packed width so slot_armed()'s equality keeps matching the
+  // bits a TimerId can actually carry.
+  s.generation = (s.generation + 1) & kGenMask;
+  free_slots_.push_back(slot);
+}
+
 TimerId EventLoop::schedule_at(SimTime when, Callback cb) {
   if (when < now_) when = now_;
-  const std::uint64_t id = next_id_++;
+  const std::uint64_t id = arm_slot();
   heap_.push_back(Event{when, next_seq_++, id, std::move(cb)});
   std::push_heap(heap_.begin(), heap_.end(), EventLater{});
-  live_.insert(id);
   return TimerId{id};
 }
 
@@ -26,10 +65,13 @@ TimerId EventLoop::schedule_after(SimTime delay, Callback cb) {
 }
 
 bool EventLoop::cancel(TimerId id) {
-  if (!id.valid()) return false;
-  // Lazy deletion: ids not in live_ are skipped (and pruned) when their heap
-  // node reaches the top.
-  return live_.erase(id.value) != 0;
+  // Lazy deletion: the slot is disarmed here; the heap node is pruned (and
+  // the slot retired) when it reaches the top.
+  if (!id.valid() || !slot_armed(id.value)) return false;
+  Slot& s = slots_[(id.value & kSlotMask) - 1];
+  s.armed = false;
+  --live_count_;
+  return true;
 }
 
 bool EventLoop::pop_one() {
@@ -37,7 +79,11 @@ bool EventLoop::pop_one() {
     std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
     Event ev = std::move(heap_.back());
     heap_.pop_back();
-    if (live_.erase(ev.id) == 0) continue;  // cancelled: prune and move on
+    const bool runnable = slot_armed(ev.id);
+    // Retire before running: the callback may schedule new timers, which can
+    // then reuse this slot under a fresh generation without aliasing ev.id.
+    retire(ev.id);
+    if (!runnable) continue;  // cancelled: prune and move on
     now_ = ev.when;
     ++processed_;
     ev.cb();
@@ -59,9 +105,10 @@ std::size_t EventLoop::run_until(SimTime deadline) {
   std::size_t n = 0;
   while (!heap_.empty()) {
     const Event& top = heap_.front();
-    if (live_.count(top.id) == 0) {
+    if (!slot_armed(top.id)) {
       // Cancelled entry at the top: prune without running.
       std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+      retire(heap_.back().id);
       heap_.pop_back();
       continue;
     }

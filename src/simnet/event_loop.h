@@ -3,18 +3,28 @@
 // Single-threaded: callbacks run strictly in (time, insertion-order) order.
 // This is the substrate every other module schedules against (DNS timeouts,
 // TCP retransmissions, HE connection-attempt delays, netem delivery...).
+//
+// The scheduling path is allocation-lean: callbacks are stored in
+// InlineCallback nodes (small captures never touch the heap), and liveness
+// is tracked by generation-tagged slots validated directly against the heap
+// nodes — no per-event hash-set insert/erase on the hot path.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "simnet/inline_callback.h"
 #include "util/time.h"
 
 namespace lazyeye::simnet {
 
 /// Handle for cancelling a scheduled callback. Default-constructed = invalid.
+///
+/// The value packs (generation << kSlotBits) | (slot + 1): the slot indexes
+/// a recycled entry in the loop's slot table, and the generation is bumped
+/// every time the slot is retired, so a stale handle held across the event's
+/// execution (or cancellation) can never alias a later timer that happens to
+/// reuse the same slot.
 struct TimerId {
   std::uint64_t value = 0;
   bool valid() const { return value != 0; }
@@ -23,7 +33,7 @@ struct TimerId {
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
@@ -54,18 +64,27 @@ class EventLoop {
   std::size_t run_for(SimTime d);
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return live_.size(); }
+  std::size_t pending() const { return live_count_; }
 
   /// Total callbacks executed since construction.
   std::uint64_t processed() const { return processed_; }
 
  private:
+  // TimerId layout: low kSlotBits hold slot+1 (so value 0 stays invalid),
+  // the remaining 40 bits hold the slot's generation at arm time. The
+  // stored generation wraps at 40 bits so the comparison in slot_armed()
+  // always sees exactly the bits that survive packing; a stale id could
+  // alias only after a full 2^40 retires of one slot between arm and check.
+  static constexpr std::uint64_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
+  static constexpr std::uint64_t kGenMask = (~std::uint64_t{0}) >> kSlotBits;
+
   struct Event {
     SimTime when;
     std::uint64_t seq;
-    std::uint64_t id;
-    // The callback lives in the heap node itself (moved in, moved out —
-    // no per-event allocation beyond what std::function needs).
+    std::uint64_t id;  // packed (generation, slot) — see TimerId
+    // The callback lives in the heap node itself; small captures are stored
+    // inline (InlineCallback), so scheduling typically allocates nothing.
     Callback cb;
   };
   struct EventLater {
@@ -76,16 +95,32 @@ class EventLoop {
     }
   };
 
+  /// One recyclable liveness slot. `generation` is bumped when the slot is
+  /// retired (its heap node ran or was pruned), invalidating every TimerId
+  /// minted for an earlier use of the slot. Generations start at 1 so the
+  /// packed id of an armed timer is never 0.
+  struct Slot {
+    std::uint64_t generation = 1;
+    bool armed = false;
+  };
+
   bool pop_one();  // runs the earliest live event; false if queue empty
 
-  /// Binary min-heap over (when, seq). Cancellation is lazy: an id absent
-  /// from live_ is skipped — and thereby pruned — when its node reaches the
-  /// top, so stale entries never outlive their scheduled time.
+  // Slot helpers (definitions in the .cc).
+  std::uint64_t arm_slot();                    // returns packed id
+  bool slot_armed(std::uint64_t packed) const;  // id still live?
+  void retire(std::uint64_t packed);           // bump generation, free slot
+
+  /// Binary min-heap over (when, seq). Cancellation is lazy: a node whose
+  /// slot generation no longer matches (or whose slot was disarmed) is
+  /// skipped — and thereby pruned — when it reaches the top, so stale
+  /// entries never outlive their scheduled time.
   std::vector<Event> heap_;
-  std::unordered_set<std::uint64_t> live_;  // scheduled, not yet run/cancelled
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;  // scheduled, not yet run/cancelled
   SimTime now_{0};
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t processed_ = 0;
 };
 

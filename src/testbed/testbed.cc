@@ -178,21 +178,47 @@ campaign::ScenarioSpec LocalTestbed::address_selection_spec(
   return spec;
 }
 
+namespace {
+
+/// Pure per-index CAD cell builder — the single assembly point shared by
+/// the eager generator and the lazy stream factories, so the two can never
+/// diverge field by field. Delay-major, repetition-minor, one seed per cell
+/// drawn from the counter range the caller reserved.
+campaign::ScenarioSpec cad_cell_at(const clients::ClientProfile& profile,
+                                   const std::vector<SimTime>& values,
+                                   int repetitions, std::uint64_t first_seed,
+                                   std::size_t i) {
+  campaign::ScenarioSpec spec;
+  const std::size_t grid = i / static_cast<std::size_t>(repetitions);
+  const int rep = static_cast<int>(i % static_cast<std::size_t>(repetitions));
+  const SimTime delay = values[grid];
+  spec.seed = first_seed + i;
+  spec.id = i;
+  spec.repetition = rep;
+  spec.grid_index = static_cast<int>(grid);
+  spec.client = profile.display_name();
+  spec.payload = campaign::CadCase{delay};
+  spec.label = lazyeye::str_format("cad %s %s rep%d", spec.client.c_str(),
+                                   format_duration(delay).c_str(), rep);
+  return spec;
+}
+
+}  // namespace
+
 std::vector<campaign::ScenarioSpec> LocalTestbed::cad_sweep_specs(
     const clients::ClientProfile& profile, const SweepSpec& sweep,
     int repetitions) {
-  std::vector<campaign::ScenarioSpec> specs;
   const auto values = sweep.values();
-  specs.reserve(values.size() * static_cast<std::size_t>(repetitions));
-  std::uint64_t cell = 0;
-  for (const SimTime delay : values) {
-    for (int rep = 0; rep < repetitions; ++rep) {
-      campaign::ScenarioSpec spec = cad_spec(profile, delay, rep);
-      spec.id = cell;
-      spec.grid_index = static_cast<int>(cell / repetitions);
-      ++cell;
-      specs.push_back(std::move(spec));
-    }
+  const std::size_t total =
+      values.size() * static_cast<std::size_t>(repetitions);
+  // Reserve the counter range the per-cell cad_spec() path would have
+  // consumed, then build every cell through the shared builder.
+  const std::uint64_t first_seed = run_counter_ + 1;
+  run_counter_ += total;
+  std::vector<campaign::ScenarioSpec> specs;
+  specs.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    specs.push_back(cad_cell_at(profile, values, repetitions, first_seed, i));
   }
   return specs;
 }
@@ -213,6 +239,46 @@ std::vector<campaign::ScenarioSpec> LocalTestbed::multi_client_cad_specs(
     }
   }
   return specs;
+}
+
+campaign::SpecStream LocalTestbed::cad_sweep_stream(
+    const clients::ClientProfile& profile, const SweepSpec& sweep,
+    int repetitions) {
+  auto values = sweep.values();
+  const std::size_t total =
+      values.size() * static_cast<std::size_t>(repetitions);
+  // Reserve the counter range the eager generator would have consumed, so
+  // lazy and materialised sweeps on one testbed stay interchangeable.
+  const std::uint64_t first_seed = run_counter_ + 1;
+  run_counter_ += total;
+  return campaign::SpecStream{
+      total, [profile, values = std::move(values), repetitions,
+              first_seed](std::size_t i) {
+        return cad_cell_at(profile, values, repetitions, first_seed, i);
+      }};
+}
+
+campaign::SpecStream LocalTestbed::multi_client_cad_stream(
+    std::vector<clients::ClientProfile> profiles, const SweepSpec& sweep,
+    int repetitions) {
+  auto values = sweep.values();
+  const std::size_t per_client =
+      values.size() * static_cast<std::size_t>(repetitions);
+  const std::size_t total = per_client * profiles.size();
+  const std::uint64_t first_seed = run_counter_ + 1;
+  run_counter_ += total;
+  return campaign::SpecStream{
+      total, [profiles = std::move(profiles), values = std::move(values),
+              repetitions, per_client, first_seed](std::size_t i) {
+        // Profile-major, same seed sequence as back-to-back eager sweeps;
+        // ids are dense across the joint matrix.
+        campaign::ScenarioSpec spec =
+            cad_cell_at(profiles[i / per_client], values, repetitions,
+                        first_seed + (i / per_client) * per_client,
+                        i % per_client);
+        spec.id = i;
+        return spec;
+      }};
 }
 
 RunRecord LocalTestbed::run_spec(const clients::ClientProfile& profile,
@@ -302,8 +368,13 @@ std::vector<RunRecord> LocalTestbed::sweep_cad(
     int repetitions, int workers) {
   campaign::RunnerOptions options;
   options.workers = workers;
-  return run_campaign(profile, cad_sweep_specs(profile, sweep, repetitions),
-                      campaign::CampaignRunner{options});
+  // Lazy fast path: cells are generated as workers claim them, so the sweep
+  // never materialises its spec vector. Same cells, same records.
+  return campaign::CampaignRunner{options}.run<RunRecord>(
+      cad_sweep_stream(profile, sweep, repetitions),
+      [this, &profile](const campaign::ScenarioSpec& spec) {
+        return run_spec(profile, spec);
+      });
 }
 
 }  // namespace lazyeye::testbed

@@ -26,6 +26,7 @@
 #include "campaign/registry.h"
 #include "campaign/runner.h"
 #include "campaign/scenario.h"
+#include "campaign/spec_stream.h"
 #include "capture/analysis.h"
 #include "clients/client.h"
 #include "clients/profiles.h"
@@ -121,6 +122,23 @@ class LocalTestbed {
   std::vector<campaign::ScenarioSpec> multi_client_cad_specs(
       const std::vector<clients::ClientProfile>& profiles,
       const SweepSpec& sweep, int repetitions = 1);
+
+  // ---- Lazy spec streams -------------------------------------------------
+  // Cell-for-cell identical to the materialised generators above (same
+  // seeds, ids, labels), but generated on demand per claimed cell, so a
+  // matrix of any size never sits in memory. Each factory reserves its
+  // whole run-counter range up front, keeping the counter sequence exactly
+  // what the eager generator would have consumed.
+
+  /// Lazy equivalent of cad_sweep_specs().
+  campaign::SpecStream cad_sweep_stream(const clients::ClientProfile& profile,
+                                        const SweepSpec& sweep,
+                                        int repetitions = 1);
+
+  /// Lazy equivalent of multi_client_cad_specs().
+  campaign::SpecStream multi_client_cad_stream(
+      std::vector<clients::ClientProfile> profiles, const SweepSpec& sweep,
+      int repetitions = 1);
 
   /// Stateless executor: builds the isolated simnet world described by
   /// `spec` (seeded from spec.seed), runs it, and analyses the capture.

@@ -39,25 +39,47 @@ WebToolReport WebTool::run_rd_test(const clients::ClientProfile& profile,
                       delayed_type);
 }
 
+namespace {
+
+campaign::ScenarioSpec repetition_cell(const std::string& client,
+                                       std::uint64_t config_seed, bool rd_mode,
+                                       dns::RrType delayed_type, int rep) {
+  campaign::ScenarioSpec spec;
+  spec.id = static_cast<std::uint64_t>(rep);
+  spec.repetition = rep;
+  // One seed per repetition cell: the whole deployment (netem noise,
+  // client behaviour) for that repetition derives from it.
+  spec.seed = config_seed * 1000003ULL + static_cast<std::uint64_t>(rep) + 1;
+  spec.client = client;
+  spec.payload = campaign::WebRepetitionCase{rd_mode, delayed_type};
+  spec.label = lazyeye::str_format("webtool %s rep%d", client.c_str(), rep);
+  return spec;
+}
+
+}  // namespace
+
 std::vector<campaign::ScenarioSpec> WebTool::campaign_specs(
     const clients::ClientProfile& profile, bool rd_mode,
     dns::RrType delayed_type) const {
   std::vector<campaign::ScenarioSpec> specs;
   specs.reserve(config_.repetitions);
   for (int rep = 0; rep < config_.repetitions; ++rep) {
-    campaign::ScenarioSpec spec;
-    spec.id = rep;
-    spec.repetition = rep;
-    // One seed per repetition cell: the whole deployment (netem noise,
-    // client behaviour) for that repetition derives from it.
-    spec.seed = config_.seed * 1000003ULL + static_cast<std::uint64_t>(rep) + 1;
-    spec.client = profile.display_name();
-    spec.payload = campaign::WebRepetitionCase{rd_mode, delayed_type};
-    spec.label = lazyeye::str_format("webtool %s rep%d", spec.client.c_str(),
-                                     rep);
-    specs.push_back(std::move(spec));
+    specs.push_back(repetition_cell(profile.display_name(), config_.seed,
+                                    rd_mode, delayed_type, rep));
   }
   return specs;
+}
+
+campaign::SpecStream WebTool::campaign_spec_stream(
+    const clients::ClientProfile& profile, bool rd_mode,
+    dns::RrType delayed_type) const {
+  return campaign::SpecStream{
+      static_cast<std::size_t>(config_.repetitions),
+      [client = profile.display_name(), seed = config_.seed, rd_mode,
+       delayed_type](std::size_t i) {
+        return repetition_cell(client, seed, rd_mode, delayed_type,
+                               static_cast<int>(i));
+      }};
 }
 
 RepetitionOutcome WebTool::run_repetition(const clients::ClientProfile& profile,
@@ -221,7 +243,7 @@ WebToolReport WebTool::run_campaign(const clients::ClientProfile& profile,
         if (outcome.inconsistent) ++report.inconsistent_repetitions;
       }};
   runner.run_streaming<RepetitionOutcome>(
-      campaign_specs(profile, rd_mode, delayed_type),
+      campaign_spec_stream(profile, rd_mode, delayed_type),
       [&](const campaign::ScenarioSpec& spec) {
         return run_repetition(profile, spec);
       },

@@ -22,6 +22,7 @@
 
 #include "campaign/registry.h"
 #include "campaign/scenario.h"
+#include "campaign/spec_stream.h"
 #include "clients/client.h"
 #include "clients/profiles.h"
 #include "clients/user_agent.h"
@@ -98,6 +99,12 @@ class WebTool {
   /// each cell's WebRepetitionCase payload, which is the single source of
   /// truth the executor reads.
   std::vector<campaign::ScenarioSpec> campaign_specs(
+      const clients::ClientProfile& profile, bool rd_mode,
+      dns::RrType delayed_type) const;
+
+  /// Lazy equivalent of campaign_specs(): cell-for-cell identical specs,
+  /// generated per claimed repetition instead of materialised up front.
+  campaign::SpecStream campaign_spec_stream(
       const clients::ClientProfile& profile, bool rd_mode,
       dns::RrType delayed_type) const;
 

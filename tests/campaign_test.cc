@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -17,6 +19,8 @@
 #include "campaign/runner.h"
 #include "campaign/scenario.h"
 #include "campaign/sink.h"
+#include "campaign/spec_stream.h"
+#include "campaign/worker_pool.h"
 #include "clients/profiles.h"
 #include "resolverlab/lab.h"
 #include "testbed/testbed.h"
@@ -171,6 +175,364 @@ TEST(CampaignRunnerTest, FirstExecutorExceptionRethrownOnCallingThread) {
   // that called run(), not on a worker.
   EXPECT_EQ(catcher, caller);
   EXPECT_NE(caught.find("boom"), std::string::npos);
+}
+
+TEST(CampaignRunnerTest, ResultsIdenticalForEveryReorderCap) {
+  // The backpressure cap is a scheduling knob only: 8 workers with
+  // max_reorder_ahead 1, 4, and unbounded must all reproduce the serial
+  // delivery byte-for-byte (order and content).
+  const auto specs = numbered_specs(48);
+  const std::function<std::uint64_t(const ScenarioSpec&)> executor =
+      [](const ScenarioSpec& s) { return s.seed * 31 + s.id; };
+
+  auto run_with = [&](int workers, std::size_t cap) {
+    RunnerOptions options;
+    options.workers = workers;
+    options.max_reorder_ahead = cap;
+    CampaignRunner runner{options};
+    std::vector<std::uint64_t> delivered;
+    CallbackSink<std::uint64_t> sink{
+        [&delivered](const ScenarioSpec&, std::uint64_t v) {
+          delivered.push_back(v);
+        }};
+    runner.run_streaming<std::uint64_t>(specs, executor, sink);
+    return delivered;
+  };
+
+  const auto serial = run_with(1, 0);
+  // SIZE_MAX guards the gate's saturating window arithmetic: a huge cap
+  // must behave as unbounded, not wrap and park every claimer forever.
+  for (const std::size_t cap :
+       {std::size_t{1}, std::size_t{4}, std::size_t{0},
+        std::numeric_limits<std::size_t>::max()}) {
+    EXPECT_EQ(run_with(8, cap), serial) << "cap=" << cap;
+  }
+}
+
+TEST(CampaignRunnerTest, SlowHeadCellNeverOverflowsTheReorderCap) {
+  // Adversarial workload from the runner.h pathology note: cell 0 is
+  // pathologically slow while every other cell completes instantly. Without
+  // backpressure the whole matrix parks behind cell 0; with
+  // max_reorder_ahead the claim cursor stalls instead, so the pending
+  // buffer high-water must stay at or under the cap.
+  const auto specs = numbered_specs(64);
+  for (const std::size_t cap : {std::size_t{1}, std::size_t{4}}) {
+    RunnerOptions options;
+    options.workers = 8;
+    options.max_reorder_ahead = cap;
+    CampaignRunner runner{options};
+    const std::function<int(const ScenarioSpec&)> executor =
+        [](const ScenarioSpec& s) {
+          if (s.id == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+          return static_cast<int>(s.id);
+        };
+    std::vector<int> delivered;
+    CallbackSink<int> sink{[&delivered](const ScenarioSpec&, int v) {
+      delivered.push_back(v);
+    }};
+    runner.run_streaming<int>(specs, executor, sink);
+
+    ASSERT_EQ(delivered.size(), 64u);
+    for (std::size_t i = 0; i < delivered.size(); ++i) {
+      EXPECT_EQ(delivered[i], static_cast<int>(i));
+    }
+    EXPECT_LE(runner.last_run_stats().reorder_high_water, cap) << "cap=" << cap;
+    EXPECT_EQ(runner.last_run_stats().cells, 64u);
+  }
+}
+
+TEST(CampaignRunnerTest, GatedRunStillPropagatesExecutorExceptions) {
+  // A failing executor must not leave gated claimers parked forever: the
+  // claim gate is released and the first exception surfaces on the caller.
+  const auto specs = numbered_specs(40);
+  RunnerOptions options;
+  options.workers = 8;
+  options.max_reorder_ahead = 2;
+  CampaignRunner runner{options};
+  EXPECT_THROW(
+      runner.run<int>(specs,
+                      [](const ScenarioSpec& s) -> int {
+                        if (s.id == 5) throw std::runtime_error("head boom");
+                        return 0;
+                      }),
+      std::runtime_error);
+}
+
+TEST(CampaignRunnerTest, ThrowingProgressHookFailsTheCampaign) {
+  // A hook exception must surface like an executor exception (and must not
+  // unwind through the pool while workers still run the campaign's locals).
+  for (const int workers : {1, 4}) {
+    RunnerOptions options;
+    options.workers = workers;
+    options.progress = [](std::size_t done, std::size_t) {
+      if (done == 3) throw std::runtime_error("hook boom");
+    };
+    CampaignRunner runner{options};
+    EXPECT_THROW(
+        runner.run<int>(numbered_specs(16),
+                        [](const ScenarioSpec& s) {
+                          return static_cast<int>(s.id);
+                        }),
+        std::runtime_error)
+        << "workers=" << workers;
+  }
+}
+
+// --------------------------------------------------------- worker pool ----
+
+TEST(WorkerPoolTest, NestedCampaignOnTheSamePoolDoesNotDeadlock) {
+  // An executor that itself runs a multi-worker campaign re-enters the
+  // pool's run_job from inside a job body; the pool must detect this and
+  // run the inner campaign on transient threads instead of queueing behind
+  // the (still running) outer campaign.
+  WorkerPool pool;
+  RunnerOptions outer_options;
+  outer_options.workers = 3;
+  outer_options.pool = &pool;
+  CampaignRunner outer{outer_options};
+
+  const auto outer_totals = outer.run<std::uint64_t>(
+      numbered_specs(6), [&pool](const ScenarioSpec& outer_spec) {
+        RunnerOptions inner_options;
+        inner_options.workers = 2;
+        inner_options.pool = &pool;
+        const auto inner = CampaignRunner{inner_options}.run<std::uint64_t>(
+            numbered_specs(8),
+            [](const ScenarioSpec& s) { return s.seed; });
+        std::uint64_t total = outer_spec.seed;
+        for (const std::uint64_t v : inner) total += v;
+        return total;
+      });
+
+  const auto serial_inner = runner_with(1).run<std::uint64_t>(
+      numbered_specs(8), [](const ScenarioSpec& s) { return s.seed; });
+  std::uint64_t inner_sum = 0;
+  for (const std::uint64_t v : serial_inner) inner_sum += v;
+  for (std::size_t i = 0; i < outer_totals.size(); ++i) {
+    EXPECT_EQ(outer_totals[i], numbered_specs(6)[i].seed + inner_sum);
+  }
+}
+
+TEST(WorkerPoolTest, CrossPoolNestedCampaignDoesNotDeadlock) {
+  // A -> B -> A: an executor on pool A campaigns on pool B, whose workers
+  // campaign back on pool A while A's outer campaign still holds its job
+  // slot. The running-pool set travels with the job into every worker, so
+  // the innermost run detects the recursion and uses transient threads.
+  WorkerPool pool_a;
+  WorkerPool pool_b;
+  auto runner_on = [](WorkerPool& pool) {
+    RunnerOptions options;
+    options.workers = 2;
+    options.pool = &pool;
+    return CampaignRunner{options};
+  };
+
+  const auto totals = runner_on(pool_a).run<std::uint64_t>(
+      numbered_specs(4), [&](const ScenarioSpec& outer_spec) {
+        const auto mids = runner_on(pool_b).run<std::uint64_t>(
+            numbered_specs(3), [&](const ScenarioSpec& mid_spec) {
+              const auto inner = runner_on(pool_a).run<std::uint64_t>(
+                  numbered_specs(2),
+                  [](const ScenarioSpec& s) { return s.seed; });
+              std::uint64_t total = mid_spec.seed;
+              for (const std::uint64_t v : inner) total += v;
+              return total;
+            });
+        std::uint64_t total = outer_spec.seed;
+        for (const std::uint64_t v : mids) total += v;
+        return total;
+      });
+
+  const std::uint64_t inner_sum = 100 + 101;
+  const std::uint64_t mid_sum = 3 * inner_sum + 100 + 101 + 102;
+  ASSERT_EQ(totals.size(), 4u);
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    EXPECT_EQ(totals[i], 100 + i + mid_sum);
+  }
+}
+
+TEST(WorkerPoolTest, ThreadsPersistAcrossCampaigns) {
+  WorkerPool pool;
+  RunnerOptions options;
+  options.workers = 4;
+  options.pool = &pool;
+  CampaignRunner runner{options};
+
+  const auto specs = numbered_specs(32);
+  const std::function<std::uint64_t(const ScenarioSpec&)> executor =
+      [](const ScenarioSpec& s) { return s.seed; };
+
+  const auto first = runner.run<std::uint64_t>(specs, executor);
+  const int threads_after_first = pool.threads_started();
+  EXPECT_EQ(threads_after_first, 3);  // workers - 1 helpers, lazily started
+
+  const auto second = runner.run<std::uint64_t>(specs, executor);
+  EXPECT_EQ(pool.threads_started(), threads_after_first);  // reused, not respawned
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(pool.jobs_run(), 2u);
+}
+
+TEST(WorkerPoolTest, GrowsLazilyToTheWidestCampaign) {
+  WorkerPool pool;
+  EXPECT_EQ(pool.threads_started(), 0);  // nothing spawned until needed
+
+  const auto specs = numbered_specs(16);
+  const std::function<int(const ScenarioSpec&)> executor =
+      [](const ScenarioSpec& s) { return static_cast<int>(s.id); };
+
+  for (const int workers : {2, 6, 4}) {
+    RunnerOptions options;
+    options.workers = workers;
+    options.pool = &pool;
+    CampaignRunner{options}.run<int>(specs, executor);
+  }
+  EXPECT_EQ(pool.threads_started(), 5);  // widest campaign needed 5 helpers
+  EXPECT_EQ(pool.jobs_run(), 3u);
+}
+
+TEST(WorkerPoolTest, SharedPoolServesMixedLayersDeterministically) {
+  // Two different campaigns back to back on the process-wide pool must be
+  // unaffected by the pool being warm.
+  const auto specs = numbered_specs(24);
+  const std::function<std::uint64_t(const ScenarioSpec&)> executor =
+      [](const ScenarioSpec& s) { return s.seed * 7; };
+  const auto cold = runner_with(4).run<std::uint64_t>(specs, executor);
+  const auto warm = runner_with(4).run<std::uint64_t>(specs, executor);
+  EXPECT_EQ(cold, warm);
+  EXPECT_GE(WorkerPool::shared().threads_started(), 3);
+}
+
+// --------------------------------------------------------- spec streams ----
+
+std::string envelope(const ScenarioSpec& spec) {
+  return lazyeye::str_format(
+      "%llu|%llu|%d|%d|%s|%s|%s",
+      static_cast<unsigned long long>(spec.id),
+      static_cast<unsigned long long>(spec.seed), spec.repetition,
+      spec.grid_index, spec.label.c_str(), spec.client.c_str(),
+      case_name(spec.payload));
+}
+
+TEST(SpecStreamTest, ViewAndOwningAdaptersMatchTheVector) {
+  auto specs = numbered_specs(9);
+  for (auto& spec : specs) spec.label = "x" + std::to_string(spec.id);
+  const SpecStream view = SpecStream::view(specs);
+  ASSERT_EQ(view.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(envelope(view.at(i)), envelope(specs[i]));
+  }
+  const SpecStream owned = SpecStream::of(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(envelope(owned.at(i)), envelope(specs[i]));
+  }
+}
+
+TEST(SpecStreamTest, TestbedSweepStreamMatchesMaterialisedSpecs) {
+  const auto profile = clients::chromium_profile("Chrome", "130.0", "10-2024");
+  const testbed::SweepSpec sweep{ms(0), ms(200), ms(50)};
+
+  testbed::LocalTestbed eager_bed;
+  const auto eager = eager_bed.cad_sweep_specs(profile, sweep, 3);
+  testbed::LocalTestbed lazy_bed;
+  const auto lazy = lazy_bed.cad_sweep_stream(profile, sweep, 3);
+
+  ASSERT_EQ(lazy.size(), eager.size());
+  for (std::size_t i = 0; i < eager.size(); ++i) {
+    EXPECT_EQ(envelope(lazy.at(i)), envelope(eager[i])) << "cell " << i;
+    EXPECT_EQ(lazy.at(i).get_if<CadCase>()->v6_delay,
+              eager[i].get_if<CadCase>()->v6_delay);
+  }
+  // The stream reserved its whole counter range: the next cell allocated on
+  // the lazy testbed continues where the eager one does.
+  EXPECT_EQ(lazy_bed.cad_spec(profile, ms(0)).seed,
+            eager_bed.cad_spec(profile, ms(0)).seed);
+}
+
+TEST(SpecStreamTest, TestbedMultiClientStreamMatchesMaterialisedSpecs) {
+  const std::vector<clients::ClientProfile> profiles{
+      clients::chromium_profile("Chrome", "130.0", "10-2024"),
+      clients::firefox_profile("132.0", "10-2024"),
+  };
+  const testbed::SweepSpec sweep{ms(0), ms(300), ms(150)};
+
+  testbed::LocalTestbed eager_bed;
+  const auto eager = eager_bed.multi_client_cad_specs(profiles, sweep, 2);
+  testbed::LocalTestbed lazy_bed;
+  const auto lazy = lazy_bed.multi_client_cad_stream(profiles, sweep, 2);
+
+  ASSERT_EQ(lazy.size(), eager.size());
+  for (std::size_t i = 0; i < eager.size(); ++i) {
+    EXPECT_EQ(envelope(lazy.at(i)), envelope(eager[i])) << "cell " << i;
+  }
+}
+
+TEST(SpecStreamTest, WebtoolAndResolverStreamsMatchMaterialisedSpecs) {
+  webtool::WebToolConfig web_config = webtool::WebToolConfig::paper_default();
+  web_config.repetitions = 5;
+  web_config.seed = 11;
+  const webtool::WebTool tool{web_config};
+  const auto web_profile = clients::safari_profile("17.6");
+  const auto web_eager =
+      tool.campaign_specs(web_profile, true, dns::RrType::kA);
+  const auto web_lazy =
+      tool.campaign_spec_stream(web_profile, true, dns::RrType::kA);
+  ASSERT_EQ(web_lazy.size(), web_eager.size());
+  for (std::size_t i = 0; i < web_eager.size(); ++i) {
+    EXPECT_EQ(envelope(web_lazy.at(i)), envelope(web_eager[i]));
+  }
+
+  const auto unbound = resolvers::find_service_profile("Unbound");
+  const auto bind = resolvers::find_service_profile("BIND");
+  ASSERT_TRUE(unbound);
+  ASSERT_TRUE(bind);
+  const std::vector<resolvers::ServiceProfile> services{*unbound, *bind};
+  resolverlab::LabConfig config;
+  config.delay_grid = {ms(0), ms(199), ms(799)};
+  config.repetitions = 3;
+  config.seed = 77;
+  const auto lab_eager = resolverlab::cross_service_cell_specs(services, config);
+  const auto lab_lazy =
+      resolverlab::cross_service_cell_spec_stream(services, config);
+  ASSERT_EQ(lab_lazy.size(), lab_eager.size());
+  for (std::size_t i = 0; i < lab_eager.size(); ++i) {
+    EXPECT_EQ(envelope(lab_lazy.at(i)), envelope(lab_eager[i]));
+    EXPECT_EQ(lab_lazy.at(i).get_if<ResolverCellCase>()->service,
+              lab_eager[i].get_if<ResolverCellCase>()->service);
+  }
+}
+
+TEST(SpecStreamTest, StreamingRunMatchesVectorRunAtEveryWorkerCount) {
+  // The lazy path through run_streaming(SpecStream, ...) must deliver the
+  // same outcomes in the same order as the materialised path.
+  const auto specs = numbered_specs(30);
+  const std::function<std::uint64_t(const ScenarioSpec&)> executor =
+      [](const ScenarioSpec& s) { return s.seed * 13 + s.id; };
+
+  std::vector<std::uint64_t> from_vector;
+  CallbackSink<std::uint64_t> vector_sink{
+      [&from_vector](const ScenarioSpec&, std::uint64_t v) {
+        from_vector.push_back(v);
+      }};
+  runner_with(1).run_streaming<std::uint64_t>(specs, executor, vector_sink);
+
+  for (const int workers : {1, 4, 8}) {
+    const SpecStream stream{specs.size(), [](std::size_t i) {
+                              ScenarioSpec spec;
+                              spec.id = i;
+                              spec.seed = 100 + i;
+                              return spec;
+                            }};
+    std::vector<std::uint64_t> from_stream;
+    CallbackSink<std::uint64_t> stream_sink{
+        [&from_stream](const ScenarioSpec&, std::uint64_t v) {
+          from_stream.push_back(v);
+        }};
+    runner_with(workers).run_streaming<std::uint64_t>(stream, executor,
+                                                      stream_sink);
+    EXPECT_EQ(from_stream, from_vector) << "workers=" << workers;
+  }
 }
 
 TEST(ScenarioSpecTest, DerivedStreamsAreStableAndDistinct) {
@@ -384,6 +746,25 @@ TEST(CampaignDeterminismTest, TestbedSweepIdenticalForOneAndFourWorkers) {
   const auto serial = bed.run_campaign(profile, specs, runner_with(1));
   const auto parallel = bed.run_campaign(profile, specs, runner_with(4));
   EXPECT_EQ(serialize(serial), serialize(parallel));
+}
+
+TEST(CampaignDeterminismTest, TestbedSweepIdenticalAtEightWorkersForEveryCap) {
+  // Backpressure on a real measurement matrix: 8 workers with a reorder cap
+  // of 1, 4, and unbounded all reproduce the serial records byte-for-byte.
+  const auto profile = clients::chromium_profile("Chrome", "130.0", "10-2024");
+  const testbed::SweepSpec sweep{ms(0), ms(400), ms(100)};
+
+  testbed::LocalTestbed bed;
+  const auto specs = bed.cad_sweep_specs(profile, sweep, /*repetitions=*/2);
+  const auto serial = bed.run_campaign(profile, specs, runner_with(1));
+  for (const std::size_t cap : {std::size_t{1}, std::size_t{4}, std::size_t{0}}) {
+    RunnerOptions options;
+    options.workers = 8;
+    options.max_reorder_ahead = cap;
+    const auto parallel =
+        bed.run_campaign(profile, specs, CampaignRunner{options});
+    EXPECT_EQ(serialize(serial), serialize(parallel)) << "cap=" << cap;
+  }
 }
 
 TEST(CampaignDeterminismTest, SweepCadMatchesSerialRunCadCaseSequence) {

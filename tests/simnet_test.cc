@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simnet/event_loop.h"
+#include "simnet/inline_callback.h"
 #include "simnet/ip.h"
 #include "simnet/netem.h"
 #include "simnet/network.h"
@@ -145,6 +148,120 @@ TEST(EventLoopTest, EventsScheduledDuringRunExecute) {
   });
   loop.run();
   EXPECT_EQ(depth, 2);
+}
+
+TEST(EventLoopTest, CancelAfterFireReturnsFalse) {
+  EventLoop loop;
+  int ran = 0;
+  const TimerId id = loop.schedule_at(ms(1), [&] { ++ran; });
+  loop.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(loop.cancel(id));  // already executed
+  EXPECT_FALSE(loop.cancel(id));  // still false on repeat
+}
+
+TEST(EventLoopTest, RecycledSlotsDoNotAliasStaleTimerIds) {
+  // After a timer fires, its liveness slot is recycled under a bumped
+  // generation: a held-over TimerId from the previous occupant must neither
+  // cancel nor observe the new timer.
+  EventLoop loop;
+  int first = 0;
+  const TimerId stale = loop.schedule_at(ms(1), [&] { ++first; });
+  loop.run();
+  ASSERT_EQ(first, 1);
+
+  int second = 0;
+  const TimerId fresh = loop.schedule_at(ms(2), [&] { ++second; });
+  EXPECT_FALSE(loop.cancel(stale));  // must not hit the recycled slot
+  EXPECT_EQ(loop.pending(), 1u);     // fresh timer untouched
+  loop.run();
+  EXPECT_EQ(second, 1);
+  EXPECT_FALSE(loop.cancel(fresh));
+}
+
+TEST(EventLoopTest, SlotRecyclingSurvivesHeavyChurn) {
+  // Schedule/cancel/fire churn across recycled slots: ids stay unique, no
+  // stale handle ever cancels a later timer, and pending() stays exact.
+  EventLoop loop;
+  std::vector<TimerId> fired_ids;
+  int fired = 0;
+  for (int round = 0; round < 200; ++round) {
+    const TimerId run_me = loop.schedule_after(ms(1), [&] { ++fired; });
+    const TimerId drop_me = loop.schedule_after(ms(2), [&] { ++fired; });
+    EXPECT_TRUE(loop.cancel(drop_me));
+    EXPECT_EQ(loop.pending(), 1u);
+    loop.run();
+    EXPECT_EQ(loop.pending(), 0u);
+    for (const TimerId old : fired_ids) {
+      EXPECT_FALSE(loop.cancel(old));  // every historic id stays dead
+    }
+    if (fired_ids.size() < 8) fired_ids.push_back(run_me);
+  }
+  EXPECT_EQ(fired, 200);
+}
+
+TEST(EventLoopTest, CancelDuringCallbackOfSameTimestampBatch) {
+  // A callback cancelling a timer scheduled for the same instant: the
+  // cancelled one must not run even though its node is already in the heap.
+  EventLoop loop;
+  int ran = 0;
+  TimerId second{};
+  loop.schedule_at(ms(5), [&] { EXPECT_TRUE(loop.cancel(second)); ++ran; });
+  second = loop.schedule_at(ms(5), [&] { ran += 100; });
+  loop.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+// ------------------------------------------------------ inline callback ----
+
+TEST(InlineCallbackTest, SmallCapturesStayInline) {
+  int counter = 0;
+  InlineCallback cb{[&counter] { ++counter; }};
+  EXPECT_TRUE(static_cast<bool>(cb));
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  cb();
+  EXPECT_EQ(counter, 2);
+}
+
+TEST(InlineCallbackTest, LargeCapturesFallBackToHeapAndStillRun) {
+  struct Big {
+    char bytes[128];
+  } big{};
+  big.bytes[0] = 42;
+  int seen = 0;
+  InlineCallback cb{[big, &seen] { seen = big.bytes[0]; }};
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineCallbackTest, MovePreservesCallableAndEmptiesSource) {
+  int counter = 0;
+  InlineCallback a{[&counter] { ++counter; }};
+  InlineCallback b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: testing moved-from state
+  b();
+  EXPECT_EQ(counter, 1);
+
+  InlineCallback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(counter, 2);
+}
+
+TEST(InlineCallbackTest, DestructorRunsForBothStorageModes) {
+  auto tracker = std::make_shared<int>(0);
+  {
+    InlineCallback small{[tracker] { ++*tracker; }};
+    struct Big {
+      char pad[100];
+    };
+    InlineCallback big{[tracker, pad = Big{}] { (void)pad; ++*tracker; }};
+    EXPECT_EQ(tracker.use_count(), 3);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);  // both captures destroyed
 }
 
 // ------------------------------------------------------------------ ip ----
