@@ -33,6 +33,7 @@
 #include "campaign/worker_pool.h"
 #include "clients/profiles.h"
 #include "simnet/event_loop.h"
+#include "simnet/udp_echo.h"
 #include "testbed/testbed.h"
 
 using namespace lazyeye;
@@ -85,6 +86,47 @@ struct EventLoopPoint {
   double allocs_per_event = 0.0;
 };
 
+struct DataPathPoint {
+  std::uint64_t packets = 0;        // delivered in the measured section
+  double packets_per_sec = 0.0;
+  std::uint64_t steady_allocs = 0;  // heap allocations in that section
+  double allocs_per_packet = 0.0;
+};
+
+/// Steady-state per-packet data path: a UDP echo pair exchanging pooled
+/// 64-byte payloads. After warm-up (pool blocks, flight slots, timer-wheel
+/// nodes at their high-water marks) the measured section must perform ZERO
+/// heap allocations — the CI smoke gate fails on any regression. The gate is
+/// count-based, not timing-based, so it is deterministic on 1-core runners.
+DataPathPoint measure_datapath(std::uint64_t packets) {
+  simnet::Network net{1};
+  simnet::UdpEchoHarness echo{net};
+
+  echo.run_rounds(512);  // warm-up
+
+  const std::uint64_t rounds = packets / 2;  // 2 deliveries per round trip
+  const std::uint64_t alloc_before =
+      g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t delivered_before = net.stats().packets_delivered;
+  const auto start = std::chrono::steady_clock::now();
+  echo.run_rounds(rounds);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const std::uint64_t alloc_after =
+      g_allocations.load(std::memory_order_relaxed);
+
+  DataPathPoint point;
+  point.packets = net.stats().packets_delivered - delivered_before;
+  const double seconds = std::chrono::duration<double>(elapsed).count();
+  point.packets_per_sec =
+      seconds > 0 ? static_cast<double>(point.packets) / seconds : 0.0;
+  point.steady_allocs = alloc_after - alloc_before;
+  point.allocs_per_packet =
+      point.packets > 0 ? static_cast<double>(point.steady_allocs) /
+                              static_cast<double>(point.packets)
+                        : 0.0;
+  return point;
+}
+
 /// Schedule/run churn matching the simulation profile (timer chains: each
 /// callback schedules a successor, like retransmit/HE-attempt timers).
 EventLoopPoint measure_eventloop(std::uint64_t events) {
@@ -97,7 +139,7 @@ EventLoopPoint measure_eventloop(std::uint64_t events) {
       loop->schedule_after(ms(1), *this);
     }
   };
-  // Seed 64 concurrent chains so the heap stays realistically populated.
+  // Seed 64 concurrent chains so the wheel stays realistically populated.
   constexpr std::uint64_t chains = 64;
   std::uint64_t budgets[chains];
   const std::uint64_t spread = events / chains;
@@ -131,7 +173,8 @@ EventLoopPoint measure_eventloop(std::uint64_t events) {
 
 void write_json(const std::string& path, bool smoke, std::size_t cells,
                 const std::vector<WorkerPoint>& points,
-                const EventLoopPoint& ev, int pool_threads) {
+                const EventLoopPoint& ev, const DataPathPoint& dp,
+                int pool_threads) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -156,9 +199,17 @@ void write_json(const std::string& path, bool smoke, std::size_t cells,
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"eventloop\": {\"events\": %llu, \"events_per_sec\": %.1f, "
-               "\"allocs_per_event\": %.4f}\n",
+               "\"allocs_per_event\": %.4f},\n",
                static_cast<unsigned long long>(ev.events), ev.events_per_sec,
                ev.allocs_per_event);
+  std::fprintf(f,
+               "  \"datapath\": {\"packets\": %llu, "
+               "\"packets_per_sec\": %.1f, \"steady_state_allocs\": %llu, "
+               "\"allocs_per_packet\": %.6f}\n",
+               static_cast<unsigned long long>(dp.packets),
+               dp.packets_per_sec,
+               static_cast<unsigned long long>(dp.steady_allocs),
+               dp.allocs_per_packet);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nWrote %s\n", path.c_str());
@@ -255,7 +306,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ev.events), ev.events_per_sec,
               ev.allocs_per_event);
 
-  write_json(json_path, smoke, specs.size(), points, ev,
+  const DataPathPoint dp = measure_datapath(smoke ? 100'000 : 1'000'000);
+  std::printf("\nData path: %llu UDP packets delivered, %.0f packets/sec, "
+              "%llu steady-state heap allocations (%.6f per packet)\n",
+              static_cast<unsigned long long>(dp.packets),
+              dp.packets_per_sec,
+              static_cast<unsigned long long>(dp.steady_allocs),
+              dp.allocs_per_packet);
+
+  write_json(json_path, smoke, specs.size(), points, ev, dp,
              pool.threads_started());
+
+  // Deterministic smoke gate: the pooled per-packet path must not allocate
+  // in steady state. Counting allocations (not timing) keeps this stable on
+  // 1-core CI runners.
+  if (dp.steady_allocs > 0) {
+    std::fprintf(stderr,
+                 "DATA-PATH ALLOCATION REGRESSION: %llu heap allocations "
+                 "over %llu delivered packets (expected 0)\n",
+                 static_cast<unsigned long long>(dp.steady_allocs),
+                 static_cast<unsigned long long>(dp.packets));
+    return 1;
+  }
   return 0;
 }

@@ -2,11 +2,18 @@
 // netem processing, TCP handshake simulation, full HE session — plus the
 // bench_eventloop_micro section covering the allocation-lean scheduling
 // path (InlineCallback dispatch, schedule/cancel churn with generation-
-// tagged timer slots). Run just that section with
-// --benchmark_filter='EventLoop|InlineCallback'.
+// tagged timer slots) and the bench_datapath section covering the pooled
+// per-packet path (UDP echo packets/sec with an allocations-per-delivered-
+// packet counter that must stay at 0 in steady state, plus reuse-friendly
+// DNS codec entry points). Run sections with
+// --benchmark_filter='EventLoop|InlineCallback' or
+// --benchmark_filter='UdpEcho|DnsEncodeInto|DnsDecodeInto'.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <functional>
+#include <new>
 
 #include "capture/capture.h"
 #include "dns/auth_server.h"
@@ -15,8 +22,29 @@
 #include "he/engine.h"
 #include "simnet/inline_callback.h"
 #include "simnet/network.h"
+#include "simnet/udp_echo.h"
 
 using namespace lazyeye;
+
+// ---- allocation counting (global operator-new proxy) -----------------------
+// The datapath benchmarks report heap allocations per delivered packet; the
+// pooled-buffer + flight-slot + timer-wheel path keeps it at exactly 0.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -51,6 +79,68 @@ void BM_DnsDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DnsDecode);
+
+// ---- bench_datapath: reusable codec + pooled packet path -------------------
+
+void BM_DnsEncodeInto(benchmark::State& state) {
+  // Reuse-friendly entry point: pooled output buffer + retained compressor
+  // (the DnsClient/AuthServer hot path), vs BM_DnsEncode's fresh buffers.
+  const auto msg = sample_message();
+  lazyeye::BufferPool pool;
+  lazyeye::Buffer wire{&pool};
+  dns::NameCompressor compressor;
+  const std::uint64_t alloc_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    msg.encode_into(wire, compressor);
+    benchmark::DoNotOptimize(wire.size());
+  }
+  const double allocs = static_cast<double>(
+      g_allocations.load(std::memory_order_relaxed) - alloc_before);
+  state.counters["allocs_per_encode"] =
+      benchmark::Counter(allocs / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_DnsEncodeInto);
+
+void BM_DnsDecodeInto(benchmark::State& state) {
+  // Scratch-message decode (section vectors keep their capacity).
+  const auto wire = sample_message().encode();
+  dns::DnsMessage scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::DnsMessage::decode_into(wire, scratch));
+  }
+}
+BENCHMARK(BM_DnsDecodeInto);
+
+void BM_UdpEchoSteadyState(benchmark::State& state) {
+  // The per-packet data path end to end: pooled payload -> flight slot ->
+  // timer wheel -> flat dispatch -> pooled echo reply (the shared
+  // simnet::UdpEchoHarness workload). Reports packets/sec
+  // (items_per_second) and allocations per delivered packet, which the
+  // pooled path keeps at exactly 0 after warm-up.
+  simnet::Network net{1};
+  simnet::UdpEchoHarness echo{net};
+
+  echo.run_rounds(256);  // warm-up: pool, flight slots, wheel nodes
+
+  const std::uint64_t alloc_before =
+      g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t delivered_before = net.stats().packets_delivered;
+  for (auto _ : state) {
+    echo.run_rounds(1024);
+  }
+  const std::uint64_t delivered =
+      net.stats().packets_delivered - delivered_before;
+  const double allocs = static_cast<double>(
+      g_allocations.load(std::memory_order_relaxed) - alloc_before);
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.counters["packets_per_sec"] = benchmark::Counter(
+      static_cast<double>(delivered), benchmark::Counter::kIsRate);
+  state.counters["allocs_per_delivered_packet"] = benchmark::Counter(
+      delivered > 0 ? allocs / static_cast<double>(delivered) : 0.0);
+}
+BENCHMARK(BM_UdpEchoSteadyState);
 
 void BM_EventLoopScheduleRun(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -20,7 +20,7 @@ SimulatedClient::SimulatedClient(simnet::Host& host, ClientProfile profile,
 
   // Route response data back to the owning fetch.
   tcp_->set_data_handler(
-      [this](std::uint64_t conn_id, const std::vector<std::uint8_t>& data) {
+      [this](std::uint64_t conn_id, std::span<const std::uint8_t> data) {
         const auto it = pending_.find(conn_id);
         if (it == pending_.end()) return;
         PendingFetch fetch = std::move(it->second);
@@ -29,11 +29,11 @@ SimulatedClient::SimulatedClient(simnet::Host& host, ClientProfile profile,
         FetchResult result;
         result.connection = std::move(fetch.connection);
         result.response_received = true;
-        result.response = data;
+        result.response.assign(data.begin(), data.end());
         fetch.handler(result);
       });
   quic_->set_data_handler(
-      [this](std::uint64_t conn_id, const std::vector<std::uint8_t>& data) {
+      [this](std::uint64_t conn_id, std::span<const std::uint8_t> data) {
         // QUIC connection ids share the key space via offset (see fetch()).
         const auto it = pending_.find(conn_id | (1ULL << 63));
         if (it == pending_.end()) return;
@@ -43,7 +43,7 @@ SimulatedClient::SimulatedClient(simnet::Host& host, ClientProfile profile,
         FetchResult result;
         result.connection = std::move(fetch.connection);
         result.response_received = true;
-        result.response = data;
+        result.response.assign(data.begin(), data.end());
         fetch.handler(result);
       });
 }

@@ -24,11 +24,11 @@ Zone& AuthServer::add_zone(std::unique_ptr<Zone> zone) {
 
 void AuthServer::on_query(const simnet::Packet& packet) {
   ++queries_received_;
-  auto decoded = DnsMessage::decode(packet.payload);
-  if (!decoded.ok() || decoded.value().questions.empty()) {
+  if (!DnsMessage::decode_into(packet.payload, query_scratch_) ||
+      query_scratch_.questions.empty()) {
     return;  // not a parsable query: ignore
   }
-  const DnsMessage query = std::move(decoded).value();
+  const DnsMessage& query = query_scratch_;
   const Question& q = query.questions.front();
 
   query_log_.push_back(QueryLogEntry{host_.network().loop().now(),
@@ -36,11 +36,12 @@ void AuthServer::on_query(const simnet::Packet& packet) {
                                      q.name, q.type, query.header.id});
   if (unresponsive_) return;
 
-  const DnsMessage response = build_response(query);
+  build_response(query, response_scratch_);
   const SimTime delay = response_delay(q.name, q.type);
   const simnet::Endpoint from = packet.dst;
   const simnet::Endpoint to = packet.src;
-  auto wire = response.encode();
+  simnet::Buffer wire{&host_.network().buffer_pool()};
+  response_scratch_.encode_into(wire, compressor_);
   if (delay.count() == 0) {
     host_.udp_send(from, to, std::move(wire));
     return;
@@ -66,8 +67,19 @@ SimTime AuthServer::response_delay(const DnsName& qname, RrType qtype) const {
   return total;
 }
 
-DnsMessage AuthServer::build_response(const DnsMessage& query) const {
+void AuthServer::build_response(const DnsMessage& query,
+                                DnsMessage& response) const {
   const Question& q = query.questions.front();
+
+  // Reset the reused envelope (same shape make_response() produced).
+  response.header = DnsHeader{};
+  response.header.id = query.header.id;
+  response.header.qr = true;
+  response.header.rd = query.header.rd;
+  response.questions = query.questions;
+  response.answers.clear();
+  response.authorities.clear();
+  response.additionals.clear();
 
   // Find the most specific zone containing the qname.
   const Zone* best = nullptr;
@@ -79,10 +91,10 @@ DnsMessage AuthServer::build_response(const DnsMessage& query) const {
     }
   }
   if (best == nullptr) {
-    return DnsMessage::make_response(query, Rcode::kRefused);
+    response.header.rcode = Rcode::kRefused;
+    return;
   }
 
-  DnsMessage response = DnsMessage::make_response(query);
   response.header.aa = true;
 
   DnsName current = q.name;
@@ -91,11 +103,11 @@ DnsMessage AuthServer::build_response(const DnsMessage& query) const {
     switch (result.kind) {
       case Zone::RcodeKind::kAnswer:
         for (const auto& rr : result.records) response.answers.push_back(rr);
-        return response;
+        return;
       case Zone::RcodeKind::kCname: {
         response.answers.push_back(result.records.front());
         current = std::get<CnameRdata>(result.records.front().rdata).target;
-        if (!current.is_subdomain_of(best->origin())) return response;
+        if (!current.is_subdomain_of(best->origin())) return;
         continue;
       }
       case Zone::RcodeKind::kDelegation:
@@ -106,20 +118,20 @@ DnsMessage AuthServer::build_response(const DnsMessage& query) const {
         for (const auto& rr : result.additional) {
           response.additionals.push_back(rr);
         }
-        return response;
+        return;
       case Zone::RcodeKind::kNoData:
         if (result.soa) response.authorities.push_back(*result.soa);
-        return response;
+        return;
       case Zone::RcodeKind::kNxDomain:
         response.header.rcode = Rcode::kNxDomain;
         if (result.soa) response.authorities.push_back(*result.soa);
-        return response;
+        return;
       case Zone::RcodeKind::kNotInZone:
         response.header.rcode = Rcode::kRefused;
-        return response;
+        return;
     }
   }
-  return response;  // CNAME chain too long; return what we have
+  // CNAME chain too long; respond with what we have.
 }
 
 }  // namespace lazyeye::dns

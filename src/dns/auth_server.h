@@ -70,7 +70,8 @@ class AuthServer {
 
  private:
   void on_query(const simnet::Packet& packet);
-  DnsMessage build_response(const DnsMessage& query) const;
+  /// Fills `response` (a reused scratch envelope) for `query`.
+  void build_response(const DnsMessage& query, DnsMessage& response) const;
   SimTime response_delay(const DnsName& qname, RrType qtype) const;
 
   simnet::Host& host_;
@@ -81,6 +82,10 @@ class AuthServer {
   bool test_params_enabled_ = true;
   bool unresponsive_ = false;
   std::uint64_t queries_received_ = 0;
+  // Decode/encode scratch reused across queries (single-threaded per host).
+  DnsMessage query_scratch_;
+  DnsMessage response_scratch_;
+  NameCompressor compressor_;
 };
 
 }  // namespace lazyeye::dns

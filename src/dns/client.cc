@@ -53,9 +53,17 @@ void DnsClient::send_attempt(std::uint64_t handle) {
   ++txn.attempts_made;
 
   const auto src_addr = host_.address(txn.server.addr.family());
-  const DnsMessage query = DnsMessage::make_query(
-      txn.txn_id, txn.name, txn.type, txn.recursion_desired);
-  host_.udp_send({*src_addr, txn.local_port}, txn.server, query.encode());
+  // Build the query in the reused scratch envelope and serialise it into a
+  // pooled buffer: the steady-state send path recycles both.
+  query_scratch_.header = DnsHeader{};
+  query_scratch_.header.id = txn.txn_id;
+  query_scratch_.header.rd = txn.recursion_desired;
+  query_scratch_.questions.resize(1);
+  query_scratch_.questions.front().name = txn.name;
+  query_scratch_.questions.front().type = txn.type;
+  simnet::Buffer wire{&host_.network().buffer_pool()};
+  query_scratch_.encode_into(wire, compressor_);
+  host_.udp_send({*src_addr, txn.local_port}, txn.server, std::move(wire));
 
   txn.timer = loop.schedule_after(txn.options.timeout,
                                   [this, handle] { on_timeout(handle); });
@@ -67,9 +75,12 @@ void DnsClient::on_datagram(std::uint64_t handle,
   if (it == transactions_.end()) return;
   Transaction& txn = it->second;
 
-  auto decoded = DnsMessage::decode(packet.payload);
-  if (!decoded.ok()) return;  // garbage: keep waiting
-  DnsMessage msg = std::move(decoded).value();
+  // Decode into the reused scratch message; rejected datagrams (garbage,
+  // wrong id, off-path) never cost a fresh message's allocations.
+  if (!DnsMessage::decode_into(packet.payload, response_scratch_)) {
+    return;  // garbage: keep waiting
+  }
+  DnsMessage& msg = response_scratch_;
   if (!msg.header.qr || msg.header.id != txn.txn_id) return;
   if (packet.src != txn.server) return;  // off-path response
 
@@ -77,7 +88,7 @@ void DnsClient::on_datagram(std::uint64_t handle,
   outcome.ok = msg.header.rcode == Rcode::kNoError;
   outcome.rcode = msg.header.rcode;
   outcome.rtt = host_.network().loop().now() - txn.first_send;
-  outcome.response = std::move(msg);
+  outcome.response = std::move(msg);  // scratch re-grows on the next decode
   if (!outcome.ok) outcome.error = rcode_name(outcome.rcode);
   finish(handle, std::move(outcome));
 }

@@ -72,6 +72,12 @@ class DnsClient {
   simnet::Host& host_;
   std::map<std::uint64_t, Transaction> transactions_;
   std::uint64_t next_handle_ = 1;
+  // Scratch reused across sends/receives (single-threaded per host): the
+  // query envelope, the name-compression table, and the decode target keep
+  // their capacity, so a steady-state query round trip barely allocates.
+  DnsMessage query_scratch_;
+  DnsMessage response_scratch_;
+  NameCompressor compressor_;
 };
 
 }  // namespace lazyeye::dns

@@ -8,7 +8,7 @@ namespace {
 constexpr std::uint16_t kClassIn = 1;
 
 void encode_record(const ResourceRecord& rr, ByteWriter& w,
-                   CompressionMap* compression) {
+                   NameCompressor* compression) {
   rr.name.encode(w, compression);
   w.u16(static_cast<std::uint16_t>(rr.type));
   if (rr.type == RrType::kOpt) {
@@ -62,7 +62,23 @@ const char* rcode_name(Rcode rcode) {
 
 std::vector<std::uint8_t> DnsMessage::encode() const {
   ByteWriter w;
-  CompressionMap compression;
+  NameCompressor compression;
+  encode_into(w, compression);
+  return w.take();
+}
+
+void DnsMessage::encode_into(simnet::Buffer& out,
+                             NameCompressor& compression) const {
+  // DNS messages always exceed the Buffer's inline capacity (12-byte header
+  // + question), so serialise straight into the (pooled) heap block.
+  std::vector<std::uint8_t>& storage = out.heap_storage();
+  storage.clear();
+  ByteWriter w{storage};
+  encode_into(w, compression);
+}
+
+void DnsMessage::encode_into(ByteWriter& w, NameCompressor& compression) const {
+  compression.clear();
 
   w.u16(header.id);
   std::uint16_t flags = 0;
@@ -87,12 +103,20 @@ std::vector<std::uint8_t> DnsMessage::encode() const {
   for (const auto& rr : answers) encode_record(rr, w, &compression);
   for (const auto& rr : authorities) encode_record(rr, w, &compression);
   for (const auto& rr : additionals) encode_record(rr, w, &compression);
-  return w.take();
 }
 
-Result<DnsMessage> DnsMessage::decode(std::span<const std::uint8_t> wire) {
+namespace {
+
+/// Shared parse body; returns nullptr on success, an error literal on
+/// failure. Fills `msg` in place so callers can reuse its section capacity.
+const char* decode_message(std::span<const std::uint8_t> wire,
+                           DnsMessage& msg) {
   ByteReader r{wire};
-  DnsMessage msg;
+  msg.header = DnsHeader{};
+  msg.questions.clear();
+  msg.answers.clear();
+  msg.authorities.clear();
+  msg.additionals.clear();
 
   msg.header.id = r.u16();
   const std::uint16_t flags = r.u16();
@@ -108,14 +132,14 @@ Result<DnsMessage> DnsMessage::decode(std::span<const std::uint8_t> wire) {
   const std::uint16_t ancount = r.u16();
   const std::uint16_t nscount = r.u16();
   const std::uint16_t arcount = r.u16();
-  if (!r.ok()) return Result<DnsMessage>::failure("truncated header");
+  if (!r.ok()) return "truncated header";
 
   for (int i = 0; i < qdcount; ++i) {
     Question q;
     q.name = DnsName::decode(r);
     q.type = static_cast<RrType>(r.u16());
     r.u16();  // class
-    if (!r.ok()) return Result<DnsMessage>::failure("truncated question");
+    if (!r.ok()) return "truncated question";
     msg.questions.push_back(std::move(q));
   }
 
@@ -132,15 +156,30 @@ Result<DnsMessage> DnsMessage::decode(std::span<const std::uint8_t> wire) {
     return true;
   };
   if (!read_section(msg.answers, ancount, "answer")) {
-    return Result<DnsMessage>::failure("truncated answer section");
+    return "truncated answer section";
   }
   if (!read_section(msg.authorities, nscount, "authority")) {
-    return Result<DnsMessage>::failure("truncated authority section");
+    return "truncated authority section";
   }
   if (!read_section(msg.additionals, arcount, "additional")) {
-    return Result<DnsMessage>::failure("truncated additional section");
+    return "truncated additional section";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<DnsMessage> DnsMessage::decode(std::span<const std::uint8_t> wire) {
+  DnsMessage msg;
+  if (const char* error = decode_message(wire, msg)) {
+    return Result<DnsMessage>::failure(error);
   }
   return msg;
+}
+
+bool DnsMessage::decode_into(std::span<const std::uint8_t> wire,
+                             DnsMessage& out) {
+  return decode_message(wire, out) == nullptr;
 }
 
 DnsMessage DnsMessage::make_query(std::uint16_t id, DnsName name, RrType type,

@@ -1,4 +1,10 @@
 // DNS message: header + sections, RFC 1035 wire encode/decode.
+//
+// The codec has reuse-friendly entry points for the hot send/receive paths:
+// encode_into() serialises into a caller-owned pooled Buffer (or external
+// ByteWriter) with a reusable NameCompressor, and decode_into() parses into
+// an existing message so section vectors keep their capacity across packets.
+// encode()/decode() remain as one-shot conveniences on top of them.
 #pragma once
 
 #include <cstdint>
@@ -6,6 +12,7 @@
 #include <vector>
 
 #include "dns/rr.h"
+#include "simnet/buffer.h"
 #include "util/result.h"
 
 namespace lazyeye::dns {
@@ -54,8 +61,23 @@ struct DnsMessage {
   /// Serialises to RFC 1035 wire format (with name compression).
   std::vector<std::uint8_t> encode() const;
 
+  /// Appends the wire form to `w` using `compression` as scratch (cleared
+  /// here). Hot paths hand in a writer over reused storage plus a retained
+  /// compressor so a steady-state encode performs no allocations beyond
+  /// first-use growth.
+  void encode_into(ByteWriter& w, NameCompressor& compression) const;
+
+  /// Serialises into `out` (cleared first). With a pool-backed Buffer the
+  /// wire block recycles through the owning Network's BufferPool.
+  void encode_into(simnet::Buffer& out, NameCompressor& compression) const;
+
   /// Parses wire bytes; fails on truncated/garbage input.
   static Result<DnsMessage> decode(std::span<const std::uint8_t> wire);
+
+  /// Parses into `out`, reusing its section vectors' capacity. Returns
+  /// false on truncated/garbage input (out is then in an undefined but
+  /// destructible/reusable state).
+  static bool decode_into(std::span<const std::uint8_t> wire, DnsMessage& out);
 
   /// Builds a query for `name`/`type` with the given transaction id.
   static DnsMessage make_query(std::uint16_t id, DnsName name, RrType type,

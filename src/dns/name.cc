@@ -81,20 +81,43 @@ DnsName DnsName::concat(const DnsName& suffix) const {
   return p;
 }
 
-void DnsName::encode(ByteWriter& w, CompressionMap* compression) const {
+std::optional<std::uint16_t> NameCompressor::find(
+    const DnsName& name, std::size_t label_index) const {
+  const auto& labels = name.labels();
+  const std::size_t len = labels.size() - label_index;
+  // First match wins: record() never overwrites (emplace semantics of the
+  // old map), so scanning in insertion order reproduces its offsets.
+  for (const Entry& e : entries_) {
+    const auto& other = e.name->labels();
+    if (other.size() - e.label_index != len) continue;
+    bool equal = true;
+    for (std::size_t i = 0; i < len; ++i) {
+      if (labels[label_index + i] != other[e.label_index + i]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return e.offset;
+  }
+  return std::nullopt;
+}
+
+void NameCompressor::record(const DnsName& name, std::size_t label_index,
+                            std::uint16_t offset) {
+  entries_.push_back(
+      Entry{&name, static_cast<std::uint32_t>(label_index), offset});
+}
+
+void DnsName::encode(ByteWriter& w, NameCompressor* compression) const {
   // Emit labels left to right; at each suffix, check for a prior occurrence.
   for (std::size_t i = 0; i < labels_.size(); ++i) {
     if (compression != nullptr) {
-      DnsName suffix;
-      suffix.labels_.assign(labels_.begin() + static_cast<std::ptrdiff_t>(i),
-                            labels_.end());
-      const std::string key = suffix.to_string();
-      if (const auto it = compression->find(key); it != compression->end()) {
-        w.u16(static_cast<std::uint16_t>(0xC000 | it->second));
+      if (const auto offset = compression->find(*this, i)) {
+        w.u16(static_cast<std::uint16_t>(0xC000 | *offset));
         return;
       }
       if (w.size() <= 0x3FFF) {
-        compression->emplace(key, static_cast<std::uint16_t>(w.size()));
+        compression->record(*this, i, static_cast<std::uint16_t>(w.size()));
       }
     }
     w.u8(static_cast<std::uint8_t>(labels_[i].size()));
@@ -134,9 +157,17 @@ DnsName DnsName::decode(ByteReader& r) {
       r.mark_bad();
       return {};
     }
-    std::string label = r.str(len);
+    // Lower-case straight off the wire view — no intermediate std::string
+    // temporaries (most labels then land in the stored string's SSO).
+    const std::span<const std::uint8_t> raw = r.view(len);
     if (!r.ok()) return {};
-    name.labels_.push_back(lazyeye::to_lower(label));
+    std::string& label = name.labels_.emplace_back();
+    label.reserve(raw.size());
+    for (const std::uint8_t c : raw) {
+      label.push_back(
+          c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a')
+                               : static_cast<char>(c));
+    }
   }
 
   if (resume) r.seek(*resume);

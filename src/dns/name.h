@@ -3,10 +3,15 @@
 //
 // Names are stored lowercase (DNS comparisons are case-insensitive) as a
 // label vector without the root label; the root name has zero labels.
+//
+// Compression state for one message lives in a NameCompressor: a flat list
+// of (name, label-suffix, offset) entries compared label-wise, replacing the
+// old std::map<std::string, offset> whose per-suffix key strings dominated
+// the encode path's allocations. A compressor is clear()-able scratch, so
+// hot senders reuse one across messages.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -17,9 +22,34 @@
 
 namespace lazyeye::dns {
 
-/// Offsets of already-encoded names, used for compression on encode.
-/// Key is the canonical dotted representation of a name suffix.
-using CompressionMap = std::map<std::string, std::uint16_t>;
+class DnsName;
+
+/// Offsets of already-encoded name suffixes, used for compression on encode.
+/// Entries reference the DnsName objects handed to DnsName::encode(), which
+/// must stay alive until the message is fully encoded (they always are: the
+/// DnsMessage outlives its serialisation). clear() keeps the entry storage,
+/// so steady-state encoding records suffixes without allocating.
+class NameCompressor {
+ public:
+  void clear() { entries_.clear(); }
+
+  /// Offset of a previously recorded suffix equal to `name[label_index..]`,
+  /// earliest recording first (mirrors the old map's emplace semantics).
+  std::optional<std::uint16_t> find(const DnsName& name,
+                                    std::size_t label_index) const;
+
+  /// Records that `name[label_index..]` was encoded at `offset`.
+  void record(const DnsName& name, std::size_t label_index,
+              std::uint16_t offset);
+
+ private:
+  struct Entry {
+    const DnsName* name;
+    std::uint32_t label_index;
+    std::uint16_t offset;
+  };
+  std::vector<Entry> entries_;
+};
 
 class DnsName {
  public:
@@ -56,8 +86,9 @@ class DnsName {
   DnsName concat(const DnsName& suffix) const;
 
   /// Encodes at the current writer position. If `compression` is non-null,
-  /// uses/records pointer targets (offsets must fit 14 bits to be recorded).
-  void encode(ByteWriter& w, CompressionMap* compression) const;
+  /// uses/records pointer targets (offsets must fit 14 bits to be recorded);
+  /// the name must then outlive the compressor's current message.
+  void encode(ByteWriter& w, NameCompressor* compression) const;
 
   /// Decodes from the reader (follows compression pointers; caps the jump
   /// count to defeat pointer loops). On failure marks the reader bad.

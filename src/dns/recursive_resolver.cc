@@ -34,9 +34,11 @@ RecursiveResolver::RecursiveResolver(simnet::Host& host,
 void RecursiveResolver::serve(std::uint16_t port) {
   serve_port_ = port;
   host_.udp_bind(port, [this](const simnet::Packet& packet) {
-    auto decoded = DnsMessage::decode(packet.payload);
-    if (!decoded.ok() || decoded.value().questions.empty()) return;
-    const DnsMessage query = std::move(decoded).value();
+    if (!DnsMessage::decode_into(packet.payload, serve_scratch_) ||
+        serve_scratch_.questions.empty()) {
+      return;
+    }
+    const DnsMessage& query = serve_scratch_;
     const Question& q = query.questions.front();
     const simnet::Endpoint reply_from = packet.dst;
     const simnet::Endpoint reply_to = packet.src;
@@ -59,7 +61,9 @@ void RecursiveResolver::serve(std::uint16_t port) {
               } else {
                 response.header.rcode = Rcode::kServFail;
               }
-              host_.udp_send(reply_from, reply_to, response.encode());
+              simnet::Buffer wire{&host_.network().buffer_pool()};
+              response.encode_into(wire, serve_compressor_);
+              host_.udp_send(reply_from, reply_to, std::move(wire));
             });
   });
 }

@@ -127,6 +127,9 @@ class RecursiveResolver {
   bool global_either_or_toggle_ = false;
   std::uint64_t next_job_id_ = 1;
   std::uint16_t serve_port_ = 0;
+  // Decode/encode scratch for the serve() front-end (single-threaded).
+  DnsMessage serve_scratch_;
+  NameCompressor serve_compressor_;
 };
 
 }  // namespace lazyeye::dns

@@ -197,7 +197,7 @@ std::string ResourceRecord::to_string() const {
 // --------------------------------------------------------- wire codecs ----
 
 void encode_rdata(const ResourceRecord& rr, ByteWriter& w,
-                  CompressionMap* compression) {
+                  NameCompressor* compression) {
   if (const auto* a = std::get_if<ARdata>(&rr.rdata)) {
     w.u32(a->addr.value);
   } else if (const auto* aaaa = std::get_if<AaaaRdata>(&rr.rdata)) {

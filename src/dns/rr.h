@@ -144,7 +144,7 @@ struct ResourceRecord {
 
 /// Encodes the rdata portion (without the length prefix) of `rr`.
 void encode_rdata(const ResourceRecord& rr, ByteWriter& w,
-                  CompressionMap* compression);
+                  NameCompressor* compression);
 
 /// Decodes rdata given the already-parsed type and rdlength.
 Rdata decode_rdata(RrType type, std::uint16_t rdlength, ByteReader& r);

@@ -1,0 +1,16 @@
+// simnet payload buffer: the pooled lazyeye::Buffer under its simnet name.
+//
+// The implementation lives in util/ so the wire codec (util/bytes.h) can
+// serialise straight into pooled blocks without util -> simnet includes;
+// simnet code uses it as simnet::Buffer, and each Network owns the
+// simnet::BufferPool its packets recycle through.
+#pragma once
+
+#include "util/buffer.h"
+
+namespace lazyeye::simnet {
+
+using Buffer = ::lazyeye::Buffer;
+using BufferPool = ::lazyeye::BufferPool;
+
+}  // namespace lazyeye::simnet

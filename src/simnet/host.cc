@@ -30,20 +30,67 @@ bool Host::owns_address(const IpAddress& addr) const {
          addresses_.end();
 }
 
-void Host::udp_bind(std::uint16_t port, UdpHandler handler) {
-  udp_ports_[port] = std::move(handler);
+Host::UdpBinding* Host::find_udp_binding(std::uint16_t port) {
+  const auto it = std::lower_bound(
+      udp_ports_.begin(), udp_ports_.end(), port,
+      [](const UdpBinding& b, std::uint16_t p) { return b.port < p; });
+  if (it == udp_ports_.end() || it->port != port) return nullptr;
+  return &*it;
 }
 
-void Host::udp_unbind(std::uint16_t port) { udp_ports_.erase(port); }
+void Host::apply_udp_op(std::uint16_t port, UdpHandler handler) {
+  const auto it = std::lower_bound(
+      udp_ports_.begin(), udp_ports_.end(), port,
+      [](const UdpBinding& b, std::uint16_t p) { return b.port < p; });
+  if (it != udp_ports_.end() && it->port == port) {
+    if (handler) {
+      it->handler = std::move(handler);
+    } else {
+      udp_ports_.erase(it);
+    }
+    return;
+  }
+  if (handler) udp_ports_.insert(it, UdpBinding{port, std::move(handler)});
+}
+
+void Host::flush_pending_udp_ops() {
+  // Applied in arrival order so unbind-then-rebind sequences issued from
+  // inside a handler land exactly as they would have outside a dispatch.
+  for (auto& [port, handler] : pending_udp_ops_) {
+    apply_udp_op(port, std::move(handler));
+  }
+  pending_udp_ops_.clear();
+}
+
+void Host::udp_bind(std::uint16_t port, UdpHandler handler) {
+  if (dispatch_depth_ > 0) {
+    pending_udp_ops_.emplace_back(port, std::move(handler));
+    return;
+  }
+  apply_udp_op(port, std::move(handler));
+}
+
+void Host::udp_unbind(std::uint16_t port) {
+  if (dispatch_depth_ > 0) {
+    pending_udp_ops_.emplace_back(port, UdpHandler{});
+    return;
+  }
+  apply_udp_op(port, UdpHandler{});
+}
 
 void Host::udp_send(const Endpoint& src, const Endpoint& dst,
-                    std::vector<std::uint8_t> payload) {
+                    Buffer payload) {
   Packet p;
   p.proto = Protocol::kUdp;
   p.src = src;
   p.dst = dst;
   p.payload = std::move(payload);
   send_packet(std::move(p));
+}
+
+void Host::udp_send(const Endpoint& src, const Endpoint& dst,
+                    std::vector<std::uint8_t> payload) {
+  udp_send(src, dst, Buffer::adopt(std::move(payload)));
 }
 
 void Host::send_packet(Packet p) {
@@ -60,11 +107,7 @@ void Host::send_packet(Packet p) {
 }
 
 void Host::set_protocol_handler(Protocol proto, ProtocolHandler handler) {
-  if (handler) {
-    protocol_handlers_[proto] = std::move(handler);
-  } else {
-    protocol_handlers_.erase(proto);
-  }
+  protocol_handlers_[static_cast<std::size_t>(proto)] = std::move(handler);
 }
 
 std::uint16_t Host::ephemeral_port() {
@@ -85,20 +128,34 @@ void Host::remove_tap(int id) {
 
 void Host::deliver(const Packet& p) {
   notify_taps(p, TapDirection::kIngress);
+  ++dispatch_depth_;
+  // RAII so a throwing handler still unwinds the depth and flushes —
+  // otherwise every later bind/unbind would queue forever.
+  struct DispatchGuard {
+    Host& host;
+    ~DispatchGuard() {
+      if (--host.dispatch_depth_ == 0) host.flush_pending_udp_ops();
+    }
+  } guard{*this};
+  // The handler reference stays valid for the whole call: bind/unbind from
+  // inside it are deferred (dispatch_depth_ > 0), so the flat table cannot
+  // reallocate or erase under the executing handler.
   if (p.proto == Protocol::kUdp) {
-    if (const auto it = udp_ports_.find(p.dst.port); it != udp_ports_.end()) {
-      it->second(p);
+    if (UdpBinding* binding = find_udp_binding(p.dst.port)) {
+      binding->handler(p);
       return;
     }
   }
-  if (const auto it = protocol_handlers_.find(p.proto);
-      it != protocol_handlers_.end()) {
-    it->second(p);
+  if (ProtocolHandler& handler =
+          protocol_handlers_[static_cast<std::size_t>(p.proto)];
+      handler) {
+    handler(p);
     return;
   }
-  log_message(LogLevel::kTrace,
-              str_format("%s: dropping unhandled packet %s", name_.c_str(),
-                         p.summary().c_str()));
+  log_trace([&] {
+    return str_format("%s: dropping unhandled packet %s", name_.c_str(),
+                      p.summary().c_str());
+  });
 }
 
 void Host::notify_taps(const Packet& p, TapDirection dir) {

@@ -4,14 +4,23 @@
 // A Host owns no threads; all I/O happens through the owning Network's event
 // loop. The TCP/QUIC state machines live in the transport module and hook in
 // via set_protocol_handler(), so simnet stays transport-agnostic.
+//
+// Packet dispatch is flat: UDP bindings live in a sorted vector of
+// InlineFunction-backed handlers (binary-searched by port, no node-based map
+// in the per-packet path) and protocol handlers in a fixed per-protocol
+// array. Handlers may bind/unbind freely from inside a dispatch — mutations
+// are deferred until the in-flight dispatch returns, so the executing
+// handler is never moved or destroyed under its own feet.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "simnet/inline_callback.h"
 #include "simnet/netem.h"
 #include "simnet/packet.h"
 
@@ -23,8 +32,8 @@ enum class TapDirection : std::uint8_t { kEgress, kIngress };
 
 class Host {
  public:
-  using UdpHandler = std::function<void(const Packet&)>;
-  using ProtocolHandler = std::function<void(const Packet&)>;
+  using UdpHandler = InlineFunction<void(const Packet&)>;
+  using ProtocolHandler = InlineFunction<void(const Packet&)>;
   using Tap = std::function<void(const Packet&, TapDirection)>;
 
   Host(Network& net, std::string name);
@@ -47,6 +56,9 @@ class Host {
   void udp_bind(std::uint16_t port, UdpHandler handler);
   void udp_unbind(std::uint16_t port);
   /// Sends a datagram. `src.addr` must be owned by this host.
+  void udp_send(const Endpoint& src, const Endpoint& dst, Buffer payload);
+  /// Legacy vector entry point: adopts the vector as the payload block
+  /// (no copy, but no pooling either — hot paths pass a pooled Buffer).
   void udp_send(const Endpoint& src, const Endpoint& dst,
                 std::vector<std::uint8_t> payload);
 
@@ -73,13 +85,27 @@ class Host {
   void deliver(const Packet& p);
 
  private:
+  struct UdpBinding {
+    std::uint16_t port = 0;
+    UdpHandler handler;
+  };
+
   void notify_taps(const Packet& p, TapDirection dir);
+  UdpBinding* find_udp_binding(std::uint16_t port);
+  void apply_udp_op(std::uint16_t port, UdpHandler handler);
+  void flush_pending_udp_ops();
 
   Network& net_;
   std::string name_;
   std::vector<IpAddress> addresses_;
-  std::map<std::uint16_t, UdpHandler> udp_ports_;
-  std::map<Protocol, ProtocolHandler> protocol_handlers_;
+  /// Sorted by port; handlers stored inline (InlineFunction SBO).
+  std::vector<UdpBinding> udp_ports_;
+  /// Indexed by Protocol; empty handler = unset.
+  ProtocolHandler protocol_handlers_[2];
+  /// Depth of in-flight deliver() calls; >0 defers udp table mutations.
+  int dispatch_depth_ = 0;
+  /// (port, handler) ops queued during dispatch; empty handler = unbind.
+  std::vector<std::pair<std::uint16_t, UdpHandler>> pending_udp_ops_;
   std::vector<std::pair<int, Tap>> taps_;
   NetemQdisc egress_;
   std::uint16_t next_ephemeral_ = 49152;

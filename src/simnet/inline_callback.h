@@ -1,12 +1,15 @@
-// Small-buffer-optimised move-only callable for the event-loop hot path.
+// Small-buffer-optimised move-only callables for the simnet hot paths.
 //
 // Every simnet event used to carry a std::function<void()>, and the common
 // timer lambdas (DNS timeout, TCP retransmit, HE connection-attempt delay)
 // capture a handful of pointers — small enough that the type-erased callable
 // can live inline in the heap node instead of in a fresh heap allocation per
-// scheduled event. InlineCallback stores any callable up to kInlineBytes
-// (and nothrow-movable) in place; larger callables fall back to a single
-// heap allocation, so no caller ever has to care about capture size.
+// scheduled event. InlineFunction<Sig> stores any callable up to
+// kInlineBytes (and nothrow-movable) in place; larger callables fall back to
+// a single heap allocation, so no caller ever has to care about capture
+// size. The event loop uses InlineCallback = InlineFunction<void()>; Host
+// packet dispatch uses InlineFunction<void(const Packet&)> for its flat
+// handler tables.
 #pragma once
 
 #include <cstddef>
@@ -17,20 +20,27 @@
 
 namespace lazyeye::simnet {
 
-class InlineCallback {
+template <typename Signature>
+class InlineFunction;  // only the R(Args...) specialisation exists
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
  public:
   /// Captures up to this many bytes stay in the node itself. Sized for the
-  /// scheduling call sites (this + a few pointers/ids with room to spare);
-  /// netem packet-delivery closures exceed it and take the heap path.
+  /// scheduling/dispatch call sites (this + a few pointers/ids with room to
+  /// spare); oversized closures take the heap path transparently.
   static constexpr std::size_t kInlineBytes = 64;
 
-  InlineCallback() noexcept = default;
+  InlineFunction() noexcept = default;
+
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT: mirrors std::function
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  InlineCallback(F&& f) {  // NOLINT: implicit, mirrors std::function
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT: implicit, mirrors std::function
     using Fn = std::decay_t<F>;
     if constexpr (fits_inline<Fn>) {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
@@ -41,14 +51,14 @@ class InlineCallback {
     }
   }
 
-  InlineCallback(InlineCallback&& other) noexcept : ops_{other.ops_} {
+  InlineFunction(InlineFunction&& other) noexcept : ops_{other.ops_} {
     if (ops_ != nullptr) {
       ops_->relocate(other.storage_, storage_);
       other.ops_ = nullptr;
     }
   }
 
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
       reset();
       ops_ = other.ops_;
@@ -60,26 +70,33 @@ class InlineCallback {
     return *this;
   }
 
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
 
-  ~InlineCallback() { reset(); }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
-  void operator()() {
+  R operator()(Args... args) {
     // Same defined failure mode as the std::function this type replaced.
     if (ops_ == nullptr) throw std::bad_function_call{};
-    ops_->invoke(storage_);
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
   }
 
   /// True when the stored callable lives in the inline buffer (no heap
   /// allocation was made for it). Observability for tests and benches.
-  bool is_inline() const noexcept { return ops_ != nullptr && ops_->stored_inline; }
+  bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->stored_inline;
+  }
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     void (*relocate)(void* from, void* to) noexcept;
     void (*destroy)(void*) noexcept;
     bool stored_inline;
@@ -93,7 +110,9 @@ class InlineCallback {
   template <typename Fn>
   struct InlineModel {
     static Fn* at(void* s) { return std::launder(reinterpret_cast<Fn*>(s)); }
-    static void invoke(void* s) { (*at(s))(); }
+    static R invoke(void* s, Args&&... args) {
+      return (*at(s))(std::forward<Args>(args)...);
+    }
     static void relocate(void* from, void* to) noexcept {
       Fn* f = at(from);
       ::new (to) Fn(std::move(*f));
@@ -106,7 +125,9 @@ class InlineCallback {
   template <typename Fn>
   struct HeapModel {
     static Fn** at(void* s) { return std::launder(reinterpret_cast<Fn**>(s)); }
-    static void invoke(void* s) { (**at(s))(); }
+    static R invoke(void* s, Args&&... args) {
+      return (**at(s))(std::forward<Args>(args)...);
+    }
     static void relocate(void* from, void* to) noexcept {
       ::new (to) Fn*(*at(from));
     }
@@ -124,5 +145,8 @@ class InlineCallback {
   alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+/// The event-loop callback type (kept under its historical name).
+using InlineCallback = InlineFunction<void()>;
 
 }  // namespace lazyeye::simnet

@@ -10,14 +10,14 @@ Network::Network(std::uint64_t seed)
 
 Host& Network::add_host(std::string name) {
   hosts_.push_back(std::make_unique<Host>(*this, std::move(name)));
-  return *hosts_.back();
+  Host& host = *hosts_.back();
+  hosts_by_name_.emplace(host.name(), &host);  // first name registration wins
+  return host;
 }
 
 Host* Network::find_host(const std::string& name) {
-  for (const auto& h : hosts_) {
-    if (h->name() == name) return h.get();
-  }
-  return nullptr;
+  const auto it = hosts_by_name_.find(name);
+  return it == hosts_by_name_.end() ? nullptr : it->second;
 }
 
 Host* Network::route(const IpAddress& addr) {
@@ -27,6 +27,18 @@ Host* Network::route(const IpAddress& addr) {
 
 void Network::register_address(const IpAddress& addr, Host& host) {
   routes_[addr] = &host;
+}
+
+std::uint32_t Network::acquire_flight_slot() {
+  if (!flight_free_.empty()) {
+    const std::uint32_t slot = flight_free_.back();
+    flight_free_.pop_back();
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(flight_.size());
+  flight_.emplace_back();
+  flight_free_.reserve(flight_.size());  // release below never reallocates
+  return slot;
 }
 
 void Network::send(Host& from, Packet p) {
@@ -52,13 +64,23 @@ void Network::send(Host& from, Packet p) {
   if (target == nullptr) {
     // Unowned destination: silently blackholed (unresponsive address).
     ++stats_.packets_blackholed;
-    log_message(LogLevel::kTrace,
-                str_format("blackhole: %s", p.summary().c_str()));
+    log_trace([&] { return str_format("blackhole: %s", p.summary().c_str()); });
     return;
   }
 
+  // Park the packet in a recycled slot; the closure captures 20 bytes and
+  // stays inside the InlineCallback small-buffer storage, so the hottest
+  // callback in the system schedules without touching the heap.
+  const std::uint32_t slot = acquire_flight_slot();
+  flight_[slot] = std::move(p);
+
   const SimTime when = loop_.now() + base_delay_ + extra;
-  loop_.schedule_at(when, [this, target, packet = std::move(p)] {
+  loop_.schedule_at(when, [this, target, slot] {
+    // Move to the stack first: the handler may send more packets, which can
+    // grow flight_ and would invalidate a reference into it. The slot is
+    // free for reuse the moment the packet is out.
+    Packet packet = std::move(flight_[slot]);
+    flight_free_.push_back(slot);
     ++stats_.packets_delivered;
     target->deliver(packet);
   });

@@ -4,6 +4,13 @@
 // Packets addressed to an IP no host owns are silently dropped — that is
 // exactly the "addresses that do not respond at all" behaviour the paper's
 // address-selection test case relies on.
+//
+// The per-packet path is allocation-free in steady state: payload bytes
+// recycle through a per-Network BufferPool, and in-flight packets park in a
+// free-listed slot table so the delivery closure captures only
+// {network, target, slot} — small enough for the EventLoop's InlineCallback
+// small-buffer storage, where it used to be the hottest heap-spilling
+// callback in the system.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "simnet/buffer.h"
 #include "simnet/event_loop.h"
 #include "simnet/host.h"
 #include "simnet/netem.h"
@@ -34,6 +42,14 @@ class Network {
 
   EventLoop& loop() { return loop_; }
   Rng& rng() { return rng_; }
+
+  /// Pool backing packet payloads in this world. Hosts and protocol stacks
+  /// build their send buffers from it so steady-state traffic recycles a
+  /// bounded set of blocks.
+  BufferPool& buffer_pool() { return buffer_pool_; }
+
+  /// Convenience: an empty pooled payload buffer.
+  Buffer make_buffer() { return Buffer{&buffer_pool_}; }
 
   /// Creates a host attached to this network. The Network owns it.
   Host& add_host(std::string name);
@@ -58,12 +74,26 @@ class Network {
   void register_address(const IpAddress& addr, Host& host);
 
  private:
+  std::uint32_t acquire_flight_slot();
+
+  // Declared first so it is destroyed LAST: pending loop callbacks and
+  // parked flight packets own pool-backed Buffers whose destructors release
+  // blocks into this pool during ~Network.
+  BufferPool buffer_pool_;
   EventLoop loop_;
   Rng rng_;
   SimTime base_delay_;
   NetemQdisc qdisc_;
   std::vector<std::unique_ptr<Host>> hosts_;
+  /// Name -> host index kept in add_host order (first registration wins,
+  /// matching the old linear scan's duplicate-name behaviour).
+  std::unordered_map<std::string, Host*> hosts_by_name_;
   std::unordered_map<IpAddress, Host*> routes_;
+  /// Parking lot for packets between send() and delivery. Slots are
+  /// recycled through flight_free_, so steady-state traffic allocates
+  /// nothing once the in-flight high-water mark is reached.
+  std::vector<Packet> flight_;
+  std::vector<std::uint32_t> flight_free_;
   NetworkStats stats_;
   std::uint64_t next_packet_id_ = 1;
 };

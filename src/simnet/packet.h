@@ -2,13 +2,17 @@
 //
 // A Packet carries just enough structure for the experiments: address family
 // (implied by endpoints), transport protocol, TCP handshake flags, and an
-// opaque payload (real DNS wire bytes for UDP port 53 traffic).
+// opaque payload (real DNS wire bytes for UDP port 53 traffic). The payload
+// is a pooled simnet::Buffer: tiny payloads (TCP control segments, one-byte
+// QUIC frames) live inline in the packet, DNS wire blocks recycle through
+// the owning Network's BufferPool, and moving a Packet never copies bytes.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "simnet/buffer.h"
 #include "simnet/ip.h"
 
 namespace lazyeye::simnet {
@@ -34,7 +38,7 @@ struct Packet {
   Endpoint src;
   Endpoint dst;
   TcpFlags tcp;  // meaningful only for proto == kTcp
-  std::vector<std::uint8_t> payload;
+  Buffer payload;
 
   Family family() const { return dst.addr.family(); }
 

@@ -1,0 +1,66 @@
+// Deterministic UDP echo workload over one Network.
+//
+// The shared harness behind the data-path allocation regression test
+// (tests/simnet_test.cc), the CI smoke gate (bench_campaign_scaling), and
+// the packets/sec micro-benchmark (bench_micro_core): a client/server pair
+// bouncing a pooled 64-byte payload back and forth. Keeping one definition
+// here means the gates measure exactly the same packet path and cannot
+// silently drift apart.
+#pragma once
+
+#include <cstdint>
+
+#include "simnet/network.h"
+
+namespace lazyeye::simnet {
+
+class UdpEchoHarness {
+ public:
+  /// Large enough to need a pooled block (not the Buffer's inline storage),
+  /// so every hop exercises the BufferPool recycle path.
+  static constexpr std::size_t kPayloadBytes = 64;
+
+  /// Adds the echo client/server host pair to `net` and binds both ports.
+  /// The harness must not outlive the network.
+  explicit UdpEchoHarness(Network& net)
+      : net_{net},
+        client_{net.add_host("echo-client")},
+        server_{net.add_host("echo-server")} {
+    client_.add_address(client_ep_.addr);
+    server_.add_address(server_ep_.addr);
+    server_.udp_bind(server_ep_.port, [this](const Packet& p) {
+      Buffer reply{&net_.buffer_pool()};
+      reply.append(p.payload.span());
+      server_.udp_send(p.dst, p.src, std::move(reply));
+    });
+    client_.udp_bind(client_ep_.port, [this](const Packet& p) {
+      if (--remaining_ == 0) return;
+      Buffer next{&net_.buffer_pool()};
+      next.append(p.payload.span());
+      client_.udp_send(p.dst, p.src, std::move(next));
+    });
+  }
+
+  /// Runs `rounds` echo round trips (two delivered packets each) to
+  /// completion on the network's event loop.
+  void run_rounds(std::uint64_t rounds) {
+    if (rounds == 0) return;
+    remaining_ = rounds;
+    Buffer first{&net_.buffer_pool()};
+    for (std::size_t i = 0; i < kPayloadBytes; ++i) {
+      first.push_back(static_cast<std::uint8_t>(i));
+    }
+    client_.udp_send(client_ep_, server_ep_, std::move(first));
+    net_.loop().run();
+  }
+
+ private:
+  Network& net_;
+  Host& client_;
+  Host& server_;
+  Endpoint client_ep_{IpAddress::must_parse("10.0.0.1"), 9000};
+  Endpoint server_ep_{IpAddress::must_parse("10.0.0.2"), 7};
+  std::uint64_t remaining_ = 0;
+};
+
+}  // namespace lazyeye::simnet

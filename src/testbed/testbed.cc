@@ -65,7 +65,7 @@ std::unique_ptr<Scenario> build_scenario(
                            sp->last_peer = peer;
                          });
   sc->server_tcp->set_data_handler(
-      [sp = sc.get()](std::uint64_t conn_id, const std::vector<std::uint8_t>&) {
+      [sp = sc.get()](std::uint64_t conn_id, std::span<const std::uint8_t>) {
         const std::string body = sp->last_peer.addr.to_string();
         sp->server_tcp->send_data(
             conn_id, std::vector<std::uint8_t>{body.begin(), body.end()});
@@ -73,7 +73,7 @@ std::unique_ptr<Scenario> build_scenario(
   sc->server_quic = std::make_unique<transport::QuicStack>(*sc->server_host);
   sc->server_quic->listen(443);
   sc->server_quic->set_data_handler(
-      [sp = sc.get()](std::uint64_t conn_id, const std::vector<std::uint8_t>&) {
+      [sp = sc.get()](std::uint64_t conn_id, std::span<const std::uint8_t>) {
         const std::string body = "quic";
         sp->server_quic->send_data(
             conn_id, std::vector<std::uint8_t>{body.begin(), body.end()});

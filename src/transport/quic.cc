@@ -10,7 +10,7 @@ constexpr char kHandshake = 'H';
 constexpr char kData = 'D';
 }  // namespace
 
-bool is_quic_payload(const std::vector<std::uint8_t>& payload) {
+bool is_quic_payload(std::span<const std::uint8_t> payload) {
   if (payload.empty()) return false;
   const char type = static_cast<char>(payload.front());
   return type == 'I' || type == 'H' || type == 'D' || type == 'C';
@@ -110,11 +110,13 @@ void QuicStack::fail_connect(std::uint64_t id, const std::string& error) {
 }
 
 void QuicStack::send_packet(const FourTuple& tuple, char type,
-                            std::vector<std::uint8_t> payload) {
-  std::vector<std::uint8_t> framed;
+                            simnet::Buffer payload) {
+  // Control frames (no payload) are one byte: they stay in the Buffer's
+  // inline storage; data frames borrow a pooled block.
+  simnet::Buffer framed{&host_.network().buffer_pool()};
   framed.reserve(payload.size() + 1);
   framed.push_back(static_cast<std::uint8_t>(type));
-  framed.insert(framed.end(), payload.begin(), payload.end());
+  framed.append(payload.span());
   host_.udp_send(tuple.local, tuple.remote, std::move(framed));
 }
 
@@ -171,14 +173,16 @@ void QuicStack::on_datagram(std::uint16_t local_port, const Packet& packet) {
   }
 
   if (type == kData && conn->state == State::kEstablished && data_handler_) {
-    data_handler_(conn->id,
-                  std::vector<std::uint8_t>(packet.payload.begin() + 1,
-                                            packet.payload.end()));
+    data_handler_(conn->id, packet.payload.span().subspan(1));
   }
 }
 
 void QuicStack::send_data(std::uint64_t conn_id,
                           std::vector<std::uint8_t> payload) {
+  send_data(conn_id, simnet::Buffer::adopt(std::move(payload)));
+}
+
+void QuicStack::send_data(std::uint64_t conn_id, simnet::Buffer payload) {
   const auto it = connections_.find(conn_id);
   if (it == connections_.end() || it->second.state != State::kEstablished) {
     return;

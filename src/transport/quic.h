@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "simnet/host.h"
@@ -24,15 +25,17 @@ struct QuicOptions {
 };
 
 /// True if a UDP payload looks like one of our QUIC packets.
-bool is_quic_payload(const std::vector<std::uint8_t>& payload);
+bool is_quic_payload(std::span<const std::uint8_t> payload);
 
 class QuicStack {
  public:
   using ConnectHandler = std::function<void(const ConnectResult&)>;
   using AcceptHandler =
       std::function<void(std::uint64_t conn_id, const simnet::Endpoint& peer)>;
+  /// (connection id, payload bytes) — the view is only valid during the
+  /// call (bytes live in the packet's pooled buffer); copy to keep.
   using DataHandler =
-      std::function<void(std::uint64_t conn_id, const std::vector<std::uint8_t>&)>;
+      std::function<void(std::uint64_t conn_id, std::span<const std::uint8_t>)>;
 
   explicit QuicStack(simnet::Host& host);
   ~QuicStack();
@@ -47,6 +50,8 @@ class QuicStack {
                         const QuicOptions& options, ConnectHandler handler);
   void abort(std::uint64_t attempt_id);
 
+  void send_data(std::uint64_t conn_id, simnet::Buffer payload);
+  /// Legacy vector entry point: adopts the vector as the payload block.
   void send_data(std::uint64_t conn_id, std::vector<std::uint8_t> payload);
   void set_data_handler(DataHandler handler) { data_handler_ = std::move(handler); }
 
@@ -73,7 +78,7 @@ class QuicStack {
 
   void on_datagram(std::uint16_t local_port, const simnet::Packet& packet);
   void send_packet(const FourTuple& tuple, char type,
-                   std::vector<std::uint8_t> payload = {});
+                   simnet::Buffer payload = {});
   void send_initial(ConnectionState& conn);
   void fail_connect(std::uint64_t id, const std::string& error);
   ConnectionState* find_by_tuple(const FourTuple& tuple);

@@ -93,7 +93,7 @@ void TcpStack::fail_connect(std::uint64_t id, const std::string& error) {
 }
 
 void TcpStack::send_flags(const FourTuple& tuple, TcpFlags flags,
-                          std::vector<std::uint8_t> payload) {
+                          simnet::Buffer payload) {
   Packet p;
   p.proto = Protocol::kTcp;
   p.src = tuple.local;
@@ -201,6 +201,10 @@ void TcpStack::on_packet(const Packet& packet) {
 
 void TcpStack::send_data(std::uint64_t conn_id,
                          std::vector<std::uint8_t> payload) {
+  send_data(conn_id, simnet::Buffer::adopt(std::move(payload)));
+}
+
+void TcpStack::send_data(std::uint64_t conn_id, simnet::Buffer payload) {
   const auto it = connections_.find(conn_id);
   if (it == connections_.end() || it->second.state != State::kEstablished) {
     log_message(LogLevel::kWarn,

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "simnet/host.h"
@@ -35,9 +36,11 @@ class TcpStack {
   /// completes.
   using AcceptHandler =
       std::function<void(std::uint64_t conn_id, const simnet::Endpoint& peer)>;
-  /// (connection id, payload) — invoked on data segment arrival.
+  /// (connection id, payload bytes) — invoked on data segment arrival. The
+  /// view is only valid for the duration of the call (the bytes live in the
+  /// packet's pooled buffer); copy if you need to keep them.
   using DataHandler =
-      std::function<void(std::uint64_t conn_id, const std::vector<std::uint8_t>&)>;
+      std::function<void(std::uint64_t conn_id, std::span<const std::uint8_t>)>;
 
   explicit TcpStack(simnet::Host& host);
   ~TcpStack();
@@ -62,6 +65,8 @@ class TcpStack {
   void abort(std::uint64_t attempt_id);
 
   // ---- Established connections ---------------------------------------------
+  void send_data(std::uint64_t conn_id, simnet::Buffer payload);
+  /// Legacy vector entry point: adopts the vector as the payload block.
   void send_data(std::uint64_t conn_id, std::vector<std::uint8_t> payload);
   void set_data_handler(DataHandler handler) { data_handler_ = std::move(handler); }
   void close(std::uint64_t conn_id);
@@ -91,7 +96,7 @@ class TcpStack {
 
   void on_packet(const simnet::Packet& packet);
   void send_flags(const FourTuple& tuple, simnet::TcpFlags flags,
-                  std::vector<std::uint8_t> payload = {});
+                  simnet::Buffer payload = {});
   void send_syn(ConnectionState& conn);
   void fail_connect(std::uint64_t id, const std::string& error);
   ConnectionState* find_by_tuple(const FourTuple& tuple);

@@ -5,28 +5,28 @@
 namespace lazyeye {
 
 void ByteWriter::u16(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_->push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_->push_back(static_cast<std::uint8_t>(v));
 }
 
 void ByteWriter::u32(std::uint32_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_->push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_->push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_->push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_->push_back(static_cast<std::uint8_t>(v));
 }
 
 void ByteWriter::bytes(std::span<const std::uint8_t> data) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  buf_->insert(buf_->end(), data.begin(), data.end());
 }
 
 void ByteWriter::bytes(std::string_view data) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  buf_->insert(buf_->end(), data.begin(), data.end());
 }
 
 void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
-  buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
-  buf_.at(offset + 1) = static_cast<std::uint8_t>(v);
+  buf_->at(offset) = static_cast<std::uint8_t>(v >> 8);
+  buf_->at(offset + 1) = static_cast<std::uint8_t>(v);
 }
 
 bool ByteReader::need(std::size_t n) {
@@ -65,6 +65,13 @@ std::vector<std::uint8_t> ByteReader::bytes(std::size_t n) {
   std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
                                 data_.begin() +
                                     static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::span<const std::uint8_t> ByteReader::view(std::size_t n) {
+  if (!need(n)) return {};
+  const std::span<const std::uint8_t> out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
 }

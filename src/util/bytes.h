@@ -15,9 +15,20 @@
 namespace lazyeye {
 
 /// Appends big-endian integers / raw bytes to a growable buffer.
+///
+/// Owns its storage by default; the external-storage constructor appends
+/// into a caller-provided vector instead, so hot paths can serialise into a
+/// reused scratch vector or a pooled Buffer block (Buffer::heap_storage())
+/// without a copy. In external mode the caller already holds the bytes —
+/// do not call take().
 class ByteWriter {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  ByteWriter() : buf_{&own_} {}
+  /// Appends into `external` (existing contents are kept — clear it first
+  /// for a fresh message). `external` must outlive the writer.
+  explicit ByteWriter(std::vector<std::uint8_t>& external) : buf_{&external} {}
+
+  void u8(std::uint8_t v) { buf_->push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void bytes(std::span<const std::uint8_t> data);
@@ -26,12 +37,14 @@ class ByteWriter {
   /// Overwrites a previously written u16 at `offset` (e.g. length prefixes).
   void patch_u16(std::size_t offset, std::uint16_t v);
 
-  std::size_t size() const { return buf_.size(); }
-  const std::vector<std::uint8_t>& data() const { return buf_; }
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_->size(); }
+  const std::vector<std::uint8_t>& data() const { return *buf_; }
+  /// Owning mode only: moves the bytes out.
+  std::vector<std::uint8_t> take() { return std::move(*buf_); }
 
  private:
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> own_;
+  std::vector<std::uint8_t>* buf_;
 };
 
 /// Bounds-checked sequential reader over an immutable byte span.
@@ -47,6 +60,8 @@ class ByteReader {
   std::uint32_t u32();
   std::vector<std::uint8_t> bytes(std::size_t n);
   std::string str(std::size_t n);
+  /// Zero-copy view of the next n bytes (empty + error flag when short).
+  std::span<const std::uint8_t> view(std::size_t n);
   void skip(std::size_t n);
 
   bool ok() const { return ok_; }

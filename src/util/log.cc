@@ -30,6 +30,8 @@ void set_log_level(LogLevel level) { g_threshold = level; }
 
 LogLevel log_threshold() { return g_threshold; }
 
+bool log_enabled(LogLevel level) { return g_sink && level >= g_threshold; }
+
 void log_message(LogLevel level, std::string_view message) {
   if (g_sink && level >= g_threshold) g_sink(level, message);
 }

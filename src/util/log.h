@@ -24,6 +24,20 @@ LogSink set_log_sink(LogSink sink);
 void set_log_level(LogLevel level);
 LogLevel log_threshold();
 
+/// True when a message at `level` would actually reach a sink. Hot paths
+/// guard expensive message formatting (str_format + summary()) behind this.
+bool log_enabled(LogLevel level);
+
 void log_message(LogLevel level, std::string_view message);
+
+/// Lazy trace logging: `fn` builds the message (returning anything
+/// convertible to std::string_view) and runs only when trace is enabled —
+/// the default-silent hot path pays one branch, not a formatted string.
+template <typename Fn>
+void log_trace(Fn&& fn) {
+  if (log_enabled(LogLevel::kTrace)) {
+    log_message(LogLevel::kTrace, std::forward<Fn>(fn)());
+  }
+}
 
 }  // namespace lazyeye

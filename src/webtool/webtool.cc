@@ -136,7 +136,7 @@ RepetitionOutcome WebTool::run_repetition(const clients::ClientProfile& profile,
     last_peer = peer;
   });
   server_tcp.set_data_handler(
-      [&](std::uint64_t conn_id, const std::vector<std::uint8_t>&) {
+      [&](std::uint64_t conn_id, std::span<const std::uint8_t>) {
         const std::string body = last_peer.addr.to_string();
         server_tcp.send_data(conn_id,
                              std::vector<std::uint8_t>{body.begin(), body.end()});

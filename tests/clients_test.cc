@@ -188,7 +188,7 @@ struct ClientFixture : ::testing::Test {
     server_tcp = std::make_unique<transport::TcpStack>(server_host);
     server_tcp->listen(443);
     server_tcp->set_data_handler(
-        [this](std::uint64_t conn_id, const std::vector<std::uint8_t>&) {
+        [this](std::uint64_t conn_id, std::span<const std::uint8_t>) {
           const std::string body = last_peer.addr.to_string();
           server_tcp->send_data(conn_id,
                                 std::vector<std::uint8_t>{body.begin(),
@@ -294,7 +294,7 @@ TEST_F(ClientFixture, Hev3ClientFetchesOverQuic) {
   transport::QuicStack server_quic{server_host};
   server_quic.listen(443);
   server_quic.set_data_handler(
-      [&](std::uint64_t conn_id, const std::vector<std::uint8_t>&) {
+      [&](std::uint64_t conn_id, std::span<const std::uint8_t>) {
         const std::string body = "h3-echo";
         server_quic.send_data(conn_id, std::vector<std::uint8_t>{body.begin(),
                                                                  body.end()});

@@ -2,6 +2,8 @@
 // randomised round-trip property tests, and garbage rejection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dns/message.h"
 #include "dns/name.h"
 #include "dns/rr.h"
@@ -81,7 +83,7 @@ TEST(DnsNameTest, WireRoundTripNoCompression) {
 }
 
 TEST(DnsNameTest, CompressionProducesPointer) {
-  CompressionMap map;
+  NameCompressor map;
   ByteWriter w;
   const auto a = DnsName::must_parse("www.example.com");
   const auto b = DnsName::must_parse("mail.example.com");
@@ -398,6 +400,96 @@ TEST(TestParamsTest, NonceMakesNamesUnique) {
   const auto n1 = make_test_name(base, "1", {});
   const auto n2 = make_test_name(base, "2", {});
   EXPECT_NE(n1, n2);
+}
+
+// ------------------------------------------- reuse-friendly entry points ----
+
+// A compression-heavy message: shared suffixes across all sections.
+DnsMessage sample_referral() {
+  DnsMessage msg;
+  msg.header.id = 0x1234;
+  msg.header.qr = true;
+  const auto qname = DnsName::must_parse("www.example.lab");
+  const auto zone = DnsName::must_parse("example.lab");
+  const auto ns1 = DnsName::must_parse("ns1.example.lab");
+  const auto ns2 = DnsName::must_parse("ns2.example.lab");
+  msg.questions.push_back({qname, RrType::kA});
+  msg.authorities.push_back(ResourceRecord::ns(zone, ns1));
+  msg.authorities.push_back(ResourceRecord::ns(zone, ns2));
+  msg.additionals.push_back(
+      ResourceRecord::a(ns1, *Ipv4Address::parse("10.0.0.1")));
+  msg.additionals.push_back(
+      ResourceRecord::a(ns2, *Ipv4Address::parse("10.0.0.2")));
+  return msg;
+}
+
+TEST(DnsMessageTest, EncodeIntoBufferMatchesLegacyEncode) {
+  const DnsMessage msg = sample_referral();
+  const std::vector<std::uint8_t> legacy = msg.encode();
+
+  lazyeye::BufferPool pool;
+  lazyeye::Buffer buffer{&pool};
+  NameCompressor compressor;
+  msg.encode_into(buffer, compressor);
+  ASSERT_EQ(buffer.size(), legacy.size());
+  EXPECT_TRUE(std::equal(buffer.begin(), buffer.end(), legacy.begin()));
+
+  // Reusing the same buffer + compressor for a different message must give
+  // exactly what a fresh encode gives (scratch state fully resets).
+  const DnsMessage query =
+      DnsMessage::make_query(7, DnsName::must_parse("other.zone.lab"),
+                             RrType::kAaaa, true);
+  msg.encode_into(buffer, compressor);  // dirty the scratch
+  query.encode_into(buffer, compressor);
+  const std::vector<std::uint8_t> fresh = query.encode();
+  ASSERT_EQ(buffer.size(), fresh.size());
+  EXPECT_TRUE(std::equal(buffer.begin(), buffer.end(), fresh.begin()));
+}
+
+TEST(DnsMessageTest, DecodeIntoReusesTheScratchMessage) {
+  const DnsMessage first = sample_referral();
+  const DnsMessage second =
+      DnsMessage::make_query(42, DnsName::must_parse("q.lab"), RrType::kAaaa);
+
+  DnsMessage scratch;
+  ASSERT_TRUE(DnsMessage::decode_into(first.encode(), scratch));
+  EXPECT_EQ(scratch, DnsMessage::decode(first.encode()).value());
+  // Decoding a smaller message into the same scratch leaves no residue.
+  ASSERT_TRUE(DnsMessage::decode_into(second.encode(), scratch));
+  EXPECT_EQ(scratch, DnsMessage::decode(second.encode()).value());
+  EXPECT_TRUE(scratch.answers.empty());
+  EXPECT_TRUE(scratch.authorities.empty());
+
+  // Failure still reports false through the reuse path.
+  const std::vector<std::uint8_t> garbage{0x01, 0x02, 0x03};
+  EXPECT_FALSE(DnsMessage::decode_into(garbage, scratch));
+}
+
+TEST(DnsMessageTest, BufferRoundTripThroughWireAndBack) {
+  const DnsMessage msg = sample_referral();
+  lazyeye::BufferPool pool;
+  lazyeye::Buffer wire{&pool};
+  NameCompressor compressor;
+  msg.encode_into(wire, compressor);
+
+  DnsMessage decoded;
+  ASSERT_TRUE(DnsMessage::decode_into(wire, decoded));  // Buffer -> span
+  EXPECT_EQ(decoded, msg);
+}
+
+TEST(DnsNameTest, DecodePreservesCaseInsensitivity) {
+  // Mixed-case labels on the wire land lowercased (in-place decode path).
+  ByteWriter w;
+  w.u8(3);
+  w.bytes(std::string_view{"WwW"});
+  w.u8(7);
+  w.bytes(std::string_view{"ExAmPlE"});
+  w.u8(3);
+  w.bytes(std::string_view{"LaB"});
+  w.u8(0);
+  ByteReader r{w.data()};
+  EXPECT_EQ(DnsName::decode(r), DnsName::must_parse("www.example.lab"));
+  EXPECT_TRUE(r.ok());
 }
 
 }  // namespace

@@ -156,13 +156,13 @@ TEST_F(TransportFixture, DataRoundTrip) {
   });
   std::string server_received;
   server->set_data_handler(
-      [&](std::uint64_t conn_id, const std::vector<std::uint8_t>& data) {
+      [&](std::uint64_t conn_id, std::span<const std::uint8_t> data) {
         server_received.assign(data.begin(), data.end());
         server->send_data(conn_id, {'p', 'o', 'n', 'g'});
       });
   std::string client_received;
   client->set_data_handler(
-      [&](std::uint64_t, const std::vector<std::uint8_t>& data) {
+      [&](std::uint64_t, std::span<const std::uint8_t> data) {
         client_received.assign(data.begin(), data.end());
       });
 
@@ -228,12 +228,12 @@ TEST_F(QuicFixture, NoServiceTimesOut) {
 TEST_F(QuicFixture, DataRoundTrip) {
   qserver->listen(443);
   qserver->set_data_handler(
-      [&](std::uint64_t conn_id, const std::vector<std::uint8_t>&) {
+      [&](std::uint64_t conn_id, std::span<const std::uint8_t>) {
         qserver->send_data(conn_id, {'o', 'k'});
       });
   std::string client_received;
   qclient->set_data_handler(
-      [&](std::uint64_t, const std::vector<std::uint8_t>& data) {
+      [&](std::uint64_t, std::span<const std::uint8_t> data) {
         client_received.assign(data.begin(), data.end());
       });
   qclient->connect({IpAddress::must_parse("10.0.0.2"), 443}, {},
@@ -257,10 +257,10 @@ TEST_F(QuicFixture, AbortReportsCancelled) {
 }
 
 TEST_F(QuicFixture, QuicPayloadDetection) {
-  EXPECT_TRUE(is_quic_payload({'I'}));
-  EXPECT_TRUE(is_quic_payload({'H', 1, 2}));
-  EXPECT_FALSE(is_quic_payload({}));
-  EXPECT_FALSE(is_quic_payload({0x42}));
+  EXPECT_TRUE(is_quic_payload(std::vector<std::uint8_t>{'I'}));
+  EXPECT_TRUE(is_quic_payload(std::vector<std::uint8_t>{'H', 1, 2}));
+  EXPECT_FALSE(is_quic_payload(std::vector<std::uint8_t>{}));
+  EXPECT_FALSE(is_quic_payload(std::vector<std::uint8_t>{0x42}));
 }
 
 TEST_F(TransportFixture, TcpAndQuicCoexistOnSameHost) {
