@@ -1,0 +1,74 @@
+// Replay one conformance cell from its one-line repro — the single
+// documented command every verdict-table violation points back to:
+//
+//   $ ./build/example_conformance_probe "Chrome 130.0" tcp-reset 1 7 3
+//   $ ./build/example_conformance_probe "wget 1.21" none 1 0 0
+//   $ ./build/example_conformance_probe            # lists clients and faults
+//
+// Arguments: "<client display name>" <fault> <seed> <stream> <index>
+// [fetches]. The fault plan's (seed, stream, index) triple pins the cell's
+// whole world, so the verdicts printed here match the campaign's bit for
+// bit.
+#include <cstdio>
+#include <cstdlib>
+
+#include "clients/profiles.h"
+#include "conformance/checker.h"
+
+using namespace lazyeye;
+
+int main(int argc, char** argv) {
+  if (argc < 6) {
+    std::printf("usage: %s \"<client>\" <fault> <seed> <stream> <index> "
+                "[fetches]\n\navailable clients:\n", argv[0]);
+    for (const auto& p : clients::local_testbed_profiles()) {
+      std::printf("  %s\n", p.display_name().c_str());
+    }
+    std::printf("\nfault kinds:\n");
+    for (const auto kind : conformance::all_fault_kinds()) {
+      std::printf("  %s\n", conformance::fault_kind_name(kind));
+    }
+    return 1;
+  }
+
+  const auto profile = clients::find_client_profile(argv[1]);
+  if (!profile) {
+    std::fprintf(stderr, "unknown client: %s (run without arguments for the "
+                         "list)\n", argv[1]);
+    return 1;
+  }
+  const auto kind = conformance::fault_kind_from_name(argv[2]);
+  if (!kind) {
+    std::fprintf(stderr, "unknown fault kind: %s (run without arguments for "
+                         "the list)\n", argv[2]);
+    return 1;
+  }
+
+  conformance::FaultPlan plan;
+  plan.kind = *kind;
+  plan.seed = std::strtoull(argv[3], nullptr, 10);
+  plan.stream = static_cast<std::uint32_t>(std::strtoul(argv[4], nullptr, 10));
+  plan.index = static_cast<std::uint32_t>(std::strtoul(argv[5], nullptr, 10));
+  const int fetches = argc > 6 ? std::atoi(argv[6]) : 2;
+
+  // The differential campaign derives every cell plan from its own seed, so
+  // matching its harness options means matching its worlds.
+  conformance::ConformanceOptions options;
+  options.seed = plan.seed;
+  const conformance::ConformanceHarness harness{options};
+  const auto record = harness.replay(*profile, plan, fetches);
+
+  std::printf("%s vs %s  (%s, fetches=%d)\n", record.client.c_str(),
+              conformance::fault_kind_name(record.fault.kind),
+              record.fault.repro().c_str(), record.fetches);
+  std::printf("fetch: first=%s final=%s\n",
+              record.first_fetch_ok ? "ok" : "fail",
+              record.fetch_ok ? "ok" : "fail");
+  for (const auto& v : record.verdicts) {
+    std::printf("  [%c] %-18s %s\n",
+                conformance::rule_outcome_symbol(v.outcome), v.rule.c_str(),
+                v.evidence.c_str());
+  }
+  std::printf("violations: %d\n", record.violations());
+  return 0;
+}

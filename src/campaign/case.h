@@ -15,6 +15,7 @@
 #include <type_traits>
 #include <variant>
 
+#include "conformance/fault.h"
 #include "dns/rr.h"
 #include "util/time.h"
 
@@ -52,12 +53,21 @@ struct ResolverCellCase {
   SimTime v6_delay{0};
 };
 
+/// One adversarial conformance cell: a seeded fault plan run against the
+/// envelope's client, with the RFC 8305 rule set evaluated over the
+/// client-side capture. `fetches` = 2 also exercises the cache-respecting
+/// restart rule (the second fetch reuses the session's winner cache).
+struct ConformanceCase {
+  conformance::FaultPlan fault;
+  int fetches = 1;
+};
+
 /// The closed set of case payloads a ScenarioSpec can carry. Adding an
 /// alternative here is the *only* step that opens a new case kind; every
 /// switch/name table below is tied to this list at compile time.
 using CasePayload = std::variant<CadCase, ResolutionDelayCase,
                                  AddressSelectionCase, WebRepetitionCase,
-                                 ResolverCellCase>;
+                                 ResolverCellCase, ConformanceCase>;
 
 /// Discriminator mirroring CasePayload's alternative order (executor
 /// registries index their tables by it).
@@ -67,6 +77,7 @@ enum class CaseKind {
   kAddressSelection,
   kWebRepetition,
   kResolverCell,
+  kConformance,
 };
 
 inline constexpr std::size_t kCaseKindCount = std::variant_size_v<CasePayload>;
@@ -121,6 +132,11 @@ struct CaseTraits<ResolverCellCase> {
   static constexpr CaseKind kKind = CaseKind::kResolverCell;
   static constexpr const char* kName = "resolver-cell";
 };
+template <>
+struct CaseTraits<ConformanceCase> {
+  static constexpr CaseKind kKind = CaseKind::kConformance;
+  static constexpr const char* kName = "conformance";
+};
 
 // CaseKind values, variant indices, and trait kinds must stay aligned:
 // kind_of() below is a plain index cast.
@@ -134,6 +150,8 @@ static_assert(case_index<WebRepetitionCase> ==
               static_cast<std::size_t>(CaseTraits<WebRepetitionCase>::kKind));
 static_assert(case_index<ResolverCellCase> ==
               static_cast<std::size_t>(CaseTraits<ResolverCellCase>::kKind));
+static_assert(case_index<ConformanceCase> ==
+              static_cast<std::size_t>(CaseTraits<ConformanceCase>::kKind));
 
 inline CaseKind kind_of(const CasePayload& payload) {
   return static_cast<CaseKind>(payload.index());

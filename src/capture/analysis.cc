@@ -33,6 +33,15 @@ std::optional<Family> established_family(const PacketCapture& capture) {
   return std::nullopt;
 }
 
+std::optional<SimTime> first_established_time(const PacketCapture& capture) {
+  for (const auto& cp : capture.packets()) {
+    if (!cp.egress() && cp.packet.is_syn_ack()) {
+      return cp.time;
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<ConnectionAttempt> connection_attempts(
     const PacketCapture& capture) {
   std::vector<ConnectionAttempt> attempts;
@@ -125,21 +134,16 @@ std::vector<DnsExchange> dns_exchanges(const PacketCapture& capture) {
   return exchanges;
 }
 
-namespace {
-
-/// Response time of the first answered exchange of `qtype`.
-std::optional<SimTime> response_time_for(const PacketCapture& capture,
-                                         dns::RrType qtype) {
+std::optional<SimTime> first_response_time(const PacketCapture& capture,
+                                           dns::RrType qtype) {
   for (const auto& ex : dns_exchanges(capture)) {
     if (ex.qtype == qtype && ex.response_time) return ex.response_time;
   }
   return std::nullopt;
 }
 
-}  // namespace
-
 std::optional<SimTime> a_response_to_v6_syn_gap(const PacketCapture& capture) {
-  const auto a_time = response_time_for(capture, dns::RrType::kA);
+  const auto a_time = first_response_time(capture, dns::RrType::kA);
   const auto v6_syn = first_syn_time(capture, Family::kIpv6);
   if (!a_time || !v6_syn) return std::nullopt;
   if (*v6_syn < *a_time) return std::nullopt;  // v6 SYN did not wait for A
@@ -147,8 +151,8 @@ std::optional<SimTime> a_response_to_v6_syn_gap(const PacketCapture& capture) {
 }
 
 std::optional<SimTime> infer_resolution_delay(const PacketCapture& capture) {
-  const auto a_time = response_time_for(capture, dns::RrType::kA);
-  const auto aaaa_time = response_time_for(capture, dns::RrType::kAaaa);
+  const auto a_time = first_response_time(capture, dns::RrType::kA);
+  const auto aaaa_time = first_response_time(capture, dns::RrType::kAaaa);
   const auto v4_syn = first_syn_time(capture, Family::kIpv4);
   if (!a_time || !v4_syn) return std::nullopt;
   // Only meaningful when the v4 connection started before the AAAA answer

@@ -54,6 +54,15 @@ std::optional<SimTime> infer_cad(const PacketCapture& capture);
 /// host's ACK is approximated by: first ingress SYN-ACK).
 std::optional<simnet::Family> established_family(const PacketCapture& capture);
 
+/// Timestamp of the first ingress SYN-ACK — the client-side establishment
+/// instant established_family() keys on. Used by the conformance rules to
+/// bound "pre-establishment" attempt evidence.
+std::optional<SimTime> first_established_time(const PacketCapture& capture);
+
+/// Response time of the first answered DNS exchange of `qtype`.
+std::optional<SimTime> first_response_time(const PacketCapture& capture,
+                                           dns::RrType qtype);
+
 /// All egress connection attempts in start order (deduplicated by 4-tuple,
 /// counting SYN retransmissions).
 std::vector<ConnectionAttempt> connection_attempts(

@@ -1,0 +1,277 @@
+#include "conformance/checker.h"
+
+#include <memory>
+#include <utility>
+
+#include "capture/analysis.h"
+#include "clients/client.h"
+#include "conformance/injector.h"
+#include "dns/auth_server.h"
+#include "dns/test_params.h"
+#include "simnet/network.h"
+#include "transport/quic.h"
+#include "transport/tcp.h"
+#include "util/strings.h"
+
+namespace lazyeye::conformance {
+
+using simnet::Family;
+using simnet::IpAddress;
+
+int ConformanceRecord::violations() const {
+  int n = 0;
+  for (const Verdict& v : verdicts) {
+    if (v.outcome == RuleOutcome::kViolate) ++n;
+  }
+  return n;
+}
+
+std::string ConformanceRecord::symbols() const {
+  std::string out;
+  out.reserve(verdicts.size());
+  for (const Verdict& v : verdicts) out.push_back(rule_outcome_symbol(v.outcome));
+  return out;
+}
+
+ConformanceHarness::ConformanceHarness(ConformanceOptions options)
+    : options_{options} {}
+
+campaign::ScenarioSpec ConformanceHarness::case_spec(
+    const clients::ClientProfile& profile, const FaultPlan& plan,
+    int fetches) const {
+  campaign::ScenarioSpec spec;
+  // The plan IS the replay handle: deriving the cell seed from it (and
+  // nothing else) is what makes `example_conformance_probe` reproduce a
+  // campaign cell bit-for-bit from the one-line repro.
+  spec.seed = plan.rng_seed();
+  spec.id = plan.index;
+  spec.repetition = 0;
+  spec.grid_index = static_cast<int>(plan.kind);
+  spec.client = profile.display_name();
+  spec.payload = campaign::ConformanceCase{plan, fetches};
+  spec.label = lazyeye::str_format("conf %s %s", spec.client.c_str(),
+                                   fault_kind_name(plan.kind));
+  return spec;
+}
+
+std::vector<campaign::ScenarioSpec> ConformanceHarness::differential_specs(
+    const std::vector<clients::ClientProfile>& profiles,
+    int repetitions) const {
+  std::vector<campaign::ScenarioSpec> specs;
+  specs.reserve(all_fault_kinds().size() * profiles.size() *
+                static_cast<std::size_t>(repetitions));
+  std::uint64_t id = 0;
+  for (const FaultKind kind : all_fault_kinds()) {
+    std::uint32_t index = 0;
+    for (const clients::ClientProfile& profile : profiles) {
+      for (int rep = 0; rep < repetitions; ++rep) {
+        FaultPlan plan;
+        plan.kind = kind;
+        plan.seed = options_.seed;
+        plan.stream = static_cast<std::uint32_t>(kind);
+        plan.index = index++;
+        campaign::ScenarioSpec spec = case_spec(profile, plan, /*fetches=*/2);
+        spec.id = id++;
+        spec.repetition = rep;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  return specs;
+}
+
+namespace {
+
+/// The cell's isolated world: two dual-stack nodes, echo web server, auth
+/// DNS, the fault injector attached to the server's stacks, capture on the
+/// client node. Mirrors testbed::build_scenario, plus the injector.
+struct World {
+  simnet::Network net;
+  simnet::Host* client_host = nullptr;
+  simnet::Host* server_host = nullptr;
+  std::unique_ptr<transport::TcpStack> server_tcp;
+  std::unique_ptr<transport::QuicStack> server_quic;
+  std::unique_ptr<dns::AuthServer> auth;
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<clients::SimulatedClient> client;
+  std::unique_ptr<capture::PacketCapture> capture;
+  dns::DnsName name;
+
+  explicit World(std::uint64_t seed) : net{seed} {}
+};
+
+std::unique_ptr<World> build_world(const clients::ClientProfile& profile,
+                                   const ConformanceOptions& options,
+                                   const FaultPlan& plan,
+                                   std::uint64_t cell_seed) {
+  auto w = std::make_unique<World>(options.seed * 7919 + cell_seed);
+
+  w->server_host = &w->net.add_host("server");
+  w->server_host->add_address(IpAddress::must_parse("10.0.0.80"));
+  w->server_host->add_address(IpAddress::must_parse("2001:db8::80"));
+  w->client_host = &w->net.add_host("client");
+  w->client_host->add_address(IpAddress::must_parse("10.0.0.2"));
+  w->client_host->add_address(IpAddress::must_parse("2001:db8::2"));
+
+  w->server_tcp = std::make_unique<transport::TcpStack>(*w->server_host);
+  w->server_tcp->listen(443, [](std::uint64_t, const simnet::Endpoint&) {});
+  w->server_tcp->set_data_handler(
+      [wp = w.get()](std::uint64_t conn_id, std::span<const std::uint8_t>) {
+        const std::string body = "ok";
+        wp->server_tcp->send_data(
+            conn_id, std::vector<std::uint8_t>{body.begin(), body.end()});
+      });
+  w->server_quic = std::make_unique<transport::QuicStack>(*w->server_host);
+  w->server_quic->listen(443);
+  w->server_quic->set_data_handler(
+      [wp = w.get()](std::uint64_t conn_id, std::span<const std::uint8_t>) {
+        const std::string body = "ok";
+        wp->server_quic->send_data(
+            conn_id, std::vector<std::uint8_t>{body.begin(), body.end()});
+      });
+
+  w->auth = std::make_unique<dns::AuthServer>(*w->server_host);
+  dns::Zone& zone = w->auth->add_zone(dns::DnsName::must_parse("conf.lab"));
+
+  const auto nonce =
+      lazyeye::str_format("%llu", static_cast<unsigned long long>(cell_seed));
+  w->name = dns::make_test_name(dns::DnsName::must_parse("run.conf.lab"),
+                                nonce, {});
+  // Real server first (clients that honour record order try it first), then
+  // unresponsive decoys so interleaving/abandonment have observable choices.
+  zone.add_a(w->name, *simnet::Ipv4Address::parse("10.0.0.80"));
+  zone.add_aaaa(w->name, *simnet::Ipv6Address::parse("2001:db8::80"));
+  for (int i = 1; i <= options.decoys_per_family; ++i) {
+    zone.add_a(w->name, *simnet::Ipv4Address::parse(
+                            lazyeye::str_format("10.99.0.%d", i)));
+    zone.add_aaaa(w->name, *simnet::Ipv6Address::parse(lazyeye::str_format(
+                               "2001:db8:dead::%d", i)));
+  }
+
+  w->injector = std::make_unique<FaultInjector>(plan);
+  w->injector->attach(*w->auth);
+  w->injector->attach(*w->server_tcp);
+  w->injector->attach(*w->server_quic);
+
+  dns::StubOptions stub_options;
+  stub_options.servers = {{IpAddress::must_parse("10.0.0.80"), 53}};
+  w->client = std::make_unique<clients::SimulatedClient>(
+      *w->client_host, profile, stub_options, options.seed * 31 + cell_seed);
+  w->client->reset_state();  // fresh container per cell
+
+  w->capture = std::make_unique<capture::PacketCapture>(*w->client_host);
+  return w;
+}
+
+}  // namespace
+
+ConformanceRecord ConformanceHarness::run_spec(
+    const clients::ClientProfile& profile,
+    const campaign::ScenarioSpec& spec) const {
+  const auto* cell = spec.get_if<campaign::ConformanceCase>();
+  if (cell == nullptr) {
+    throw std::invalid_argument(
+        lazyeye::str_format("ConformanceHarness::run_spec: unsupported case %s",
+                            campaign::case_name(spec.payload)));
+  }
+  auto w = build_world(profile, options_, cell->fault, spec.seed);
+
+  clients::FetchResult first_fetch;
+  clients::FetchResult last_fetch;
+  bool first_done = false;
+  SimTime first_completed{0};
+  // The restart (second fetch) runs in the same client session — no
+  // reset_state() — so the engine's RFC 6555 §4.1 winner cache applies and
+  // the restart-cache rule can observe whether DNS is re-queried.
+  w->client->fetch(w->name, 443, [&](const clients::FetchResult& r) {
+    first_fetch = r;
+    last_fetch = r;
+    first_done = true;
+    first_completed = w->net.loop().now();
+    if (cell->fetches >= 2) {
+      w->client->fetch(w->name, 443, [&](const clients::FetchResult& r2) {
+        last_fetch = r2;
+      });
+    }
+  });
+  w->net.loop().run();
+
+  RuleContext ctx;
+  ctx.fetches = cell->fetches;
+  ctx.first_fetch_ok =
+      first_done && first_fetch.connection.ok && first_fetch.response_received;
+  ctx.first_fetch_completed = first_completed;
+  ctx.v4_candidates = 1 + options_.decoys_per_family;
+  ctx.v6_candidates = 1 + options_.decoys_per_family;
+
+  const capture::PacketCapture& cap = *w->capture;
+  ctx.dns = capture::dns_exchanges(cap);
+  ctx.attempts = capture::connection_attempts(cap);
+  ctx.established = capture::established_family(cap);
+  ctx.established_time = capture::first_established_time(cap);
+  ctx.first_a_response = capture::first_response_time(cap, dns::RrType::kA);
+  ctx.first_aaaa_response =
+      capture::first_response_time(cap, dns::RrType::kAaaa);
+  ctx.first_v4_syn = capture::first_syn_time(cap, Family::kIpv4);
+  ctx.first_v6_syn = capture::first_syn_time(cap, Family::kIpv6);
+
+  ConformanceRecord record;
+  record.client = profile.display_name();
+  record.fault = cell->fault;
+  record.fetches = cell->fetches;
+  record.fetch_ok = last_fetch.connection.ok && last_fetch.response_received;
+  record.first_fetch_ok = ctx.first_fetch_ok;
+  record.verdicts = evaluate_rules(ctx);
+  return record;
+}
+
+ConformanceRecord ConformanceHarness::replay(
+    const clients::ClientProfile& profile, const FaultPlan& plan,
+    int fetches) const {
+  return run_spec(profile, case_spec(profile, plan, fetches));
+}
+
+// ---- VerdictTableSink ------------------------------------------------------
+
+void VerdictTableSink::begin(std::size_t cells_total) {
+  text_.clear();
+  total_violations_ = 0;
+  cells_ = 0;
+  text_ += "conformance verdict table (";
+  for (std::size_t i = 0; i < rfc8305_rules().size(); ++i) {
+    if (i > 0) text_ += ", ";
+    text_ += rfc8305_rules()[i].name;
+  }
+  text_ += lazyeye::str_format(") — %zu cells\n", cells_total);
+  text_ += lazyeye::str_format("%-28s %-18s %-7s %s\n", "client", "fault",
+                               "rules", "fetch");
+}
+
+void VerdictTableSink::cell(const campaign::ScenarioSpec& spec,
+                            ConformanceRecord record) {
+  (void)spec;
+  ++cells_;
+  text_ += lazyeye::str_format(
+      "%-28s %-18s %-7s %s\n", record.client.c_str(),
+      fault_kind_name(record.fault.kind), record.symbols().c_str(),
+      record.fetch_ok ? "ok" : "fail");
+  for (const Verdict& v : record.verdicts) {
+    if (v.outcome != RuleOutcome::kViolate) continue;
+    ++total_violations_;
+    text_ += lazyeye::str_format("    V %s: %s\n", v.rule.c_str(),
+                                 v.evidence.c_str());
+    text_ += lazyeye::str_format(
+        "      repro: ./build/example_conformance_probe \"%s\" %s %llu %u %u\n",
+        record.client.c_str(), fault_kind_name(record.fault.kind),
+        static_cast<unsigned long long>(record.fault.seed),
+        static_cast<unsigned>(record.fault.stream),
+        static_cast<unsigned>(record.fault.index));
+  }
+}
+
+void VerdictTableSink::end() {
+  text_ += lazyeye::str_format("total violations: %d across %zu cells\n",
+                               total_violations_, cells_);
+}
+
+}  // namespace lazyeye::conformance

@@ -1,0 +1,85 @@
+#include "conformance/fault.h"
+
+#include "util/strings.h"
+
+namespace lazyeye::conformance {
+
+const char* fault_kind_name(FaultKind kind) {
+  static_assert(kFaultKindCount == 11,
+                "new fault kind: extend fault_kind_name and the injector");
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDnsTruncate: return "dns-truncate";
+    case FaultKind::kDnsCorrupt: return "dns-corrupt";
+    case FaultKind::kDnsSpoof: return "dns-spoof";
+    case FaultKind::kDnsReorder: return "dns-reorder";
+    case FaultKind::kDnsStarveFamily: return "dns-starve-family";
+    case FaultKind::kDnsDelaySpike: return "dns-delay-spike";
+    case FaultKind::kTcpReset: return "tcp-reset";
+    case FaultKind::kTcpAcceptReset: return "tcp-accept-reset";
+    case FaultKind::kTcpBlackhole: return "tcp-blackhole";
+    case FaultKind::kQuicDrop: return "quic-drop";
+  }
+  return "?";  // unreachable for in-range values
+}
+
+std::optional<FaultKind> fault_kind_from_name(std::string_view name) {
+  for (const FaultKind kind : all_fault_kinds()) {
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+const std::vector<FaultKind>& all_fault_kinds() {
+  static const std::vector<FaultKind> kinds = [] {
+    std::vector<FaultKind> out;
+    out.reserve(kFaultKindCount);
+    for (int i = 0; i < kFaultKindCount; ++i) {
+      out.push_back(static_cast<FaultKind>(i));
+    }
+    return out;
+  }();
+  return kinds;
+}
+
+std::uint64_t FaultPlan::rng_seed() const {
+  // Mirror of ScenarioSpec::derive: fold the triple (and the kind, so two
+  // kinds sharing a stream id never collide) into one SplitMix64 state.
+  SplitMix64 mix{seed ^ ((std::uint64_t{stream} + 1) * 0x9e3779b97f4a7c15ULL) ^
+                 ((std::uint64_t{index} + 1) * 0xd6e8feb86659fd93ULL) ^
+                 (static_cast<std::uint64_t>(kind) << 56)};
+  return mix.next();
+}
+
+std::string FaultPlan::repro() const {
+  return lazyeye::str_format(
+      "fault=%s seed=%llu stream=%u index=%u", fault_kind_name(kind),
+      static_cast<unsigned long long>(seed), static_cast<unsigned>(stream),
+      static_cast<unsigned>(index));
+}
+
+void truncate_wire(std::vector<std::uint8_t>& wire, SplitMix64& rng) {
+  if (wire.size() < 2) return;
+  const std::uint64_t keep = 1 + rng.next() % (wire.size() - 1);
+  wire.resize(static_cast<std::size_t>(keep));
+}
+
+void corrupt_wire(std::vector<std::uint8_t>& wire, SplitMix64& rng) {
+  if (wire.empty()) return;
+  const int flips = 1 + static_cast<int>(rng.next() % 8);
+  for (int i = 0; i < flips; ++i) {
+    const std::size_t pos = static_cast<std::size_t>(rng.next() % wire.size());
+    wire[pos] ^= static_cast<std::uint8_t>(1 + rng.next() % 255);
+  }
+}
+
+std::vector<std::uint8_t> garbage_wire(SplitMix64& rng) {
+  const std::size_t size = static_cast<std::size_t>(rng.next() % 513);
+  std::vector<std::uint8_t> wire(size);
+  for (std::uint8_t& byte : wire) {
+    byte = static_cast<std::uint8_t>(rng.next() & 0xff);
+  }
+  return wire;
+}
+
+}  // namespace lazyeye::conformance

@@ -1,0 +1,83 @@
+// Seeded fault plans — the adversarial inputs of the RFC 8305 noncompliance
+// checker (ROADMAP "Conformance + adversarial fault-injection layer").
+//
+// A FaultPlan is fully described by its kind plus a (seed, stream, index)
+// triple; every byte of injected misbehaviour derives from SplitMix64 over
+// that triple, so any verdict a differential campaign reports replays from
+// one documented line:
+//
+//   ./build/example_conformance_probe "<client>" <fault> <seed> <stream> <index>
+//
+// The wire mutators double as the decoder-robustness seed corpus: the same
+// truncations/corruptions the injector feeds a live client are fed to
+// DnsMessage::decode_into by tests/dns_codec_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simnet/ip.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace lazyeye::conformance {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,         // control cell: no fault injected
+  kDnsTruncate,      // responses truncated mid-message
+  kDnsCorrupt,       // seeded byte corruption of the response wire bytes
+  kDnsSpoof,         // off-path (wrong-id, bogus-address) answer races the real one
+  kDnsReorder,       // target family's answers held back so the other overtakes
+  kDnsStarveFamily,  // answers of the target family stripped (NODATA-like)
+  kDnsDelaySpike,    // per-family response delay spike
+  kTcpReset,         // target family's SYNs answered with RST
+  kTcpAcceptReset,   // handshake completes, then an immediate RST
+  kTcpBlackhole,     // target family's SYNs swallowed (no SYN-ACK)
+  kQuicDrop,         // target family's QUIC Initials dropped
+};
+
+inline constexpr int kFaultKindCount = 11;
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Inverse of fault_kind_name(); nullopt for unknown names.
+std::optional<FaultKind> fault_kind_from_name(std::string_view name);
+
+/// All kinds in enumerator order (kNone first) — the differential matrix's
+/// stream order.
+const std::vector<FaultKind>& all_fault_kinds();
+
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  /// Replay triple: the cell's world and every mutation derive from it.
+  std::uint64_t seed = 1;
+  std::uint32_t stream = 0;
+  std::uint32_t index = 0;
+  /// Address family the family-selective kinds target.
+  simnet::Family target_family = simnet::Family::kIpv6;
+  /// Extra response delay for kDnsDelaySpike and the kDnsReorder holdback.
+  SimTime spike = lazyeye::ms(150);
+
+  /// Root of the plan's deterministic mutation stream (and the cell seed of
+  /// its campaign spec): a pure function of (kind, seed, stream, index).
+  std::uint64_t rng_seed() const;
+
+  /// The one-line repro: "fault=<kind> seed=S stream=T index=I".
+  std::string repro() const;
+};
+
+// ---- Seeded wire mutators (shared decode-robustness corpus) ---------------
+
+/// Truncates to a seeded length in [1, size-1]; no-op for wires < 2 bytes.
+void truncate_wire(std::vector<std::uint8_t>& wire, SplitMix64& rng);
+
+/// Flips 1..8 seeded bytes in place; no-op for empty wires.
+void corrupt_wire(std::vector<std::uint8_t>& wire, SplitMix64& rng);
+
+/// A fresh garbage datagram of 0..512 seeded bytes.
+std::vector<std::uint8_t> garbage_wire(SplitMix64& rng);
+
+}  // namespace lazyeye::conformance

@@ -1,0 +1,152 @@
+#include "conformance/injector.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lazyeye::conformance {
+
+using dns::DnsMessage;
+using dns::RrType;
+using simnet::Family;
+using transport::AcceptAction;
+
+namespace {
+
+/// Family a query type resolves addresses for (non-address types count as
+/// IPv4 only so the family-selective kinds leave them alone by default).
+Family qtype_family(RrType qtype) {
+  return qtype == RrType::kAaaa ? Family::kIpv6 : Family::kIpv4;
+}
+
+bool address_qtype(RrType qtype) {
+  return qtype == RrType::kA || qtype == RrType::kAaaa;
+}
+
+}  // namespace
+
+bool FaultInjector::dns_kind() const {
+  switch (plan_.kind) {
+    case FaultKind::kDnsTruncate:
+    case FaultKind::kDnsCorrupt:
+    case FaultKind::kDnsSpoof:
+    case FaultKind::kDnsReorder:
+    case FaultKind::kDnsStarveFamily:
+    case FaultKind::kDnsDelaySpike:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool FaultInjector::tcp_kind() const {
+  switch (plan_.kind) {
+    case FaultKind::kTcpReset:
+    case FaultKind::kTcpAcceptReset:
+    case FaultKind::kTcpBlackhole:
+      return true;
+    default:
+      return false;
+  }
+}
+
+dns::ResponseInterposer FaultInjector::dns_hook() {
+  return [this](const DnsMessage& query, DnsMessage& response, SimTime& delay,
+                dns::ResponseDirectives& out) {
+    on_dns_response(query, response, delay, out);
+  };
+}
+
+void FaultInjector::attach(dns::AuthServer& server) {
+  if (dns_kind()) server.set_response_interposer(dns_hook());
+}
+
+void FaultInjector::attach(dns::RecursiveResolver& resolver) {
+  if (dns_kind()) resolver.set_response_interposer(dns_hook());
+}
+
+void FaultInjector::attach(transport::TcpStack& tcp) {
+  if (!tcp_kind()) return;
+  tcp.set_accept_interposer(
+      [this](const simnet::Endpoint& peer, std::uint16_t) {
+        return on_accept(peer);
+      });
+}
+
+void FaultInjector::attach(transport::QuicStack& quic) {
+  if (plan_.kind != FaultKind::kQuicDrop) return;
+  quic.set_accept_interposer(
+      [this](const simnet::Endpoint& peer, std::uint16_t) {
+        return on_accept(peer);
+      });
+}
+
+void FaultInjector::on_dns_response(const DnsMessage& query,
+                                    DnsMessage& response, SimTime& delay,
+                                    dns::ResponseDirectives& out) {
+  const RrType qtype =
+      query.questions.empty() ? RrType::kA : query.questions.front().type;
+  const bool targeted =
+      address_qtype(qtype) && qtype_family(qtype) == plan_.target_family;
+  switch (plan_.kind) {
+    case FaultKind::kDnsTruncate:
+      out.mutate_wire = [this](std::vector<std::uint8_t>& wire) {
+        truncate_wire(wire, rng_);
+      };
+      break;
+    case FaultKind::kDnsCorrupt:
+      out.mutate_wire = [this](std::vector<std::uint8_t>& wire) {
+        corrupt_wire(wire, rng_);
+      };
+      break;
+    case FaultKind::kDnsSpoof: {
+      if (!address_qtype(qtype)) break;
+      // Off-path race: wrong transaction id, bogus address, sent with zero
+      // extra delay so it reaches the client ahead of the real answer. A
+      // compliant resolver/client drops it on the id mismatch.
+      DnsMessage spoof = response;
+      spoof.header.id ^= static_cast<std::uint16_t>(1 + rng_.next() % 0xffff);
+      spoof.answers.clear();
+      spoof.authorities.clear();
+      spoof.additionals.clear();
+      const dns::DnsName& qname = query.questions.front().name;
+      if (qtype == RrType::kA) {
+        spoof.answers.push_back(dns::ResourceRecord::a(
+            qname, simnet::IpAddress::must_parse("192.0.2.66").v4()));
+      } else {
+        spoof.answers.push_back(dns::ResourceRecord::aaaa(
+            qname, simnet::IpAddress::must_parse("2001:db8:bad::66").v6()));
+      }
+      out.extra.push_back({spoof.encode(), SimTime{0}});
+      break;
+    }
+    case FaultKind::kDnsReorder:
+      // Hold the targeted family's answer back past the spike so the other
+      // family's answer overtakes it, and scramble in-message record order.
+      if (targeted) {
+        delay = delay + plan_.spike;
+        std::reverse(response.answers.begin(), response.answers.end());
+      }
+      break;
+    case FaultKind::kDnsStarveFamily:
+      if (targeted) response.answers.clear();  // NODATA-like starvation
+      break;
+    case FaultKind::kDnsDelaySpike:
+      if (targeted) delay = delay + plan_.spike;
+      break;
+    default:
+      break;
+  }
+}
+
+AcceptAction FaultInjector::on_accept(const simnet::Endpoint& peer) const {
+  if (peer.addr.family() != plan_.target_family) return AcceptAction::kAccept;
+  switch (plan_.kind) {
+    case FaultKind::kTcpReset: return AcceptAction::kReset;
+    case FaultKind::kTcpAcceptReset: return AcceptAction::kAcceptThenReset;
+    case FaultKind::kTcpBlackhole:
+    case FaultKind::kQuicDrop: return AcceptAction::kDrop;
+    default: return AcceptAction::kAccept;
+  }
+}
+
+}  // namespace lazyeye::conformance

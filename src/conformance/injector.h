@@ -1,0 +1,46 @@
+// FaultInjector: maps a seeded FaultPlan onto the interposing hooks the
+// dns/ and transport/ layers expose (ResponseInterposer, AcceptInterposer).
+//
+// The injector owns the plan's mutation RNG; attached hooks capture `this`,
+// so the injector must outlive the stacks it attaches to (in practice: it
+// lives next to the Testbed/world for the cell's whole run). Hooks are only
+// installed for the layers the plan's kind actually touches — every other
+// layer keeps its null hook and stays on the zero-cost fast path.
+#pragma once
+
+#include "conformance/fault.h"
+#include "dns/auth_server.h"
+#include "dns/recursive_resolver.h"
+#include "transport/quic.h"
+#include "transport/tcp.h"
+#include "util/rng.h"
+
+namespace lazyeye::conformance {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan), rng_(plan.rng_seed()) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Install hooks on the layers this plan's kind targets. No-ops (leaving
+  /// the stack's hook unset) when the kind lives elsewhere.
+  void attach(dns::AuthServer& server);
+  void attach(dns::RecursiveResolver& resolver);
+  void attach(transport::TcpStack& tcp);
+  void attach(transport::QuicStack& quic);
+
+ private:
+  bool dns_kind() const;
+  bool tcp_kind() const;
+  dns::ResponseInterposer dns_hook();
+  void on_dns_response(const dns::DnsMessage& query,
+                       dns::DnsMessage& response, SimTime& delay,
+                       dns::ResponseDirectives& out);
+  transport::AcceptAction on_accept(const simnet::Endpoint& peer) const;
+
+  FaultPlan plan_;
+  SplitMix64 rng_;
+};
+
+}  // namespace lazyeye::conformance

@@ -37,11 +37,35 @@ void AuthServer::on_query(const simnet::Packet& packet) {
   if (unresponsive_) return;
 
   build_response(query, response_scratch_);
-  const SimTime delay = response_delay(q.name, q.type);
+  SimTime delay = response_delay(q.name, q.type);
   const simnet::Endpoint from = packet.dst;
   const simnet::Endpoint to = packet.src;
+
+  if (interposer_) {
+    // Fault-injection slow path (conformance layer). Kept out of the fast
+    // path so measurement campaigns with no interposer are untouched.
+    ResponseDirectives directives;
+    interposer_(query, response_scratch_, delay, directives);
+    for (InterposedDatagram& extra : directives.extra) {
+      send_response(from, to, simnet::Buffer::adopt(std::move(extra.wire)),
+                    extra.delay);
+    }
+    if (directives.drop) return;
+    simnet::Buffer wire{&host_.network().buffer_pool()};
+    response_scratch_.encode_into(wire, compressor_);
+    if (directives.mutate_wire) directives.mutate_wire(wire.heap_storage());
+    send_response(from, to, std::move(wire), delay);
+    return;
+  }
+
   simnet::Buffer wire{&host_.network().buffer_pool()};
   response_scratch_.encode_into(wire, compressor_);
+  send_response(from, to, std::move(wire), delay);
+}
+
+void AuthServer::send_response(const simnet::Endpoint& from,
+                               const simnet::Endpoint& to, simnet::Buffer wire,
+                               SimTime delay) {
   if (delay.count() == 0) {
     host_.udp_send(from, to, std::move(wire));
     return;
@@ -68,7 +92,7 @@ SimTime AuthServer::response_delay(const DnsName& qname, RrType qtype) const {
 }
 
 void AuthServer::build_response(const DnsMessage& query,
-                                DnsMessage& response) const {
+                                DnsMessage& response) {
   const Question& q = query.questions.front();
 
   // Reset the reused envelope (same shape make_response() produced).
@@ -97,26 +121,30 @@ void AuthServer::build_response(const DnsMessage& query,
 
   response.header.aa = true;
 
+  // Pointer-based zone lookup into a reused scratch: each record is copied
+  // exactly once, straight into its response section, instead of through an
+  // intermediate LookupResult vector per response.
   DnsName current = q.name;
   for (int chase = 0; chase < 8; ++chase) {
-    const Zone::LookupResult result = best->lookup(current, q.type);
+    best->lookup_into(current, q.type, lookup_scratch_);
+    const Zone::LookupRefs& result = lookup_scratch_;
     switch (result.kind) {
       case Zone::RcodeKind::kAnswer:
-        for (const auto& rr : result.records) response.answers.push_back(rr);
+        for (const auto* rr : result.records) response.answers.push_back(*rr);
         return;
       case Zone::RcodeKind::kCname: {
-        response.answers.push_back(result.records.front());
-        current = std::get<CnameRdata>(result.records.front().rdata).target;
+        response.answers.push_back(*result.records.front());
+        current = std::get<CnameRdata>(result.records.front()->rdata).target;
         if (!current.is_subdomain_of(best->origin())) return;
         continue;
       }
       case Zone::RcodeKind::kDelegation:
         response.header.aa = false;
-        for (const auto& rr : result.records) {
-          response.authorities.push_back(rr);
+        for (const auto* rr : result.records) {
+          response.authorities.push_back(*rr);
         }
-        for (const auto& rr : result.additional) {
-          response.additionals.push_back(rr);
+        for (const auto* rr : result.additional) {
+          response.additionals.push_back(*rr);
         }
         return;
       case Zone::RcodeKind::kNoData:

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "dns/interpose.h"
 #include "dns/message.h"
 #include "dns/test_params.h"
 #include "dns/zone.h"
@@ -63,6 +64,12 @@ class AuthServer {
   /// When set, queries are dropped entirely (unresponsive server).
   void set_unresponsive(bool unresponsive) { unresponsive_ = unresponsive; }
 
+  /// Fault-injection hook on the response path (see dns/interpose.h).
+  /// Unset (the default) costs one branch per response.
+  void set_response_interposer(ResponseInterposer hook) {
+    interposer_ = std::move(hook);
+  }
+
   const std::vector<QueryLogEntry>& query_log() const { return query_log_; }
   void clear_query_log() { query_log_.clear(); }
 
@@ -71,8 +78,10 @@ class AuthServer {
  private:
   void on_query(const simnet::Packet& packet);
   /// Fills `response` (a reused scratch envelope) for `query`.
-  void build_response(const DnsMessage& query, DnsMessage& response) const;
+  void build_response(const DnsMessage& query, DnsMessage& response);
   SimTime response_delay(const DnsName& qname, RrType qtype) const;
+  void send_response(const simnet::Endpoint& from, const simnet::Endpoint& to,
+                     simnet::Buffer wire, SimTime delay);
 
   simnet::Host& host_;
   std::uint16_t port_;
@@ -82,9 +91,11 @@ class AuthServer {
   bool test_params_enabled_ = true;
   bool unresponsive_ = false;
   std::uint64_t queries_received_ = 0;
+  ResponseInterposer interposer_;
   // Decode/encode scratch reused across queries (single-threaded per host).
   DnsMessage query_scratch_;
   DnsMessage response_scratch_;
+  Zone::LookupRefs lookup_scratch_;
   NameCompressor compressor_;
 };
 

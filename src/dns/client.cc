@@ -88,7 +88,14 @@ void DnsClient::on_datagram(std::uint64_t handle,
   outcome.ok = msg.header.rcode == Rcode::kNoError;
   outcome.rcode = msg.header.rcode;
   outcome.rtt = host_.network().loop().now() - txn.first_send;
-  outcome.response = std::move(msg);  // scratch re-grows on the next decode
+  // Swap the decoded message out against a pooled envelope: the scratch gets
+  // recycled capacity for the next decode instead of re-growing, and
+  // finish() returns the outcome's message to the pool afterwards.
+  if (!response_pool_.empty()) {
+    outcome.response = std::move(response_pool_.back());
+    response_pool_.pop_back();
+  }
+  std::swap(outcome.response, response_scratch_);
   if (!outcome.ok) outcome.error = rcode_name(outcome.rcode);
   finish(handle, std::move(outcome));
 }
@@ -115,6 +122,15 @@ void DnsClient::finish(std::uint64_t handle, QueryOutcome outcome) {
   host_.udp_unbind(it->second.local_port);
   transactions_.erase(it);
   handler(outcome);
+  // The handler received a const ref; reclaim the response envelope with
+  // its sections cleared but their capacity kept.
+  if (response_pool_.size() < kResponsePoolCap) {
+    outcome.response.questions.clear();
+    outcome.response.answers.clear();
+    outcome.response.authorities.clear();
+    outcome.response.additionals.clear();
+    response_pool_.push_back(std::move(outcome.response));
+  }
 }
 
 }  // namespace lazyeye::dns

@@ -78,6 +78,11 @@ class DnsClient {
   DnsMessage query_scratch_;
   DnsMessage response_scratch_;
   NameCompressor compressor_;
+  // Recycled QueryOutcome::response envelopes: the handler only sees a
+  // const ref, so finish() reclaims the message (capacity kept) once it
+  // returns — steady-state outcomes stop materialising a fresh message.
+  static constexpr std::size_t kResponsePoolCap = 4;
+  std::vector<DnsMessage> response_pool_;
 };
 
 }  // namespace lazyeye::dns

@@ -61,6 +61,41 @@ void RecursiveResolver::serve(std::uint16_t port) {
               } else {
                 response.header.rcode = Rcode::kServFail;
               }
+
+              if (serve_interposer_) {
+                // Fault-injection slow path: rebuild the query envelope
+                // (the serve scratch was reused during resolution) and let
+                // the interposer edit/delay/drop/augment the response.
+                DnsMessage query_echo;
+                query_echo.header.id = txn;
+                query_echo.header.rd = rd;
+                query_echo.questions.push_back(q);
+                SimTime delay{0};
+                ResponseDirectives directives;
+                serve_interposer_(query_echo, response, delay, directives);
+                for (InterposedDatagram& extra : directives.extra) {
+                  host_.udp_send(reply_from, reply_to,
+                                 simnet::Buffer::adopt(std::move(extra.wire)));
+                }
+                if (directives.drop) return;
+                simnet::Buffer wire{&host_.network().buffer_pool()};
+                response.encode_into(wire, serve_compressor_);
+                if (directives.mutate_wire) {
+                  directives.mutate_wire(wire.heap_storage());
+                }
+                if (delay.count() > 0) {
+                  host_.network().loop().schedule_after(
+                      delay,
+                      [this, reply_from, reply_to,
+                       wire = std::move(wire)]() mutable {
+                        host_.udp_send(reply_from, reply_to, std::move(wire));
+                      });
+                  return;
+                }
+                host_.udp_send(reply_from, reply_to, std::move(wire));
+                return;
+              }
+
               simnet::Buffer wire{&host_.network().buffer_pool()};
               response.encode_into(wire, serve_compressor_);
               host_.udp_send(reply_from, reply_to, std::move(wire));

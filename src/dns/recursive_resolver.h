@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dns/client.h"
+#include "dns/interpose.h"
 #include "dns/resolver_profile.h"
 
 namespace lazyeye::dns {
@@ -73,6 +74,12 @@ class RecursiveResolver {
   /// disabled to keep measurement campaigns cache-free like the paper's.
   void set_delegation_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
 
+  /// Fault-injection hook on the serve() response path (dns/interpose.h).
+  /// Unset (the default) costs one branch per served response.
+  void set_response_interposer(ResponseInterposer hook) {
+    serve_interposer_ = std::move(hook);
+  }
+
  private:
   struct Job {
     std::uint64_t id = 0;
@@ -127,6 +134,7 @@ class RecursiveResolver {
   bool global_either_or_toggle_ = false;
   std::uint64_t next_job_id_ = 1;
   std::uint16_t serve_port_ = 0;
+  ResponseInterposer serve_interposer_;
   // Decode/encode scratch for the serve() front-end (single-threaded).
   DnsMessage serve_scratch_;
   NameCompressor serve_compressor_;

@@ -99,64 +99,84 @@ std::vector<ResourceRecord> Zone::glue_for(const DnsName& name) const {
   return out;
 }
 
-Zone::LookupResult Zone::lookup(const DnsName& qname, RrType qtype) const {
-  LookupResult result;
+void Zone::lookup_into(const DnsName& qname, RrType qtype,
+                       LookupRefs& out) const {
+  out.clear();
   if (!qname.is_subdomain_of(origin_)) {
-    result.kind = RcodeKind::kNotInZone;
-    return result;
+    out.kind = RcodeKind::kNotInZone;
+    return;
   }
 
   // Delegation check first (RFC 1034 4.3.2 step 3b).
   if (const auto cut = find_zone_cut(qname)) {
-    result.kind = RcodeKind::kDelegation;
+    out.kind = RcodeKind::kDelegation;
     const auto range = records_.equal_range(*cut);
     for (auto it = range.first; it != range.second; ++it) {
       if (it->second.type != RrType::kNs) continue;
-      result.records.push_back(it->second);
+      out.records.push_back(&it->second);
       const auto& nsname = std::get<NsRdata>(it->second.rdata).ns;
-      for (auto& glue : glue_for(nsname)) {
-        result.additional.push_back(std::move(glue));
+      const auto glue_range = records_.equal_range(nsname);
+      for (auto g = glue_range.first; g != glue_range.second; ++g) {
+        if (g->second.type == RrType::kA || g->second.type == RrType::kAaaa) {
+          out.additional.push_back(&g->second);
+        }
       }
     }
-    return result;
+    return;
   }
 
-  auto soa_record = [&]() -> std::optional<ResourceRecord> {
+  auto soa_record = [&]() -> const ResourceRecord* {
     const auto range = records_.equal_range(origin_);
     for (auto it = range.first; it != range.second; ++it) {
-      if (it->second.type == RrType::kSoa) return it->second;
+      if (it->second.type == RrType::kSoa) return &it->second;
     }
-    return std::nullopt;
+    return nullptr;
   };
 
   const auto range = records_.equal_range(qname);
-  bool name_has_records = range.first != range.second;
+  const bool name_has_records = range.first != range.second;
 
   // CNAME handling (only when the query is not for the CNAME itself).
   if (qtype != RrType::kCname) {
     for (auto it = range.first; it != range.second; ++it) {
       if (it->second.type == RrType::kCname) {
-        result.kind = RcodeKind::kCname;
-        result.records.push_back(it->second);
-        return result;
+        out.kind = RcodeKind::kCname;
+        out.records.push_back(&it->second);
+        return;
       }
     }
   }
 
   for (auto it = range.first; it != range.second; ++it) {
-    if (it->second.type == qtype) result.records.push_back(it->second);
+    if (it->second.type == qtype) out.records.push_back(&it->second);
   }
-  if (!result.records.empty()) {
-    result.kind = RcodeKind::kAnswer;
-    return result;
+  if (!out.records.empty()) {
+    out.kind = RcodeKind::kAnswer;
+    return;
   }
 
   if (name_has_records || name_exists(qname)) {
-    result.kind = RcodeKind::kNoData;
+    out.kind = RcodeKind::kNoData;
   } else {
-    result.kind = RcodeKind::kNxDomain;
+    out.kind = RcodeKind::kNxDomain;
   }
-  result.soa = soa_record();
+  out.soa = soa_record();
+}
+
+Zone::LookupResult Zone::lookup(const DnsName& qname, RrType qtype) const {
+  // One-shot convenience on top of lookup_into(): same semantics, but the
+  // caller receives owned copies.
+  LookupRefs refs;
+  lookup_into(qname, qtype, refs);
+  LookupResult result;
+  result.kind = refs.kind;
+  result.records.reserve(refs.records.size());
+  for (const ResourceRecord* rr : refs.records) result.records.push_back(*rr);
+  result.additional.reserve(refs.additional.size());
+  for (const ResourceRecord* rr : refs.additional) {
+    result.additional.push_back(*rr);
+  }
+  if (refs.soa != nullptr) result.soa = *refs.soa;
   return result;
 }
 

@@ -51,6 +51,29 @@ class Zone {
   /// within the same zone).
   LookupResult lookup(const DnsName& qname, RrType qtype) const;
 
+  /// Copy-free lookup result: records point into the zone's own storage
+  /// (multimap nodes are stable), valid until the zone is mutated. clear()
+  /// keeps the vectors' capacity, so a reused scratch makes the steady-state
+  /// lookup allocation-free.
+  struct LookupRefs {
+    RcodeKind kind = RcodeKind::kNotInZone;
+    std::vector<const ResourceRecord*> records;
+    std::vector<const ResourceRecord*> additional;  // glue for delegations
+    const ResourceRecord* soa = nullptr;            // for negative answers
+
+    void clear() {
+      kind = RcodeKind::kNotInZone;
+      records.clear();
+      additional.clear();
+      soa = nullptr;
+    }
+  };
+
+  /// lookup() without the per-call ResourceRecord copies: fills `out` (a
+  /// caller-reused scratch) with pointers into the zone. The serve path
+  /// copies each record at most once, straight into the response sections.
+  void lookup_into(const DnsName& qname, RrType qtype, LookupRefs& out) const;
+
   /// All records (for inspection/tests).
   const std::multimap<DnsName, ResourceRecord>& records() const {
     return records_;

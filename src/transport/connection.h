@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "simnet/ip.h"
@@ -14,6 +15,21 @@ enum class TransportProtocol : std::uint8_t { kTcp, kQuic };
 constexpr const char* transport_protocol_name(TransportProtocol p) {
   return p == TransportProtocol::kTcp ? "TCP" : "QUIC";
 }
+
+/// What a server-side interposer tells the stack to do with an inbound
+/// handshake (conformance fault injection, src/conformance/). kAccept is
+/// what an absent interposer implies.
+enum class AcceptAction : std::uint8_t {
+  kAccept,           // normal handshake
+  kReset,            // refuse: answer the opening packet with a reset/close
+  kDrop,             // blackhole: swallow the opening packet silently
+  kAcceptThenReset,  // complete the handshake, then reset immediately
+};
+
+/// Consulted when an inbound handshake reaches a listening port. Both stacks
+/// guard the call behind a null check, so unset hooks cost one branch.
+using AcceptInterposer = std::function<AcceptAction(
+    const simnet::Endpoint& peer, std::uint16_t local_port)>;
 
 struct ConnectResult {
   bool ok = false;

@@ -8,6 +8,7 @@ namespace {
 constexpr char kInitial = 'I';
 constexpr char kHandshake = 'H';
 constexpr char kData = 'D';
+constexpr char kClose = 'C';
 }  // namespace
 
 bool is_quic_payload(std::span<const std::uint8_t> payload) {
@@ -137,6 +138,15 @@ void QuicStack::on_datagram(std::uint16_t local_port, const Packet& packet) {
   if (type == kInitial) {
     const auto listener = listeners_.find(packet.dst.port);
     if (listener == listeners_.end()) return;  // no QUIC service: silent
+    AcceptAction action = AcceptAction::kAccept;
+    if (accept_interposer_) {
+      action = accept_interposer_(packet.src, packet.dst.port);
+    }
+    if (action == AcceptAction::kDrop) return;
+    if (action == AcceptAction::kReset) {
+      send_packet(tuple, kClose);
+      return;
+    }
     if (conn == nullptr) {
       const std::uint64_t id = next_id_++;
       ConnectionState server_conn;
@@ -148,10 +158,27 @@ void QuicStack::on_datagram(std::uint16_t local_port, const Packet& packet) {
       if (listener->second) listener->second(id, tuple.remote);
     }
     send_packet(tuple, kHandshake);
+    if (action == AcceptAction::kAcceptThenReset) {
+      send_packet(tuple, kClose);
+      if (ConnectionState* created = find_by_tuple(tuple)) {
+        connections_.erase(created->id);
+      }
+    }
     return;
   }
 
   if (conn == nullptr) return;
+
+  if (type == kClose) {
+    // Nothing sent Close frames before the accept interposer existed, so
+    // handling them changes no pre-fault-layer traffic.
+    if (conn->state == State::kInitialSent) {
+      fail_connect(conn->id, "refused");
+    } else {
+      connections_.erase(conn->id);
+    }
+    return;
+  }
 
   if (type == kHandshake && conn->state == State::kInitialSent) {
     host_.network().loop().cancel(conn->rto_timer);

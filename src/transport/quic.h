@@ -45,6 +45,11 @@ class QuicStack {
 
   void listen(std::uint16_t port, AcceptHandler on_accept = {});
   void close_listener(std::uint16_t port);
+  /// Fault-injection hook consulted for every Initial that reaches a
+  /// listener (see transport/connection.h). Unset = accept everything.
+  void set_accept_interposer(AcceptInterposer hook) {
+    accept_interposer_ = std::move(hook);
+  }
 
   std::uint64_t connect(const simnet::Endpoint& remote,
                         const QuicOptions& options, ConnectHandler handler);
@@ -87,6 +92,7 @@ class QuicStack {
   std::map<std::uint64_t, ConnectionState> connections_;
   std::map<std::uint16_t, AcceptHandler> listeners_;
   DataHandler data_handler_;
+  AcceptInterposer accept_interposer_;
   std::uint64_t next_id_ = 1;
 };
 

@@ -124,6 +124,15 @@ void TcpStack::on_packet(const Packet& packet) {
       }
       return;
     }
+    AcceptAction action = AcceptAction::kAccept;
+    if (accept_interposer_) {
+      action = accept_interposer_(packet.src, packet.dst.port);
+    }
+    if (action == AcceptAction::kDrop) return;
+    if (action == AcceptAction::kReset) {
+      send_flags(tuple, TcpFlags{.ack = true, .rst = true});
+      return;
+    }
     const std::uint64_t id = next_id_++;
     ConnectionState server_conn;
     server_conn.id = id;
@@ -132,6 +141,11 @@ void TcpStack::on_packet(const Packet& packet) {
     server_conn.started = host_.network().loop().now();
     connections_.emplace(id, std::move(server_conn));
     send_flags(tuple, TcpFlags{.syn = true, .ack = true});
+    if (action == AcceptAction::kAcceptThenReset) {
+      // Mid-handshake reset: the SYN-ACK is on the wire, the RST chases it.
+      send_flags(tuple, TcpFlags{.rst = true});
+      connections_.erase(id);
+    }
     return;
   }
 

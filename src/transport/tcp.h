@@ -54,6 +54,11 @@ class TcpStack {
   /// RFC-conforming hosts answer SYNs to closed ports with RST (default).
   /// Disable to emulate firewalled/DROP behaviour.
   void set_rst_on_closed_port(bool enabled) { rst_on_closed_ = enabled; }
+  /// Fault-injection hook consulted for every inbound SYN that reaches a
+  /// listener (see transport/connection.h). Unset = accept everything.
+  void set_accept_interposer(AcceptInterposer hook) {
+    accept_interposer_ = std::move(hook);
+  }
 
   // ---- Client side ---------------------------------------------------------
   /// Starts a connection attempt from the host's address matching the
@@ -105,6 +110,7 @@ class TcpStack {
   std::map<std::uint64_t, ConnectionState> connections_;
   std::map<std::uint16_t, AcceptHandler> listeners_;
   DataHandler data_handler_;
+  AcceptInterposer accept_interposer_;
   bool rst_on_closed_ = true;
   std::uint64_t next_id_ = 1;
 };

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "conformance/fault.h"
 #include "dns/message.h"
 #include "dns/name.h"
 #include "dns/rr.h"
@@ -475,6 +476,77 @@ TEST(DnsMessageTest, BufferRoundTripThroughWireAndBack) {
   DnsMessage decoded;
   ASSERT_TRUE(DnsMessage::decode_into(wire, decoded));  // Buffer -> span
   EXPECT_EQ(decoded, msg);
+}
+
+// ------------------------------------- fault-injection shared corpus ----
+// The same seeded mutators the conformance layer's injector applies to live
+// responses (conformance/fault.h): decode_into must reject or survive every
+// corpus member without crashing, and the scratch message must stay reusable
+// for pristine wires afterwards.
+
+TEST(DnsMessageTest, DecodeIntoSurvivesTruncationCorpus) {
+  const std::vector<std::uint8_t> pristine = sample_referral().encode();
+  SplitMix64 rng{conformance::FaultPlan{
+      conformance::FaultKind::kDnsTruncate}.rng_seed()};
+  DnsMessage scratch;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::uint8_t> wire = pristine;
+    conformance::truncate_wire(wire, rng);
+    ASSERT_LT(wire.size(), pristine.size()) << "iteration " << i;
+    (void)DnsMessage::decode_into(wire, scratch);  // must not crash/UB
+    // The scratch stays usable for the next (pristine) decode.
+    ASSERT_TRUE(DnsMessage::decode_into(pristine, scratch)) << "iteration " << i;
+    EXPECT_EQ(scratch, sample_referral());
+  }
+}
+
+TEST(DnsMessageTest, DecodeIntoSurvivesCorruptionCorpus) {
+  const std::vector<std::uint8_t> pristine = sample_referral().encode();
+  SplitMix64 rng{conformance::FaultPlan{
+      conformance::FaultKind::kDnsCorrupt}.rng_seed()};
+  DnsMessage scratch;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::uint8_t> wire = pristine;
+    conformance::corrupt_wire(wire, rng);
+    ASSERT_EQ(wire.size(), pristine.size());
+    if (DnsMessage::decode_into(wire, scratch)) {
+      // A surviving decode must be internally consistent enough to re-encode.
+      (void)scratch.encode();
+    }
+    ASSERT_TRUE(DnsMessage::decode_into(pristine, scratch)) << "iteration " << i;
+  }
+}
+
+TEST(DnsMessageTest, DecodeIntoSurvivesGarbageCorpus) {
+  SplitMix64 rng{12345};
+  DnsMessage scratch;
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<std::uint8_t> junk = conformance::garbage_wire(rng);
+    (void)DnsMessage::decode_into(junk, scratch);  // must not crash/UB
+  }
+  ASSERT_TRUE(DnsMessage::decode_into(sample_referral().encode(), scratch));
+  EXPECT_EQ(scratch, sample_referral());
+}
+
+TEST(DnsMessageTest, MutatorsAreSeedDeterministic) {
+  const std::vector<std::uint8_t> pristine = sample_message().encode();
+  for (const auto kind : {conformance::FaultKind::kDnsTruncate,
+                          conformance::FaultKind::kDnsCorrupt}) {
+    conformance::FaultPlan plan{kind, /*seed=*/9, /*stream=*/3, /*index=*/7};
+    SplitMix64 a{plan.rng_seed()};
+    SplitMix64 b{plan.rng_seed()};
+    std::vector<std::uint8_t> wa = pristine;
+    std::vector<std::uint8_t> wb = pristine;
+    if (kind == conformance::FaultKind::kDnsTruncate) {
+      conformance::truncate_wire(wa, a);
+      conformance::truncate_wire(wb, b);
+    } else {
+      conformance::corrupt_wire(wa, a);
+      conformance::corrupt_wire(wb, b);
+    }
+    EXPECT_EQ(wa, wb) << conformance::fault_kind_name(kind);
+    EXPECT_NE(wa, pristine) << conformance::fault_kind_name(kind);
+  }
 }
 
 TEST(DnsNameTest, DecodePreservesCaseInsensitivity) {
