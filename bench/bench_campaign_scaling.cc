@@ -30,6 +30,7 @@
 #include "campaign/registry.h"
 #include "campaign/runner.h"
 #include "campaign/sink.h"
+#include "campaign/sketch.h"
 #include "campaign/worker_pool.h"
 #include "clients/profiles.h"
 #include "simnet/event_loop.h"
@@ -77,7 +78,14 @@ struct WorkerPoint {
   int workers = 0;
   double wall_ms = 0.0;
   double runs_per_sec = 0.0;
+  double cells_per_sec_per_core = 0.0;  // runs_per_sec / workers
   double speedup = 1.0;
+};
+
+struct CellCostPoint {
+  std::uint64_t cells = 0;
+  double cells_per_sec_per_core = 0.0;  // serial, so per-core by definition
+  double allocs_per_cell = 0.0;         // setup+run+teardown, warm pool
 };
 
 struct EventLoopPoint {
@@ -124,6 +132,41 @@ DataPathPoint measure_datapath(std::uint64_t packets) {
       point.packets > 0 ? static_cast<double>(point.steady_allocs) /
                               static_cast<double>(point.packets)
                         : 0.0;
+  return point;
+}
+
+/// Per-cell lifecycle cost on the small-cell CAD grid: build one world,
+/// run one fetch, tear the world down — repeatedly, on one thread, after a
+/// warm-up that fills the thread's scenario pool (arena chunks, buffer
+/// pools, message pools at their high-water marks). Reports allocations
+/// per cell (the count-based CI gate) and serial cells/sec, which on one
+/// thread IS cells/sec-per-core.
+CellCostPoint measure_cell_cost(testbed::LocalTestbed& bed,
+                                const clients::ClientProfile& profile,
+                                std::uint64_t cells) {
+  constexpr std::uint64_t kWarmup = 16;
+  for (std::uint64_t i = 0; i < kWarmup; ++i) {
+    bed.run_cad_case(profile, ms(50), static_cast<int>(i));
+  }
+
+  const std::uint64_t alloc_before =
+      g_allocations.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    bed.run_cad_case(profile, ms(50), static_cast<int>(kWarmup + i));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const std::uint64_t alloc_after =
+      g_allocations.load(std::memory_order_relaxed);
+
+  CellCostPoint point;
+  point.cells = cells;
+  const double seconds = std::chrono::duration<double>(elapsed).count();
+  point.cells_per_sec_per_core =
+      seconds > 0 ? static_cast<double>(cells) / seconds : 0.0;
+  point.allocs_per_cell =
+      static_cast<double>(alloc_after - alloc_before) /
+      static_cast<double>(cells);
   return point;
 }
 
@@ -174,7 +217,7 @@ EventLoopPoint measure_eventloop(std::uint64_t events) {
 void write_json(const std::string& path, bool smoke, std::size_t cells,
                 const std::vector<WorkerPoint>& points,
                 const EventLoopPoint& ev, const DataPathPoint& dp,
-                int pool_threads) {
+                const CellCostPoint& cc, int pool_threads) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -192,11 +235,19 @@ void write_json(const std::string& path, bool smoke, std::size_t cells,
     const WorkerPoint& p = points[i];
     std::fprintf(f,
                  "    {\"workers\": %d, \"wall_ms\": %.3f, "
-                 "\"runs_per_sec\": %.3f, \"speedup\": %.3f}%s\n",
-                 p.workers, p.wall_ms, p.runs_per_sec, p.speedup,
+                 "\"runs_per_sec\": %.3f, \"cells_per_sec_per_core\": %.3f, "
+                 "\"speedup\": %.3f}%s\n",
+                 p.workers, p.wall_ms, p.runs_per_sec,
+                 p.cells_per_sec_per_core, p.speedup,
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"cell_cost\": {\"cells\": %llu, "
+               "\"cells_per_sec_per_core\": %.1f, "
+               "\"allocs_per_cell\": %.2f},\n",
+               static_cast<unsigned long long>(cc.cells),
+               cc.cells_per_sec_per_core, cc.allocs_per_cell);
   std::fprintf(f,
                "  \"eventloop\": {\"events\": %llu, \"events_per_sec\": %.1f, "
                "\"allocs_per_event\": %.4f},\n",
@@ -252,12 +303,13 @@ int main(int argc, char** argv) {
               smoke ? " (smoke mode)" : "", specs.size(),
               sweep.values().size(), repetitions,
               std::thread::hardware_concurrency());
-  std::printf("%8s %12s %12s %10s\n", "workers", "wall [ms]", "runs/sec",
-              "speedup");
+  std::printf("%8s %12s %12s %16s %10s\n", "workers", "wall [ms]", "runs/sec",
+              "cells/s/core", "speedup");
 
   std::vector<WorkerPoint> points;
   double serial_seconds = 0.0;
   std::string serial_bytes;
+  std::string serial_sketch;
   for (const int workers : worker_counts) {
     campaign::RunnerOptions options;
     options.workers = workers;
@@ -266,10 +318,24 @@ int main(int argc, char** argv) {
 
     std::string bytes;
     bytes.reserve(specs.size() * 48);
-    campaign::CallbackSink<testbed::RunRecord> sink{
+    campaign::CallbackSink<testbed::RunRecord> record_sink{
         [&bytes](const campaign::ScenarioSpec&, testbed::RunRecord record) {
           serialize(record, bytes);
         }};
+    // The streaming sketch folds alongside the byte serialisation in the
+    // same pass; its state doubles as a second determinism witness (bit-
+    // identical P² marker state required at every worker count).
+    campaign::SketchSink<testbed::RunRecord> sketch;
+    sketch.add_metric(
+        "completion_ms",
+        [](const campaign::ScenarioSpec&, const testbed::RunRecord& r) {
+          return std::optional<double>{static_cast<double>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  r.completion_time)
+                  .count()) /
+                                       1000.0};
+        });
+    campaign::TeeSink<testbed::RunRecord> sink{record_sink, sketch};
 
     const auto start = std::chrono::steady_clock::now();
     registry.run(runner, specs, sink);
@@ -280,8 +346,12 @@ int main(int argc, char** argv) {
     if (workers == 1) {
       serial_seconds = seconds;
       serial_bytes = bytes;
+      serial_sketch = sketch.fingerprint();
     } else if (bytes != serial_bytes) {
       std::printf("DETERMINISM VIOLATION at %d workers!\n", workers);
+      return 1;
+    } else if (sketch.fingerprint() != serial_sketch) {
+      std::printf("SKETCH DETERMINISM VIOLATION at %d workers!\n", workers);
       return 1;
     }
 
@@ -289,13 +359,16 @@ int main(int argc, char** argv) {
     point.workers = workers;
     point.wall_ms = seconds * 1e3;
     point.runs_per_sec = specs.size() / seconds;
+    point.cells_per_sec_per_core = point.runs_per_sec / workers;
     point.speedup = serial_seconds / seconds;
     points.push_back(point);
-    std::printf("%8d %12.1f %12.1f %9.2fx\n", workers, point.wall_ms,
-                point.runs_per_sec, point.speedup);
+    std::printf("%8d %12.1f %12.1f %16.1f %9.2fx\n", workers, point.wall_ms,
+                point.runs_per_sec, point.cells_per_sec_per_core,
+                point.speedup);
   }
 
-  std::printf("\nAll worker counts produced byte-identical records "
+  std::printf("\nAll worker counts produced byte-identical records and "
+              "bit-identical sketches "
               "(pool threads started: %d, campaigns served: %llu).\n",
               pool.threads_started(),
               static_cast<unsigned long long>(pool.jobs_run()));
@@ -314,7 +387,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(dp.steady_allocs),
               dp.allocs_per_packet);
 
-  write_json(json_path, smoke, specs.size(), points, ev, dp,
+  const CellCostPoint cc = measure_cell_cost(bed, profile, smoke ? 64 : 256);
+  std::printf("\nCell lifecycle: %llu warm cells, %.0f cells/sec/core, "
+              "%.1f heap allocations per cell (arena + pooled worlds)\n",
+              static_cast<unsigned long long>(cc.cells),
+              cc.cells_per_sec_per_core, cc.allocs_per_cell);
+
+  write_json(json_path, smoke, specs.size(), points, ev, dp, cc,
              pool.threads_started());
 
   // Deterministic smoke gate: the pooled per-packet path must not allocate
@@ -326,6 +405,18 @@ int main(int argc, char** argv) {
                  "over %llu delivered packets (expected 0)\n",
                  static_cast<unsigned long long>(dp.steady_allocs),
                  static_cast<unsigned long long>(dp.packets));
+    return 1;
+  }
+
+  // Per-cell budget: the arena/pool overhaul brought a warm small cell from
+  // ~406 heap allocations down to ~80; the gate holds the 5x win. Count-
+  // based, so 1-core runners and ASan builds gate identically.
+  constexpr double kCellAllocBudget = 96.0;
+  if (cc.allocs_per_cell > kCellAllocBudget) {
+    std::fprintf(stderr,
+                 "PER-CELL ALLOCATION REGRESSION: %.1f heap allocations per "
+                 "warm cell (budget %.0f)\n",
+                 cc.allocs_per_cell, kCellAllocBudget);
     return 1;
   }
   return 0;

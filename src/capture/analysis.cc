@@ -1,6 +1,8 @@
 #include "capture/analysis.h"
 
-#include <map>
+#include <utility>
+
+#include "dns/message_pool.h"
 
 namespace lazyeye::capture {
 
@@ -98,17 +100,35 @@ int distinct_destinations(const std::vector<ConnectionAttempt>& attempts,
 
 std::vector<DnsExchange> dns_exchanges(const PacketCapture& capture) {
   std::vector<DnsExchange> exchanges;
-  // Key: (transaction id, qtype as int) -> index into exchanges.
-  std::map<std::pair<std::uint16_t, std::uint16_t>, std::size_t> open;
+  // Key: (transaction id, qtype as int) -> index into exchanges. A capture
+  // holds a handful of exchanges, so a linear-scanned flat vector beats a
+  // node-per-entry map.
+  struct OpenQuery {
+    std::pair<std::uint16_t, std::uint16_t> key;
+    std::size_t index;
+  };
+  std::vector<OpenQuery> open;
+  const auto find_open =
+      [&](const std::pair<std::uint16_t, std::uint16_t>& k) -> OpenQuery* {
+    for (OpenQuery& o : open) {
+      if (o.key == k) return &o;
+    }
+    return nullptr;
+  };
+  // One pooled scratch message reused across packets (and across captures,
+  // via the thread-local MessagePool): decode_into recycles the section
+  // vectors, so parsing N packets costs far fewer than N decodes' worth of
+  // allocations.
+  dns::PooledMessage pooled;
+  dns::DnsMessage& msg = *pooled;
 
   for (const auto& cp : capture.packets()) {
     if (cp.packet.proto != Protocol::kUdp) continue;
     const bool to_dns = cp.egress() && cp.packet.dst.port == 53;
     const bool from_dns = !cp.egress() && cp.packet.src.port == 53;
     if (!to_dns && !from_dns) continue;
-    auto decoded = dns::DnsMessage::decode(cp.packet.payload);
-    if (!decoded.ok() || decoded.value().questions.empty()) continue;
-    const dns::DnsMessage& msg = decoded.value();
+    if (!dns::DnsMessage::decode_into(cp.packet.payload.span(), msg)) continue;
+    if (msg.questions.empty()) continue;
     const auto key = std::make_pair(
         msg.header.id,
         static_cast<std::uint16_t>(msg.questions.front().type));
@@ -119,12 +139,18 @@ std::vector<DnsExchange> dns_exchanges(const PacketCapture& capture) {
       ex.qtype = msg.questions.front().type;
       ex.qname = msg.questions.front().name;
       ex.transport_family = cp.packet.family();
-      open[key] = exchanges.size();
+      // Re-queries with the same (id, qtype) repoint the entry at the
+      // latest exchange (the old map's operator[] overwrite semantics).
+      if (OpenQuery* existing = find_open(key)) {
+        existing->index = exchanges.size();
+      } else {
+        open.push_back(OpenQuery{key, exchanges.size()});
+      }
       exchanges.push_back(std::move(ex));
     } else if (from_dns && msg.header.qr) {
-      const auto it = open.find(key);
-      if (it == open.end()) continue;
-      DnsExchange& ex = exchanges[it->second];
+      const OpenQuery* it = find_open(key);
+      if (it == nullptr) continue;
+      DnsExchange& ex = exchanges[it->index];
       if (!ex.response_time) {
         ex.response_time = cp.time;
         ex.answer_count = msg.answers.size();
@@ -134,25 +160,38 @@ std::vector<DnsExchange> dns_exchanges(const PacketCapture& capture) {
   return exchanges;
 }
 
-std::optional<SimTime> first_response_time(const PacketCapture& capture,
-                                           dns::RrType qtype) {
-  for (const auto& ex : dns_exchanges(capture)) {
+std::optional<SimTime> first_response_time(
+    const std::vector<DnsExchange>& exchanges, dns::RrType qtype) {
+  for (const auto& ex : exchanges) {
     if (ex.qtype == qtype && ex.response_time) return ex.response_time;
   }
   return std::nullopt;
 }
 
-std::optional<SimTime> a_response_to_v6_syn_gap(const PacketCapture& capture) {
-  const auto a_time = first_response_time(capture, dns::RrType::kA);
+std::optional<SimTime> first_response_time(const PacketCapture& capture,
+                                           dns::RrType qtype) {
+  return first_response_time(dns_exchanges(capture), qtype);
+}
+
+std::optional<SimTime> a_response_to_v6_syn_gap(
+    const PacketCapture& capture,
+    const std::vector<DnsExchange>& exchanges) {
+  const auto a_time = first_response_time(exchanges, dns::RrType::kA);
   const auto v6_syn = first_syn_time(capture, Family::kIpv6);
   if (!a_time || !v6_syn) return std::nullopt;
   if (*v6_syn < *a_time) return std::nullopt;  // v6 SYN did not wait for A
   return *v6_syn - *a_time;
 }
 
-std::optional<SimTime> infer_resolution_delay(const PacketCapture& capture) {
-  const auto a_time = first_response_time(capture, dns::RrType::kA);
-  const auto aaaa_time = first_response_time(capture, dns::RrType::kAaaa);
+std::optional<SimTime> a_response_to_v6_syn_gap(const PacketCapture& capture) {
+  return a_response_to_v6_syn_gap(capture, dns_exchanges(capture));
+}
+
+std::optional<SimTime> infer_resolution_delay(
+    const PacketCapture& capture,
+    const std::vector<DnsExchange>& exchanges) {
+  const auto a_time = first_response_time(exchanges, dns::RrType::kA);
+  const auto aaaa_time = first_response_time(exchanges, dns::RrType::kAaaa);
   const auto v4_syn = first_syn_time(capture, Family::kIpv4);
   if (!a_time || !v4_syn) return std::nullopt;
   // Only meaningful when the v4 connection started before the AAAA answer
@@ -160,6 +199,10 @@ std::optional<SimTime> infer_resolution_delay(const PacketCapture& capture) {
   if (aaaa_time && *aaaa_time <= *v4_syn) return std::nullopt;
   if (*v4_syn < *a_time) return std::nullopt;
   return *v4_syn - *a_time;
+}
+
+std::optional<SimTime> infer_resolution_delay(const PacketCapture& capture) {
+  return infer_resolution_delay(capture, dns_exchanges(capture));
 }
 
 }  // namespace lazyeye::capture

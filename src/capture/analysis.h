@@ -63,6 +63,12 @@ std::optional<SimTime> first_established_time(const PacketCapture& capture);
 std::optional<SimTime> first_response_time(const PacketCapture& capture,
                                            dns::RrType qtype);
 
+/// Same, over a precomputed exchange list (see dns_exchanges). Analysis
+/// passes that need several DNS-derived metrics decode the capture once and
+/// reuse the list instead of re-parsing every packet per metric.
+std::optional<SimTime> first_response_time(
+    const std::vector<DnsExchange>& exchanges, dns::RrType qtype);
+
 /// All egress connection attempts in start order (deduplicated by 4-tuple,
 /// counting SYN retransmissions).
 std::vector<ConnectionAttempt> connection_attempts(
@@ -80,9 +86,15 @@ std::vector<DnsExchange> dns_exchanges(const PacketCapture& capture);
 /// non-null only when the A answer arrived before any v6 SYN. Used to detect
 /// the "waits for A before connecting via IPv6" deviation (§5.2).
 std::optional<SimTime> a_response_to_v6_syn_gap(const PacketCapture& capture);
+std::optional<SimTime> a_response_to_v6_syn_gap(
+    const PacketCapture& capture,
+    const std::vector<DnsExchange>& exchanges);
 
 /// Resolution Delay inference: gap between the A response arrival and the
 /// first IPv4 SYN when the AAAA answer never arrived before it.
 std::optional<SimTime> infer_resolution_delay(const PacketCapture& capture);
+std::optional<SimTime> infer_resolution_delay(
+    const PacketCapture& capture,
+    const std::vector<DnsExchange>& exchanges);
 
 }  // namespace lazyeye::capture

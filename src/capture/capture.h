@@ -1,9 +1,17 @@
 // Packet capture: a host tap that records every packet with its virtual
 // timestamp (the simulated equivalent of tcpdump on the client node,
 // paper §4.3 (i)).
+//
+// Recorded payload bytes are copied into blocks borrowed from the owning
+// Network's BufferPool, and the packet list grows from the Network's memory
+// resource — in an arena-backed cell world the whole capture costs nothing
+// on the global heap once the lease is warm. Copies handed out (filter())
+// are deep and unpooled, so they may outlive the world.
 #pragma once
 
 #include <functional>
+#include <memory_resource>
+#include <span>
 #include <vector>
 
 #include "simnet/host.h"
@@ -31,10 +39,10 @@ class PacketCapture {
   void stop() { running_ = false; }
   void clear() { packets_.clear(); }
 
-  const std::vector<CapturedPacket>& packets() const { return packets_; }
+  std::span<const CapturedPacket> packets() const { return packets_; }
   std::size_t size() const { return packets_.size(); }
 
-  /// Returns packets matching a predicate.
+  /// Returns packets matching a predicate (deep, unpooled copies).
   std::vector<CapturedPacket> filter(
       const std::function<bool(const CapturedPacket&)>& pred) const;
 
@@ -42,7 +50,7 @@ class PacketCapture {
   simnet::Host& host_;
   int tap_id_ = 0;
   bool running_ = true;
-  std::vector<CapturedPacket> packets_;
+  std::pmr::vector<CapturedPacket> packets_;
 };
 
 }  // namespace lazyeye::capture

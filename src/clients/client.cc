@@ -6,20 +6,31 @@ namespace lazyeye::clients {
 
 using transport::TransportProtocol;
 
+namespace {
+
+dns::StubOptions apply_profile(dns::StubOptions resolver,
+                               const ClientProfile& profile) {
+  resolver.timeout = profile.dns_timeout;
+  resolver.attempts_per_server = profile.dns_attempts;
+  return resolver;
+}
+
+}  // namespace
+
 SimulatedClient::SimulatedClient(simnet::Host& host, ClientProfile profile,
                                  dns::StubOptions resolver, std::uint64_t seed)
-    : host_{host}, profile_{std::move(profile)}, rng_{seed} {
-  resolver.timeout = profile_.dns_timeout;
-  resolver.attempts_per_server = profile_.dns_attempts;
-  tcp_ = std::make_unique<transport::TcpStack>(host_);
-  quic_ = std::make_unique<transport::QuicStack>(host_);
-  stub_ = std::make_unique<dns::StubResolver>(host_, std::move(resolver));
-  engine_ = std::make_unique<he::HappyEyeballsEngine>(host_, *stub_, *tcp_,
-                                                      quic_.get());
-  engine_->set_options(profile_.options);
+    : host_{host},
+      profile_{std::move(profile)},
+      rng_{seed},
+      tcp_{host},
+      quic_{host},
+      stub_{host, apply_profile(std::move(resolver), profile_)},
+      engine_{host, stub_, tcp_, &quic_},
+      pending_{host.network().memory()} {
+  engine_.set_options(profile_.options);
 
   // Route response data back to the owning fetch.
-  tcp_->set_data_handler(
+  tcp_.set_data_handler(
       [this](std::uint64_t conn_id, std::span<const std::uint8_t> data) {
         const auto it = pending_.find(conn_id);
         if (it == pending_.end()) return;
@@ -30,9 +41,9 @@ SimulatedClient::SimulatedClient(simnet::Host& host, ClientProfile profile,
         result.connection = std::move(fetch.connection);
         result.response_received = true;
         result.response.assign(data.begin(), data.end());
-        fetch.handler(result);
+        fetch.handler(std::move(result));
       });
-  quic_->set_data_handler(
+  quic_.set_data_handler(
       [this](std::uint64_t conn_id, std::span<const std::uint8_t> data) {
         // QUIC connection ids share the key space via offset (see fetch()).
         const auto it = pending_.find(conn_id | (1ULL << 63));
@@ -44,13 +55,13 @@ SimulatedClient::SimulatedClient(simnet::Host& host, ClientProfile profile,
         result.connection = std::move(fetch.connection);
         result.response_received = true;
         result.response.assign(data.begin(), data.end());
-        fetch.handler(result);
+        fetch.handler(std::move(result));
       });
 }
 
 void SimulatedClient::reset_state() {
-  engine_->cache().clear();
-  engine_->set_smoothed_rtt(std::nullopt);
+  engine_.cache().clear();
+  engine_.set_smoothed_rtt(std::nullopt);
 }
 
 void SimulatedClient::configure_session_options() {
@@ -70,35 +81,36 @@ void SimulatedClient::configure_session_options() {
     const double log_max = std::log(500.0);  // 500 ms
     const double sample_ms =
         std::exp(log_min + (log_max - log_min) * rng_.next_double());
-    engine_->set_smoothed_rtt(lazyeye::ms_f(sample_ms));
+    engine_.set_smoothed_rtt(lazyeye::ms_f(sample_ms));
   }
   // In lab conditions the dynamic CAD stays configured, but reset_state()
   // cleared the history, so the no-history default (Safari: 2 s) applies.
-  engine_->set_options(std::move(options));
+  engine_.set_options(std::move(options));
 }
 
 void SimulatedClient::fetch(const dns::DnsName& hostname, std::uint16_t port,
                             FetchHandler handler) {
   configure_session_options();
-  engine_->connect(
+  engine_.connect(
       hostname, port,
-      [this, handler = std::move(handler)](const he::HeResult& result) {
+      [this, handler = std::move(handler)](he::HeResult result) {
         if (!result.ok) {
           FetchResult out;
-          out.connection = result;
-          handler(out);
+          out.connection = std::move(result);
+          handler(std::move(out));
           return;
         }
         // Issue the request over the winning transport; the response comes
         // back through the stack's data handler.
         const std::string request = "GET /";
-        const std::uint64_t key =
-            result.proto == TransportProtocol::kQuic
-                ? (result.connection_id | (1ULL << 63))
-                : result.connection_id;
+        const auto proto = result.proto;
+        const std::uint64_t conn_id = result.connection_id;
+        const std::uint64_t key = proto == TransportProtocol::kQuic
+                                      ? (conn_id | (1ULL << 63))
+                                      : conn_id;
         PendingFetch fetch;
         fetch.handler = handler;
-        fetch.connection = result;
+        fetch.connection = std::move(result);
         fetch.response_timer = host_.network().loop().schedule_after(
             lazyeye::sec(10), [this, key] {
               const auto it = pending_.find(key);
@@ -108,15 +120,15 @@ void SimulatedClient::fetch(const dns::DnsName& hostname, std::uint16_t port,
               FetchResult out;
               out.connection = std::move(timed_out.connection);
               out.response_received = false;
-              timed_out.handler(out);
+              timed_out.handler(std::move(out));
             });
         pending_.emplace(key, std::move(fetch));
 
         std::vector<std::uint8_t> payload{request.begin(), request.end()};
-        if (result.proto == TransportProtocol::kQuic) {
-          quic_->send_data(result.connection_id, std::move(payload));
+        if (proto == TransportProtocol::kQuic) {
+          quic_.send_data(conn_id, std::move(payload));
         } else {
-          tcp_->send_data(result.connection_id, std::move(payload));
+          tcp_.send_data(conn_id, std::move(payload));
         }
       });
 }

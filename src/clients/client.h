@@ -5,7 +5,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <memory_resource>
 
 #include "clients/profiles.h"
 #include "dns/stub_resolver.h"
@@ -28,15 +30,17 @@ struct FetchResult {
 
 class SimulatedClient {
  public:
-  using FetchHandler = std::function<void(const FetchResult&)>;
+  // By value so completed fetches move the result (trace included) to the
+  // caller; handlers taking `const FetchResult&` still bind unchanged.
+  using FetchHandler = std::function<void(FetchResult)>;
 
   /// `resolver` configures where the client's stub resolver points.
   SimulatedClient(simnet::Host& host, ClientProfile profile,
                   dns::StubOptions resolver, std::uint64_t seed = 1);
 
   const ClientProfile& profile() const { return profile_; }
-  he::HappyEyeballsEngine& engine() { return *engine_; }
-  transport::TcpStack& tcp() { return *tcp_; }
+  he::HappyEyeballsEngine& engine() { return engine_; }
+  transport::TcpStack& tcp() { return tcp_; }
 
   /// Emulates real-world ("web") conditions: Safari's dynamic CAD engages
   /// via RTT history instead of the 2 s lab default.
@@ -57,10 +61,13 @@ class SimulatedClient {
   simnet::Host& host_;
   ClientProfile profile_;
   Rng rng_;
-  std::unique_ptr<transport::TcpStack> tcp_;
-  std::unique_ptr<transport::QuicStack> quic_;
-  std::unique_ptr<dns::StubResolver> stub_;
-  std::unique_ptr<he::HappyEyeballsEngine> engine_;
+  // Direct members (declaration order = construction order the engine
+  // needs); an arena-created client carries them inline, so building one
+  // costs no separate heap blocks.
+  transport::TcpStack tcp_;
+  transport::QuicStack quic_;
+  dns::StubResolver stub_;
+  he::HappyEyeballsEngine engine_;
   bool web_conditions_ = false;
 
   struct PendingFetch {
@@ -68,7 +75,8 @@ class SimulatedClient {
     he::HeResult connection;
     simnet::TimerId response_timer;
   };
-  std::map<std::uint64_t, PendingFetch> pending_;  // by connection id+proto key
+  // by connection id+proto key; nodes from the world's arena
+  std::pmr::map<std::uint64_t, PendingFetch> pending_;
   std::uint64_t next_fetch_key_ = 1;
 };
 

@@ -86,34 +86,40 @@ namespace {
 /// DNS, the fault injector attached to the server's stacks, capture on the
 /// client node. Mirrors testbed::build_scenario, plus the injector.
 struct World {
-  simnet::Network net;
+  // Lease first: released (arena reset) after every raw pointer below is
+  // dead. The arena destroys capture, client, injector, servers, then the
+  // Network — the same reverse-creation order the old unique_ptr members
+  // produced.
+  simnet::WorldLease lease;
+  simnet::Network* net = nullptr;
   simnet::Host* client_host = nullptr;
   simnet::Host* server_host = nullptr;
-  std::unique_ptr<transport::TcpStack> server_tcp;
-  std::unique_ptr<transport::QuicStack> server_quic;
-  std::unique_ptr<dns::AuthServer> auth;
-  std::unique_ptr<FaultInjector> injector;
-  std::unique_ptr<clients::SimulatedClient> client;
-  std::unique_ptr<capture::PacketCapture> capture;
+  transport::TcpStack* server_tcp = nullptr;
+  transport::QuicStack* server_quic = nullptr;
+  dns::AuthServer* auth = nullptr;
+  FaultInjector* injector = nullptr;
+  clients::SimulatedClient* client = nullptr;
+  capture::PacketCapture* capture = nullptr;
   dns::DnsName name;
-
-  explicit World(std::uint64_t seed) : net{seed} {}
 };
 
 std::unique_ptr<World> build_world(const clients::ClientProfile& profile,
                                    const ConformanceOptions& options,
                                    const FaultPlan& plan,
                                    std::uint64_t cell_seed) {
-  auto w = std::make_unique<World>(options.seed * 7919 + cell_seed);
+  auto w = std::make_unique<World>();
+  simnet::Arena& arena = w->lease.arena();
+  w->net = arena.create<simnet::Network>(w->lease.memory(),
+                                         options.seed * 7919 + cell_seed);
 
-  w->server_host = &w->net.add_host("server");
+  w->server_host = &w->net->add_host("server");
   w->server_host->add_address(IpAddress::must_parse("10.0.0.80"));
   w->server_host->add_address(IpAddress::must_parse("2001:db8::80"));
-  w->client_host = &w->net.add_host("client");
+  w->client_host = &w->net->add_host("client");
   w->client_host->add_address(IpAddress::must_parse("10.0.0.2"));
   w->client_host->add_address(IpAddress::must_parse("2001:db8::2"));
 
-  w->server_tcp = std::make_unique<transport::TcpStack>(*w->server_host);
+  w->server_tcp = arena.create<transport::TcpStack>(*w->server_host);
   w->server_tcp->listen(443, [](std::uint64_t, const simnet::Endpoint&) {});
   w->server_tcp->set_data_handler(
       [wp = w.get()](std::uint64_t conn_id, std::span<const std::uint8_t>) {
@@ -121,7 +127,7 @@ std::unique_ptr<World> build_world(const clients::ClientProfile& profile,
         wp->server_tcp->send_data(
             conn_id, std::vector<std::uint8_t>{body.begin(), body.end()});
       });
-  w->server_quic = std::make_unique<transport::QuicStack>(*w->server_host);
+  w->server_quic = arena.create<transport::QuicStack>(*w->server_host);
   w->server_quic->listen(443);
   w->server_quic->set_data_handler(
       [wp = w.get()](std::uint64_t conn_id, std::span<const std::uint8_t>) {
@@ -130,7 +136,7 @@ std::unique_ptr<World> build_world(const clients::ClientProfile& profile,
             conn_id, std::vector<std::uint8_t>{body.begin(), body.end()});
       });
 
-  w->auth = std::make_unique<dns::AuthServer>(*w->server_host);
+  w->auth = arena.create<dns::AuthServer>(*w->server_host);
   dns::Zone& zone = w->auth->add_zone(dns::DnsName::must_parse("conf.lab"));
 
   const auto nonce =
@@ -148,18 +154,18 @@ std::unique_ptr<World> build_world(const clients::ClientProfile& profile,
                                "2001:db8:dead::%d", i)));
   }
 
-  w->injector = std::make_unique<FaultInjector>(plan);
+  w->injector = arena.create<FaultInjector>(plan);
   w->injector->attach(*w->auth);
   w->injector->attach(*w->server_tcp);
   w->injector->attach(*w->server_quic);
 
   dns::StubOptions stub_options;
   stub_options.servers = {{IpAddress::must_parse("10.0.0.80"), 53}};
-  w->client = std::make_unique<clients::SimulatedClient>(
+  w->client = arena.create<clients::SimulatedClient>(
       *w->client_host, profile, stub_options, options.seed * 31 + cell_seed);
   w->client->reset_state();  // fresh container per cell
 
-  w->capture = std::make_unique<capture::PacketCapture>(*w->client_host);
+  w->capture = arena.create<capture::PacketCapture>(*w->client_host);
   return w;
 }
 
@@ -183,18 +189,18 @@ ConformanceRecord ConformanceHarness::run_spec(
   // The restart (second fetch) runs in the same client session — no
   // reset_state() — so the engine's RFC 6555 §4.1 winner cache applies and
   // the restart-cache rule can observe whether DNS is re-queried.
-  w->client->fetch(w->name, 443, [&](const clients::FetchResult& r) {
+  w->client->fetch(w->name, 443, [&](clients::FetchResult r) {
     first_fetch = r;
-    last_fetch = r;
+    last_fetch = std::move(r);
     first_done = true;
-    first_completed = w->net.loop().now();
+    first_completed = w->net->loop().now();
     if (cell->fetches >= 2) {
-      w->client->fetch(w->name, 443, [&](const clients::FetchResult& r2) {
-        last_fetch = r2;
+      w->client->fetch(w->name, 443, [&](clients::FetchResult r2) {
+        last_fetch = std::move(r2);
       });
     }
   });
-  w->net.loop().run();
+  w->net->loop().run();
 
   RuleContext ctx;
   ctx.fetches = cell->fetches;
@@ -209,9 +215,10 @@ ConformanceRecord ConformanceHarness::run_spec(
   ctx.attempts = capture::connection_attempts(cap);
   ctx.established = capture::established_family(cap);
   ctx.established_time = capture::first_established_time(cap);
-  ctx.first_a_response = capture::first_response_time(cap, dns::RrType::kA);
+  // ctx.dns already decoded every DNS packet once; reuse it.
+  ctx.first_a_response = capture::first_response_time(ctx.dns, dns::RrType::kA);
   ctx.first_aaaa_response =
-      capture::first_response_time(cap, dns::RrType::kAaaa);
+      capture::first_response_time(ctx.dns, dns::RrType::kAaaa);
   ctx.first_v4_syn = capture::first_syn_time(cap, Family::kIpv4);
   ctx.first_v6_syn = capture::first_syn_time(cap, Family::kIpv6);
 

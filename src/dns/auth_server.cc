@@ -1,19 +1,28 @@
 #include "dns/auth_server.h"
 
+#include "dns/message_pool.h"
 #include "util/log.h"
 #include "util/strings.h"
 
 namespace lazyeye::dns {
 
 AuthServer::AuthServer(simnet::Host& host, std::uint16_t port)
-    : host_{host}, port_{port} {
+    : host_{host},
+      port_{port},
+      query_scratch_{MessagePool::local().acquire()},
+      response_scratch_{MessagePool::local().acquire()} {
   host_.udp_bind(port_, [this](const simnet::Packet& p) { on_query(p); });
 }
 
-AuthServer::~AuthServer() { host_.udp_unbind(port_); }
+AuthServer::~AuthServer() {
+  host_.udp_unbind(port_);
+  MessagePool::local().release(std::move(query_scratch_));
+  MessagePool::local().release(std::move(response_scratch_));
+}
 
 Zone& AuthServer::add_zone(DnsName origin) {
-  zones_.push_back(std::make_unique<Zone>(std::move(origin)));
+  zones_.push_back(std::make_unique<Zone>(std::move(origin),
+                                          host_.network().memory()));
   return *zones_.back();
 }
 
@@ -91,6 +100,31 @@ SimTime AuthServer::response_delay(const DnsName& qname, RrType qtype) const {
   return total;
 }
 
+namespace {
+
+/// Appends records to a response section by assigning over retained elements
+/// (copy-assignment reuses name/rdata storage); finish() trims the excess.
+/// Replaces clear()+push_back, which destroyed the recycled elements first.
+class SectionWriter {
+ public:
+  explicit SectionWriter(std::vector<ResourceRecord>& out) : out_{out} {}
+  void put(const ResourceRecord& rr) {
+    if (n_ == out_.size()) {
+      out_.push_back(rr);
+    } else {
+      out_[n_] = rr;
+    }
+    ++n_;
+  }
+  void finish() { out_.resize(n_); }
+
+ private:
+  std::vector<ResourceRecord>& out_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace
+
 void AuthServer::build_response(const DnsMessage& query,
                                 DnsMessage& response) {
   const Question& q = query.questions.front();
@@ -101,9 +135,14 @@ void AuthServer::build_response(const DnsMessage& query,
   response.header.qr = true;
   response.header.rd = query.header.rd;
   response.questions = query.questions;
-  response.answers.clear();
-  response.authorities.clear();
-  response.additionals.clear();
+  SectionWriter answers{response.answers};
+  SectionWriter authorities{response.authorities};
+  SectionWriter additionals{response.additionals};
+  const auto seal = [&] {
+    answers.finish();
+    authorities.finish();
+    additionals.finish();
+  };
 
   // Find the most specific zone containing the qname.
   const Zone* best = nullptr;
@@ -116,7 +155,7 @@ void AuthServer::build_response(const DnsMessage& query,
   }
   if (best == nullptr) {
     response.header.rcode = Rcode::kRefused;
-    return;
+    return seal();
   }
 
   response.header.aa = true;
@@ -124,42 +163,40 @@ void AuthServer::build_response(const DnsMessage& query,
   // Pointer-based zone lookup into a reused scratch: each record is copied
   // exactly once, straight into its response section, instead of through an
   // intermediate LookupResult vector per response.
-  DnsName current = q.name;
+  chase_scratch_ = q.name;
   for (int chase = 0; chase < 8; ++chase) {
-    best->lookup_into(current, q.type, lookup_scratch_);
+    best->lookup_into(chase_scratch_, q.type, lookup_scratch_);
     const Zone::LookupRefs& result = lookup_scratch_;
     switch (result.kind) {
       case Zone::RcodeKind::kAnswer:
-        for (const auto* rr : result.records) response.answers.push_back(*rr);
-        return;
+        for (const auto* rr : result.records) answers.put(*rr);
+        return seal();
       case Zone::RcodeKind::kCname: {
-        response.answers.push_back(*result.records.front());
-        current = std::get<CnameRdata>(result.records.front()->rdata).target;
-        if (!current.is_subdomain_of(best->origin())) return;
+        answers.put(*result.records.front());
+        chase_scratch_ =
+            std::get<CnameRdata>(result.records.front()->rdata).target;
+        if (!chase_scratch_.is_subdomain_of(best->origin())) return seal();
         continue;
       }
       case Zone::RcodeKind::kDelegation:
         response.header.aa = false;
-        for (const auto* rr : result.records) {
-          response.authorities.push_back(*rr);
-        }
-        for (const auto* rr : result.additional) {
-          response.additionals.push_back(*rr);
-        }
-        return;
+        for (const auto* rr : result.records) authorities.put(*rr);
+        for (const auto* rr : result.additional) additionals.put(*rr);
+        return seal();
       case Zone::RcodeKind::kNoData:
-        if (result.soa) response.authorities.push_back(*result.soa);
-        return;
+        if (result.soa) authorities.put(*result.soa);
+        return seal();
       case Zone::RcodeKind::kNxDomain:
         response.header.rcode = Rcode::kNxDomain;
-        if (result.soa) response.authorities.push_back(*result.soa);
-        return;
+        if (result.soa) authorities.put(*result.soa);
+        return seal();
       case Zone::RcodeKind::kNotInZone:
         response.header.rcode = Rcode::kRefused;
-        return;
+        return seal();
     }
   }
   // CNAME chain too long; respond with what we have.
+  seal();
 }
 
 }  // namespace lazyeye::dns

@@ -93,9 +93,12 @@ class AuthServer {
   std::uint64_t queries_received_ = 0;
   ResponseInterposer interposer_;
   // Decode/encode scratch reused across queries (single-threaded per host).
+  // The message envelopes check out of the thread-local MessagePool so their
+  // capacity survives this server's world.
   DnsMessage query_scratch_;
   DnsMessage response_scratch_;
   Zone::LookupRefs lookup_scratch_;
+  DnsName chase_scratch_;  // CNAME-chase cursor, capacity reused per response
   NameCompressor compressor_;
 };
 

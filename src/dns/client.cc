@@ -1,8 +1,19 @@
 #include "dns/client.h"
 
+#include "dns/message_pool.h"
+
 namespace lazyeye::dns {
 
-DnsClient::DnsClient(simnet::Host& host) : host_{host} {}
+DnsClient::DnsClient(simnet::Host& host)
+    : host_{host},
+      transactions_{host.network().memory()},
+      query_scratch_{MessagePool::local().acquire()},
+      response_scratch_{MessagePool::local().acquire()} {}
+
+DnsClient::~DnsClient() {
+  MessagePool::local().release(std::move(query_scratch_));
+  MessagePool::local().release(std::move(response_scratch_));
+}
 
 std::uint64_t DnsClient::query(const simnet::Endpoint& server,
                                const DnsName& name, RrType type,
@@ -91,10 +102,7 @@ void DnsClient::on_datagram(std::uint64_t handle,
   // Swap the decoded message out against a pooled envelope: the scratch gets
   // recycled capacity for the next decode instead of re-growing, and
   // finish() returns the outcome's message to the pool afterwards.
-  if (!response_pool_.empty()) {
-    outcome.response = std::move(response_pool_.back());
-    response_pool_.pop_back();
-  }
+  outcome.response = MessagePool::local().acquire();
   std::swap(outcome.response, response_scratch_);
   if (!outcome.ok) outcome.error = rcode_name(outcome.rcode);
   finish(handle, std::move(outcome));
@@ -122,15 +130,9 @@ void DnsClient::finish(std::uint64_t handle, QueryOutcome outcome) {
   host_.udp_unbind(it->second.local_port);
   transactions_.erase(it);
   handler(outcome);
-  // The handler received a const ref; reclaim the response envelope with
-  // its sections cleared but their capacity kept.
-  if (response_pool_.size() < kResponsePoolCap) {
-    outcome.response.questions.clear();
-    outcome.response.answers.clear();
-    outcome.response.authorities.clear();
-    outcome.response.additionals.clear();
-    response_pool_.push_back(std::move(outcome.response));
-  }
+  // The handler received a const ref; reclaim the response envelope —
+  // contents and all, since decode_into() assigns sections in place.
+  MessagePool::local().release(std::move(outcome.response));
 }
 
 }  // namespace lazyeye::dns

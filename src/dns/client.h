@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory_resource>
 #include <string>
 
 #include "dns/message.h"
@@ -34,6 +35,10 @@ class DnsClient {
   using Handler = std::function<void(const QueryOutcome&)>;
 
   explicit DnsClient(simnet::Host& host);
+  ~DnsClient();
+
+  DnsClient(const DnsClient&) = delete;
+  DnsClient& operator=(const DnsClient&) = delete;
 
   /// Sends `question` to `server`; the source address is the host's address
   /// matching the server's family. Returns a transaction handle (0 on
@@ -70,19 +75,19 @@ class DnsClient {
   void finish(std::uint64_t handle, QueryOutcome outcome);
 
   simnet::Host& host_;
-  std::map<std::uint64_t, Transaction> transactions_;
+  // Node storage from the world's arena: transaction churn lands on retained
+  // chunks instead of the global heap.
+  std::pmr::map<std::uint64_t, Transaction> transactions_;
   std::uint64_t next_handle_ = 1;
   // Scratch reused across sends/receives (single-threaded per host): the
   // query envelope, the name-compression table, and the decode target keep
   // their capacity, so a steady-state query round trip barely allocates.
+  // Checked out of the thread-local MessagePool so the capacity also
+  // survives this client's world: consecutive cells on a worker thread
+  // reuse the same section/label storage instead of re-growing it.
   DnsMessage query_scratch_;
   DnsMessage response_scratch_;
   NameCompressor compressor_;
-  // Recycled QueryOutcome::response envelopes: the handler only sees a
-  // const ref, so finish() reclaims the message (capacity kept) once it
-  // returns — steady-state outcomes stop materialising a fresh message.
-  static constexpr std::size_t kResponsePoolCap = 4;
-  std::vector<DnsMessage> response_pool_;
 };
 
 }  // namespace lazyeye::dns

@@ -26,7 +26,7 @@ void encode_record(const ResourceRecord& rr, ByteWriter& w,
 }
 
 bool decode_record(ByteReader& r, ResourceRecord& rr) {
-  rr.name = DnsName::decode(r);
+  DnsName::decode_into(r, rr.name);
   const std::uint16_t type = r.u16();
   const std::uint16_t klass = r.u16();
   rr.ttl = r.u32();
@@ -113,10 +113,10 @@ const char* decode_message(std::span<const std::uint8_t> wire,
                            DnsMessage& msg) {
   ByteReader r{wire};
   msg.header = DnsHeader{};
-  msg.questions.clear();
-  msg.answers.clear();
-  msg.authorities.clear();
-  msg.additionals.clear();
+  // Sections are *resized* to the wire counts, not cleared: surviving
+  // elements (and the name/label buffers inside them) are decoded into in
+  // place, so a scratch DnsMessage parses packet after packet without
+  // allocating once its high-water capacity is reached.
 
   msg.header.id = r.u16();
   const std::uint16_t flags = r.u16();
@@ -134,34 +134,29 @@ const char* decode_message(std::span<const std::uint8_t> wire,
   const std::uint16_t arcount = r.u16();
   if (!r.ok()) return "truncated header";
 
-  for (int i = 0; i < qdcount; ++i) {
-    Question q;
-    q.name = DnsName::decode(r);
+  msg.questions.resize(qdcount);
+  for (Question& q : msg.questions) {
+    DnsName::decode_into(r, q.name);
     q.type = static_cast<RrType>(r.u16());
     r.u16();  // class
     if (!r.ok()) return "truncated question";
-    msg.questions.push_back(std::move(q));
   }
 
   auto read_section = [&](std::vector<ResourceRecord>& out,
-                          std::uint16_t count, const char* what) -> bool {
-    for (int i = 0; i < count; ++i) {
-      ResourceRecord rr;
-      if (!decode_record(r, rr)) {
-        (void)what;
-        return false;
-      }
-      out.push_back(std::move(rr));
+                          std::uint16_t count) -> bool {
+    out.resize(count);
+    for (ResourceRecord& rr : out) {
+      if (!decode_record(r, rr)) return false;
     }
     return true;
   };
-  if (!read_section(msg.answers, ancount, "answer")) {
+  if (!read_section(msg.answers, ancount)) {
     return "truncated answer section";
   }
-  if (!read_section(msg.authorities, nscount, "authority")) {
+  if (!read_section(msg.authorities, nscount)) {
     return "truncated authority section";
   }
-  if (!read_section(msg.additionals, arcount, "additional")) {
+  if (!read_section(msg.additionals, arcount)) {
     return "truncated additional section";
   }
   return nullptr;
@@ -211,22 +206,30 @@ bool DnsMessage::has_answer_for(const DnsName& name, RrType type) const {
 std::vector<simnet::IpAddress> DnsMessage::addresses_for(const DnsName& name,
                                                          RrType type) const {
   std::vector<simnet::IpAddress> out;
-  DnsName current = name;
+  addresses_for_into(name, type, out);
+  return out;
+}
+
+void DnsMessage::addresses_for_into(const DnsName& name, RrType type,
+                                    std::vector<simnet::IpAddress>& out) const {
+  out.clear();
+  // Chase the cursor by pointer: CNAME targets live in the answer section, so
+  // no per-hop DnsName copy is needed.
+  const DnsName* current = &name;
   // Chase CNAMEs inside the message (bounded by the answer count).
   for (std::size_t hops = 0; hops <= answers.size(); ++hops) {
     bool chased = false;
     for (const auto& rr : answers) {
-      if (rr.name != current) continue;
+      if (rr.name != *current) continue;
       if (rr.type == type) {
         if (const auto addr = rr.address()) out.push_back(*addr);
       } else if (const auto* cn = std::get_if<CnameRdata>(&rr.rdata)) {
-        current = cn->target;
+        current = &cn->target;
         chased = true;
       }
     }
     if (!chased || !out.empty()) break;
   }
-  return out;
 }
 
 std::string DnsMessage::summary() const {

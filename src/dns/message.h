@@ -95,6 +95,11 @@ struct DnsMessage {
   std::vector<simnet::IpAddress> addresses_for(const DnsName& name,
                                                RrType type) const;
 
+  /// As addresses_for, but fills a caller-owned vector (cleared first) so a
+  /// reused scratch keeps its capacity across responses.
+  void addresses_for_into(const DnsName& name, RrType type,
+                          std::vector<simnet::IpAddress>& out) const;
+
   std::string summary() const;
 };
 

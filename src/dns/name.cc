@@ -16,15 +16,31 @@ Result<DnsName> DnsName::from_string(std::string_view text) {
   DnsName name;
   if (text.empty() || text == ".") return name;
   if (text.back() == '.') text.remove_suffix(1);
-  for (const std::string& raw : lazyeye::split(text, '.')) {
+  const char* error = nullptr;
+  lazyeye::for_each_split(text, '.', [&](std::string_view raw) {
     if (raw.empty()) {
-      return Result<DnsName>::failure("empty label in name: " +
-                                      std::string{text});
+      error = "empty label in name";
+      return false;
     }
     if (raw.size() > kMaxLabel) {
-      return Result<DnsName>::failure("label longer than 63 octets");
+      error = "label longer than 63 octets";
+      return false;
     }
-    name.labels_.push_back(lazyeye::to_lower(raw));
+    // Lowercase straight into the stored label: one string per label, no
+    // split()/to_lower() intermediates.
+    std::string& label = name.labels_.emplace_back();
+    label.reserve(raw.size());
+    for (const char c : raw) {
+      label.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a')
+                                           : c);
+    }
+    return true;
+  });
+  if (error != nullptr) {
+    std::string detail{error};
+    detail.append(": ");
+    detail.append(text);
+    return Result<DnsName>::failure(std::move(detail));
   }
   if (name.wire_length() > kMaxName) {
     return Result<DnsName>::failure("name longer than 255 octets");
@@ -71,6 +87,15 @@ DnsName DnsName::prepend(std::string_view label) const {
   p.labels_.push_back(lazyeye::to_lower(label));
   p.labels_.insert(p.labels_.end(), labels_.begin(), labels_.end());
   return p;
+}
+
+void DnsName::assign_tail(const DnsName& src, std::size_t skip) {
+  // vector::assign copy-assigns over retained elements, so warm label
+  // strings recycle their buffers. Self-assignment (src == *this) would
+  // alias; callers never do that, and the skip==0 whole-copy case is safe
+  // via operator= anyway.
+  labels_.assign(src.labels_.begin() + static_cast<std::ptrdiff_t>(skip),
+                 src.labels_.end());
 }
 
 DnsName DnsName::concat(const DnsName& suffix) const {
@@ -128,40 +153,53 @@ void DnsName::encode(ByteWriter& w, NameCompressor* compression) const {
 
 DnsName DnsName::decode(ByteReader& r) {
   DnsName name;
+  decode_into(r, name);
+  return name;
+}
+
+void DnsName::decode_into(ByteReader& r, DnsName& out) {
   int jumps = 0;
   std::optional<std::size_t> resume;  // position after the first pointer
   std::size_t total = 0;
+  std::size_t count = 0;  // labels written so far (slots below reused)
+
+  const auto fail = [&] {
+    out.labels_.clear();
+  };
 
   for (;;) {
     const std::uint8_t len = r.u8();
-    if (!r.ok()) return {};
+    if (!r.ok()) return fail();
     if ((len & 0xC0) == 0xC0) {
       const std::uint8_t low = r.u8();
-      if (!r.ok()) return {};
+      if (!r.ok()) return fail();
       if (++jumps > kMaxPointerJumps) {
         r.mark_bad();
-        return {};
+        return fail();
       }
       if (!resume) resume = r.pos();
       r.seek(static_cast<std::size_t>((len & 0x3F) << 8 | low));
-      if (!r.ok()) return {};
+      if (!r.ok()) return fail();
       continue;
     }
     if ((len & 0xC0) != 0) {  // 0x40/0x80 label types are unsupported
       r.mark_bad();
-      return {};
+      return fail();
     }
     if (len == 0) break;
     total += 1 + len;
     if (total > kMaxName) {
       r.mark_bad();
-      return {};
+      return fail();
     }
     // Lower-case straight off the wire view — no intermediate std::string
-    // temporaries (most labels then land in the stored string's SSO).
+    // temporaries (most labels then land in the stored string's SSO), and
+    // existing label slots are assigned in place so their buffers recycle.
     const std::span<const std::uint8_t> raw = r.view(len);
-    if (!r.ok()) return {};
-    std::string& label = name.labels_.emplace_back();
+    if (!r.ok()) return fail();
+    if (count == out.labels_.size()) out.labels_.emplace_back();
+    std::string& label = out.labels_[count++];
+    label.clear();
     label.reserve(raw.size());
     for (const std::uint8_t c : raw) {
       label.push_back(
@@ -169,9 +207,9 @@ DnsName DnsName::decode(ByteReader& r) {
                                : static_cast<char>(c));
     }
   }
+  out.labels_.resize(count);
 
   if (resume) r.seek(*resume);
-  return name;
 }
 
 }  // namespace lazyeye::dns

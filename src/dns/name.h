@@ -85,6 +85,11 @@ class DnsName {
   /// Concatenation: this.labels + suffix.labels.
   DnsName concat(const DnsName& suffix) const;
 
+  /// Makes this name `src` with its first `skip` labels removed, reusing
+  /// this name's label storage (no allocation once warm). skip must be
+  /// <= src.label_count().
+  void assign_tail(const DnsName& src, std::size_t skip);
+
   /// Encodes at the current writer position. If `compression` is non-null,
   /// uses/records pointer targets (offsets must fit 14 bits to be recorded);
   /// the name must then outlive the compressor's current message.
@@ -93,6 +98,12 @@ class DnsName {
   /// Decodes from the reader (follows compression pointers; caps the jump
   /// count to defeat pointer loops). On failure marks the reader bad.
   static DnsName decode(ByteReader& r);
+
+  /// Decodes into `out`, reusing its label storage (vector capacity and the
+  /// per-label string buffers). Steady-state message parsing with a scratch
+  /// DnsMessage decodes names without allocating. On failure marks the
+  /// reader bad and leaves `out` empty.
+  static void decode_into(ByteReader& r, DnsName& out);
 
   auto operator<=>(const DnsName&) const = default;
 

@@ -5,23 +5,34 @@
 namespace lazyeye::dns {
 
 StubResolver::StubResolver(simnet::Host& host, StubOptions options)
-    : host_{host}, options_{std::move(options)}, client_{host} {
+    : host_{host},
+      options_{std::move(options)},
+      client_{host},
+      requests_{host.network().memory()} {
   if (options_.servers.empty()) {
     throw std::invalid_argument("StubResolver needs at least one server");
   }
 }
 
-void StubResolver::start_query(std::uint64_t handle, const DnsName& name,
-                               RrType type,
-                               std::function<void(const QueryOutcome&)> done) {
-  auto req_it = requests_.find(handle);
+namespace {
+
+// (handle, type) packed into one word so the DnsClient callback capture is
+// exactly (this, tag) = 16 bytes and stays in std::function's inline buffer.
+constexpr std::uint64_t make_tag(std::uint64_t handle, RrType type) {
+  return (handle << 16) | static_cast<std::uint16_t>(type);
+}
+
+}  // namespace
+
+void StubResolver::start_query(std::uint64_t handle, RrType type) {
+  const auto req_it = requests_.find(handle);
   if (req_it == requests_.end()) return;
   PendingQuery& pending = req_it->second.queries[type];
 
   if (pending.server_index >= options_.servers.size()) {
     QueryOutcome outcome;
     outcome.error = "all servers failed";
-    done(outcome);
+    deliver(handle, type, outcome);
     return;
   }
 
@@ -30,19 +41,11 @@ void StubResolver::start_query(std::uint64_t handle, const DnsName& name,
   copts.timeout = options_.timeout;
   copts.attempts = options_.attempts_per_server;
 
+  const std::uint64_t tag = make_tag(handle, type);
   const std::uint64_t client_handle = client_.query(
-      server, name, type, copts,
-      [this, handle, name, type, done](const QueryOutcome& outcome) {
-        auto it = requests_.find(handle);
-        if (it == requests_.end()) return;
-        if (outcome.ok || outcome.rcode == Rcode::kNxDomain) {
-          // NXDOMAIN is a definitive (negative) answer, not a server failure.
-          done(outcome);
-          return;
-        }
-        // Failover to the next server.
-        it->second.queries[type].server_index++;
-        start_query(handle, name, type, done);
+      server, req_it->second.name, type, copts,
+      [this, tag](const QueryOutcome& outcome) {
+        on_query_outcome(tag, outcome);
       },
       /*recursion_desired=*/true);
 
@@ -56,17 +59,65 @@ void StubResolver::start_query(std::uint64_t handle, const DnsName& name,
   }
 }
 
+void StubResolver::on_query_outcome(std::uint64_t tag,
+                                    const QueryOutcome& outcome) {
+  const std::uint64_t handle = tag >> 16;
+  const auto type = static_cast<RrType>(tag & 0xFFFF);
+  const auto it = requests_.find(handle);
+  if (it == requests_.end()) return;
+  if (outcome.ok || outcome.rcode == Rcode::kNxDomain) {
+    // NXDOMAIN is a definitive (negative) answer, not a server failure.
+    deliver(handle, type, outcome);
+    return;
+  }
+  // Failover to the next server.
+  it->second.queries[type].server_index++;
+  start_query(handle, type);
+}
+
+void StubResolver::deliver(std::uint64_t handle, RrType type,
+                           const QueryOutcome& outcome) {
+  const auto it = requests_.find(handle);
+  if (it == requests_.end()) return;
+  Request& req = it->second;
+
+  if (req.single) {
+    // resolve(): one definitive outcome ends the request. Erase before the
+    // callback so a handler that re-enters sees consistent state.
+    auto handler = std::move(req.single);
+    requests_.erase(it);
+    handler(outcome);
+    return;
+  }
+
+  req.queries.erase(type);
+  const bool finished = req.queries.empty();
+  if (outcome.ok || outcome.rcode == Rcode::kNxDomain) {
+    if (req.dual.on_records) {
+      // Local copy so a handler that cancels/finishes the request cannot
+      // destroy the function object mid-invocation (engine handlers are
+      // small, so the copy stays in the inline buffer).
+      auto on_records = req.dual.on_records;
+      outcome.response.addresses_for_into(req.name, type, addr_scratch_);
+      on_records(type, addr_scratch_, outcome.rtt);
+    }
+  } else {
+    if (req.dual.on_error) {
+      auto on_error = req.dual.on_error;
+      on_error(type, outcome.error);
+    }
+  }
+  if (finished) requests_.erase(handle);
+}
+
 std::uint64_t StubResolver::resolve(
     const DnsName& name, RrType type,
     std::function<void(const QueryOutcome&)> handler) {
   const std::uint64_t handle = next_handle_++;
-  requests_[handle];  // create
-  start_query(handle, name, type,
-              [this, handle, handler = std::move(handler)](
-                  const QueryOutcome& outcome) {
-                requests_.erase(handle);
-                handler(outcome);
-              });
+  Request& req = requests_[handle];
+  req.name = name;
+  req.single = std::move(handler);
+  start_query(handle, type);
   return handle;
 }
 
@@ -74,31 +125,15 @@ std::uint64_t StubResolver::resolve_dual(const DnsName& name,
                                          DualHandlers handlers,
                                          bool aaaa_first) {
   const std::uint64_t handle = next_handle_++;
-  requests_[handle];  // create
-
-  auto make_done = [this, handle, name, handlers](RrType type) {
-    return [this, handle, name, type, handlers](const QueryOutcome& outcome) {
-      auto it = requests_.find(handle);
-      if (it == requests_.end()) return;
-      it->second.queries.erase(type);
-      const bool finished = it->second.queries.empty();
-      if (outcome.ok || outcome.rcode == Rcode::kNxDomain) {
-        if (handlers.on_records) {
-          handlers.on_records(type, outcome.response.addresses_for(name, type),
-                              outcome.rtt);
-        }
-      } else {
-        if (handlers.on_error) handlers.on_error(type, outcome.error);
-      }
-      if (finished) requests_.erase(handle);
-    };
-  };
+  Request& req = requests_[handle];
+  req.name = name;
+  req.dual = std::move(handlers);
 
   const RrType first = aaaa_first ? RrType::kAaaa : RrType::kA;
   const RrType second = aaaa_first ? RrType::kA : RrType::kAaaa;
   // RFC 8305: AAAA first, A immediately after (same instant, ordered sends).
-  start_query(handle, name, first, make_done(first));
-  start_query(handle, name, second, make_done(second));
+  start_query(handle, first);
+  start_query(handle, second);
   return handle;
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory_resource>
 #include <vector>
 
 #include "dns/client.h"
@@ -58,17 +59,39 @@ class StubResolver {
     std::size_t server_index = 0;
     std::uint64_t client_handle = 0;
   };
+  // Per-request state lives here (qname, completion handlers) rather than in
+  // each callback's captures: the DnsClient callbacks then close over a
+  // single (this, tag) pair, which fits std::function's inline buffer — the
+  // old per-query closure chain heap-allocated several functions and name
+  // copies per lookup. Allocator-aware so the outer pmr::map's arena
+  // resource propagates to the per-request query map.
   struct Request {
-    std::map<RrType, PendingQuery> queries;
+    using allocator_type = std::pmr::polymorphic_allocator<std::byte>;
+    Request() = default;
+    explicit Request(allocator_type alloc) : queries{alloc.resource()} {}
+    Request(Request&& other, allocator_type alloc)
+        : name{std::move(other.name)},
+          dual{std::move(other.dual)},
+          single{std::move(other.single)},
+          queries{std::move(other.queries), alloc.resource()} {}
+
+    DnsName name;
+    DualHandlers dual;                                 // resolve_dual()
+    std::function<void(const QueryOutcome&)> single;   // resolve()
+    std::pmr::map<RrType, PendingQuery> queries;
   };
 
-  void start_query(std::uint64_t handle, const DnsName& name, RrType type,
-                   std::function<void(const QueryOutcome&)> done);
+  void start_query(std::uint64_t handle, RrType type);
+  void on_query_outcome(std::uint64_t tag, const QueryOutcome& outcome);
+  void deliver(std::uint64_t handle, RrType type, const QueryOutcome& outcome);
 
   simnet::Host& host_;
   StubOptions options_;
   DnsClient client_;
-  std::map<std::uint64_t, Request> requests_;
+  // Reused by deliver(): keeps its capacity across responses.
+  std::vector<simnet::IpAddress> addr_scratch_;
+  // Request/query nodes from the world's arena (see DnsClient).
+  std::pmr::map<std::uint64_t, Request> requests_;
   std::uint64_t next_handle_ = 1;
 };
 

@@ -4,10 +4,15 @@
 
 namespace lazyeye::dns {
 
-Zone::Zone(DnsName origin) : origin_{std::move(origin)} {
+Zone::Zone(DnsName origin, std::pmr::memory_resource* mem)
+    : origin_{std::move(origin)}, records_{mem} {
+  // The relative SOA name stems are process-wide constants; only the
+  // concat with this zone's origin is per-zone work.
+  static const DnsName ns1 = DnsName::must_parse("ns1");
+  static const DnsName hostmaster = DnsName::must_parse("hostmaster");
   SoaRdata soa;
-  soa.mname = DnsName::must_parse("ns1").concat(origin_);
-  soa.rname = DnsName::must_parse("hostmaster").concat(origin_);
+  soa.mname = ns1.concat(origin_);
+  soa.rname = hostmaster.concat(origin_);
   records_.emplace(origin_, ResourceRecord::soa(origin_, soa));
 }
 
@@ -60,32 +65,23 @@ bool Zone::name_exists(const DnsName& name) const {
   return false;
 }
 
-std::optional<DnsName> Zone::find_zone_cut(const DnsName& qname) const {
+const DnsName* Zone::find_zone_cut(const DnsName& qname) const {
   // Walk from just below the origin down towards qname, looking for an NS
   // RRset at an intermediate owner (a zone cut). The origin's own NS records
-  // are apex records, not a cut.
+  // are apex records, not a cut. Each candidate is a label suffix of qname,
+  // assigned into the reused scratch instead of copied via parent() chains.
   const std::size_t extra = qname.label_count() - origin_.label_count();
   for (std::size_t depth = 1; depth <= extra; ++depth) {
-    DnsName candidate;
     // candidate = last (origin_labels + depth) labels of qname.
-    DnsName full = qname;
-    while (full.label_count() > origin_.label_count() + depth) {
-      full = full.parent();
-    }
-    candidate = full;
-    if (candidate == qname && depth == extra) {
-      // The qname itself may own NS records: that is still a delegation
-      // (unless it is the apex, excluded above) — but only when the zone is
-      // not authoritative below; checked by the caller via record presence.
-    }
-    const auto range = records_.equal_range(candidate);
+    cut_scratch_.assign_tail(qname, extra - depth);
+    const auto range = records_.equal_range(cut_scratch_);
     for (auto it = range.first; it != range.second; ++it) {
-      if (it->second.type == RrType::kNs && candidate != origin_) {
-        return candidate;
+      if (it->second.type == RrType::kNs && cut_scratch_ != origin_) {
+        return &cut_scratch_;
       }
     }
   }
-  return std::nullopt;
+  return nullptr;
 }
 
 std::vector<ResourceRecord> Zone::glue_for(const DnsName& name) const {

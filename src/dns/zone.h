@@ -3,6 +3,7 @@
 #pragma once
 
 #include <map>
+#include <memory_resource>
 #include <optional>
 #include <vector>
 
@@ -12,7 +13,11 @@ namespace lazyeye::dns {
 
 class Zone {
  public:
-  explicit Zone(DnsName origin);
+  /// `mem` backs the record storage; servers built inside an arena-backed
+  /// world pass the world's resource so record nodes land on retained
+  /// chunks.
+  explicit Zone(DnsName origin, std::pmr::memory_resource* mem =
+                                    std::pmr::get_default_resource());
 
   const DnsName& origin() const { return origin_; }
 
@@ -75,7 +80,7 @@ class Zone {
   void lookup_into(const DnsName& qname, RrType qtype, LookupRefs& out) const;
 
   /// All records (for inspection/tests).
-  const std::multimap<DnsName, ResourceRecord>& records() const {
+  const std::pmr::multimap<DnsName, ResourceRecord>& records() const {
     return records_;
   }
 
@@ -84,10 +89,16 @@ class Zone {
 
  private:
   bool name_exists(const DnsName& name) const;
-  std::optional<DnsName> find_zone_cut(const DnsName& qname) const;
+  /// Topmost zone cut at/below `qname`, or nullptr. The returned name lives
+  /// in `cut_scratch_` (valid until the next call on this zone).
+  const DnsName* find_zone_cut(const DnsName& qname) const;
 
   DnsName origin_;
-  std::multimap<DnsName, ResourceRecord> records_;
+  std::pmr::multimap<DnsName, ResourceRecord> records_;
+  // Candidate-name scratch for find_zone_cut: suffixes are assigned in
+  // place instead of materialising a fresh DnsName per depth step (worlds
+  // are single-threaded, so mutable scratch on a const path is safe).
+  mutable DnsName cut_scratch_;
 };
 
 }  // namespace lazyeye::dns

@@ -29,7 +29,11 @@ HappyEyeballsEngine::HappyEyeballsEngine(simnet::Host& host,
                                          dns::StubResolver& stub,
                                          transport::TcpStack& tcp,
                                          transport::QuicStack* quic)
-    : host_{host}, stub_{stub}, tcp_{tcp}, quic_{quic} {}
+    : host_{host},
+      stub_{stub},
+      tcp_{tcp},
+      quic_{quic},
+      sessions_{host.network().memory()} {}
 
 void HappyEyeballsEngine::trace_event(Session& s, HeEvent::Type type,
                                       std::string detail,
@@ -50,6 +54,14 @@ std::uint64_t HappyEyeballsEngine::connect(const dns::DnsName& hostname,
   s.handler = std::move(handler);
   s.opts = options_;
   s.started = host_.network().loop().now();
+  // One up-front block per vector instead of doubling through the typical
+  // session's growth (a session sees ~10 trace events, a few addresses and
+  // attempts).
+  s.trace.reserve(12);
+  s.v6.reserve(4);
+  s.v4.reserve(4);
+  s.plan.reserve(4);
+  s.attempt_ids.reserve(4);
 
   // Reject a nonsensical parameter space up front: a configuration error is
   // delivered through the normal completion path (handler fires exactly
@@ -542,7 +554,7 @@ void HappyEyeballsEngine::finish(std::uint64_t session_id, HeResult result) {
   result.trace = std::move(s.trace);
   CompletionHandler handler = std::move(s.handler);
   sessions_.erase(it);
-  if (handler) handler(result);
+  if (handler) handler(std::move(result));
 }
 
 }  // namespace lazyeye::he

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory_resource>
 #include <optional>
 
 #include "dns/stub_resolver.h"
@@ -21,7 +22,9 @@ namespace lazyeye::he {
 
 class HappyEyeballsEngine {
  public:
-  using CompletionHandler = std::function<void(const HeResult&)>;
+  // By value so the engine can move the result (and its trace) straight into
+  // the handler; callers taking `const HeResult&` still bind unchanged.
+  using CompletionHandler = std::function<void(HeResult)>;
 
   /// `quic` may be null when the client never races QUIC.
   HappyEyeballsEngine(simnet::Host& host, dns::StubResolver& stub,
@@ -131,7 +134,9 @@ class HappyEyeballsEngine {
   HeOptions options_;
   OutcomeCache cache_;
   std::optional<SimTime> srtt_;
-  std::map<std::uint64_t, Session> sessions_;
+  // Session nodes from the world's arena; the Session's own vectors stay
+  // std:: (they cross API boundaries via HeResult/address selection).
+  std::pmr::map<std::uint64_t, Session> sessions_;
   std::uint64_t next_session_id_ = 1;
 };
 

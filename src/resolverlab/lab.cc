@@ -31,17 +31,19 @@ LabConfig LabConfig::paper_grid() {
 namespace {
 
 struct LabRun {
-  simnet::Network net;
+  // Lease first: released last, so the arena reset (which destroys the
+  // arena-created servers and resolver, then the Network) runs after every
+  // raw pointer below is dead.
+  simnet::WorldLease lease;
+  simnet::Network* net = nullptr;
   simnet::Host* auth_host = nullptr;
-  std::unique_ptr<dns::AuthServer> root;
-  std::unique_ptr<dns::AuthServer> tld;
-  std::unique_ptr<dns::AuthServer> auth;
-  std::unique_ptr<dns::RecursiveResolver> resolver;
+  dns::AuthServer* root = nullptr;
+  dns::AuthServer* tld = nullptr;
+  dns::AuthServer* auth = nullptr;
+  dns::RecursiveResolver* resolver = nullptr;
   DnsName zone;
   DnsName ns_name;
   DnsName qname;
-
-  explicit LabRun(std::uint64_t seed) : net{seed} {}
 };
 
 /// Builds the delegation tree for one measurement run. Unique zone apex and
@@ -49,8 +51,10 @@ struct LabRun {
 std::unique_ptr<LabRun> build_run(const resolvers::ServiceProfile& service,
                                   SimTime v6_delay, int delay_index, int rep,
                                   std::uint64_t seed, bool v6_only) {
-  auto run = std::make_unique<LabRun>(seed);
-  simnet::Network& net = run->net;
+  auto run = std::make_unique<LabRun>();
+  simnet::Arena& arena = run->lease.arena();
+  run->net = arena.create<simnet::Network>(run->lease.memory(), seed);
+  simnet::Network& net = *run->net;
 
   simnet::Host& root_host = net.add_host("root");
   root_host.add_address(IpAddress::must_parse("10.0.0.1"));
@@ -81,7 +85,7 @@ std::unique_ptr<LabRun> build_run(const resolvers::ServiceProfile& service,
   run->ns_name = run->zone.prepend("ns1");
   run->qname = run->zone.prepend("www");
 
-  run->root = std::make_unique<dns::AuthServer>(root_host);
+  run->root = arena.create<dns::AuthServer>(root_host);
   dns::Zone& root_zone = run->root->add_zone(DnsName{});
   root_zone.add_ns(DnsName::must_parse("lab"), DnsName::must_parse("ns.lab"));
   root_zone.add(dns::ResourceRecord::a(DnsName::must_parse("ns.lab"),
@@ -89,7 +93,7 @@ std::unique_ptr<LabRun> build_run(const resolvers::ServiceProfile& service,
   root_zone.add(dns::ResourceRecord::aaaa(
       DnsName::must_parse("ns.lab"), *simnet::Ipv6Address::parse("2001:db8::2")));
 
-  run->tld = std::make_unique<dns::AuthServer>(tld_host);
+  run->tld = arena.create<dns::AuthServer>(tld_host);
   dns::Zone& lab_zone = run->tld->add_zone(DnsName::must_parse("lab"));
   lab_zone.add_ns(DnsName::must_parse("lab"), DnsName::must_parse("ns.lab"));
   lab_zone.add_a(DnsName::must_parse("ns.lab"),
@@ -104,7 +108,7 @@ std::unique_ptr<LabRun> build_run(const resolvers::ServiceProfile& service,
   lab_zone.add(dns::ResourceRecord::aaaa(
       run->ns_name, *simnet::Ipv6Address::parse("2001:db8:1::1")));
 
-  run->auth = std::make_unique<dns::AuthServer>(auth_host);
+  run->auth = arena.create<dns::AuthServer>(auth_host);
   dns::Zone& zone = run->auth->add_zone(run->zone);
   zone.add_ns(run->zone, run->ns_name);
   if (!v6_only) {
@@ -113,7 +117,7 @@ std::unique_ptr<LabRun> build_run(const resolvers::ServiceProfile& service,
   zone.add_aaaa(run->ns_name, *simnet::Ipv6Address::parse("2001:db8:1::1"));
   zone.add_a(run->qname, *simnet::Ipv4Address::parse("10.0.1.80"));
 
-  run->resolver = std::make_unique<dns::RecursiveResolver>(
+  run->resolver = arena.create<dns::RecursiveResolver>(
       resolver_host, service.engine,
       std::vector<IpAddress>{IpAddress::must_parse("10.0.0.1"),
                              IpAddress::must_parse("2001:db8::1")});
@@ -202,7 +206,7 @@ bool check_ipv6_only_capability(const resolvers::ServiceProfile& service,
                          [&resolved](const dns::QueryOutcome& out) {
                            resolved = out.ok;
                          });
-  run->net.loop().run();
+  run->net->loop().run();
   return resolved;
 }
 
@@ -309,11 +313,11 @@ RunObservation run_cell(const resolvers::ServiceProfile& service,
   SimTime completed{0};
   run->resolver->resolve(run->qname, dns::RrType::kA,
                          [&resolved, &completed,
-                          net = &run->net](const dns::QueryOutcome& out) {
+                          net = run->net](const dns::QueryOutcome& out) {
                            resolved = out.ok;
                            completed = net->loop().now();
                          });
-  run->net.loop().run();
+  run->net->loop().run();
   return observe(*run, cell.v6_delay, spec.repetition, resolved, completed);
 }
 

@@ -19,7 +19,13 @@ bool event_before(SimTime a_when, std::uint64_t a_seq, SimTime b_when,
 }
 }  // namespace
 
-EventLoop::EventLoop() {
+EventLoop::EventLoop(std::pmr::memory_resource* memory)
+    : heap_{memory},
+      nodes_{memory},
+      free_nodes_{memory},
+      ready_{memory},
+      slots_{memory},
+      free_slots_{memory} {
   l0_head_.fill(-1);
   l1_head_.fill(-1);
 }

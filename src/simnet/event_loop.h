@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 #include "simnet/inline_callback.h"
@@ -45,7 +46,12 @@ class EventLoop {
  public:
   using Callback = InlineCallback;
 
-  EventLoop();
+  /// All growable storage (heap, wheel nodes, liveness slots, ready stage)
+  /// draws from `memory`. A world-pooled Network passes its arena, so a
+  /// fresh per-cell loop reuses the previous cell's high-water-mark storage
+  /// without a single heap allocation; the default is the global resource.
+  explicit EventLoop(
+      std::pmr::memory_resource* memory = std::pmr::get_default_resource());
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -167,11 +173,11 @@ class EventLoop {
   /// Far-future events: binary min-heap over (when, seq). Cancellation is
   /// lazy — a node whose liveness slot no longer matches is pruned when it
   /// reaches the top.
-  std::vector<Event> heap_;
+  std::pmr::vector<Event> heap_;
 
   // Wheel storage.
-  std::vector<WheelNode> nodes_;
-  std::vector<std::int32_t> free_nodes_;
+  std::pmr::vector<WheelNode> nodes_;
+  std::pmr::vector<std::int32_t> free_nodes_;
   std::array<std::int32_t, kL0Slots> l0_head_;
   std::array<std::int32_t, kL1Slots> l1_head_;
   std::array<std::uint64_t, kL0Slots / 64> l0_bits_{};
@@ -184,12 +190,12 @@ class EventLoop {
   /// The earliest wheel tick, drained and sorted by (when, seq); consumed
   /// from ready_pos_. Same-tick schedules issued while the tick executes are
   /// merge-inserted so the global order stays exact.
-  std::vector<Event> ready_;
+  std::pmr::vector<Event> ready_;
   std::size_t ready_pos_ = 0;
   std::int64_t ready_tick_ = -1;  // -1 = no tick staged
 
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;
+  std::pmr::vector<Slot> slots_;
+  std::pmr::vector<std::uint32_t> free_slots_;
   std::size_t live_count_ = 0;  // scheduled, not yet run/cancelled
   SimTime now_{0};
   std::uint64_t next_seq_ = 0;

@@ -10,7 +10,12 @@
 namespace lazyeye::simnet {
 
 Host::Host(Network& net, std::string name)
-    : net_{net}, name_{std::move(name)} {}
+    : net_{net},
+      name_{std::move(name)},
+      addresses_{net.memory()},
+      udp_ports_{net.memory()},
+      pending_udp_ops_{net.memory()},
+      taps_{net.memory()} {}
 
 void Host::add_address(const IpAddress& addr) {
   if (owns_address(addr)) return;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory_resource>
 #include <optional>
 #include <string>
 #include <utility>
@@ -46,7 +47,7 @@ class Host {
   // -- Addressing ----------------------------------------------------------
   /// Registers an address on this host (and in the network's routing table).
   void add_address(const IpAddress& addr);
-  const std::vector<IpAddress>& addresses() const { return addresses_; }
+  const std::pmr::vector<IpAddress>& addresses() const { return addresses_; }
   /// First configured address of the family, if any.
   std::optional<IpAddress> address(Family family) const;
   bool owns_address(const IpAddress& addr) const;
@@ -97,16 +98,18 @@ class Host {
 
   Network& net_;
   std::string name_;
-  std::vector<IpAddress> addresses_;
+  // All growable tables draw from the owning Network's memory resource, so
+  // arena-backed worlds build hosts without touching the global heap.
+  std::pmr::vector<IpAddress> addresses_;
   /// Sorted by port; handlers stored inline (InlineFunction SBO).
-  std::vector<UdpBinding> udp_ports_;
+  std::pmr::vector<UdpBinding> udp_ports_;
   /// Indexed by Protocol; empty handler = unset.
   ProtocolHandler protocol_handlers_[2];
   /// Depth of in-flight deliver() calls; >0 defers udp table mutations.
   int dispatch_depth_ = 0;
   /// (port, handler) ops queued during dispatch; empty handler = unbind.
-  std::vector<std::pair<std::uint16_t, UdpHandler>> pending_udp_ops_;
-  std::vector<std::pair<int, Tap>> taps_;
+  std::pmr::vector<std::pair<std::uint16_t, UdpHandler>> pending_udp_ops_;
+  std::pmr::vector<std::pair<int, Tap>> taps_;
   NetemQdisc egress_;
   std::uint16_t next_ephemeral_ = 49152;
   int next_tap_id_ = 1;

@@ -10,15 +10,16 @@ namespace lazyeye::simnet {
 // ---------------------------------------------------------------- IPv4 ----
 
 std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
-  const auto parts = lazyeye::split(text, '.');
-  if (parts.size() != 4) return std::nullopt;
   std::uint32_t value = 0;
-  for (const auto& p : parts) {
-    if (p.empty() || p.size() > 3) return std::nullopt;
+  int fields = 0;
+  const bool ok = lazyeye::for_each_split(text, '.', [&](std::string_view p) {
+    if (++fields > 4 || p.empty() || p.size() > 3) return false;
     const auto v = lazyeye::parse_u64(p);
-    if (!v || *v > 255) return std::nullopt;
+    if (!v || *v > 255) return false;
     value = (value << 8) | static_cast<std::uint32_t>(*v);
-  }
+    return true;
+  });
+  if (!ok || fields != 4) return std::nullopt;
   return Ipv4Address{value};
 }
 
@@ -80,22 +81,27 @@ std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
     tail = text.substr(pos + 2);
   }
 
-  auto parse_side = [](std::string_view side,
-                       std::vector<std::uint16_t>& out) -> bool {
+  // Fixed-size group scratch: a literal has at most 8 hextets per side.
+  struct Side {
+    std::uint16_t groups[8];
+    std::size_t count = 0;
+  };
+  auto parse_side = [](std::string_view side, Side& out) -> bool {
     if (side.empty()) return true;
-    for (const auto& part : lazyeye::split(side, ':')) {
+    return lazyeye::for_each_split(side, ':', [&](std::string_view part) {
+      if (out.count >= 8) return false;
       const auto v = parse_hextet(part);
       if (!v) return false;
-      out.push_back(*v);
-    }
-    return true;
+      out.groups[out.count++] = *v;
+      return true;
+    });
   };
 
-  std::vector<std::uint16_t> front;
-  std::vector<std::uint16_t> back;
+  Side front;
+  Side back;
   if (!parse_side(head, front) || !parse_side(tail, back)) return std::nullopt;
 
-  const std::size_t total = front.size() + back.size();
+  const std::size_t total = front.count + back.count;
   if (has_gap) {
     if (total >= 8) return std::nullopt;  // "::" must cover >= 1 group
   } else if (total != 8) {
@@ -104,9 +110,9 @@ std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
 
   Ipv6Address addr;
   int g = 0;
-  for (const std::uint16_t v : front) addr.set_group(g++, v);
-  g = 8 - static_cast<int>(back.size());
-  for (const std::uint16_t v : back) addr.set_group(g++, v);
+  for (std::size_t i = 0; i < front.count; ++i) addr.set_group(g++, front.groups[i]);
+  g = 8 - static_cast<int>(back.count);
+  for (std::size_t i = 0; i < back.count; ++i) addr.set_group(g++, back.groups[i]);
   return addr;
 }
 

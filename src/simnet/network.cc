@@ -1,18 +1,47 @@
 #include "simnet/network.h"
 
+#include <new>
+
 #include "util/log.h"
 #include "util/strings.h"
 
 namespace lazyeye::simnet {
 
 Network::Network(std::uint64_t seed)
-    : rng_{seed}, base_delay_{std::chrono::microseconds{200}} {}
+    : Network{nullptr, std::pmr::get_default_resource(), seed} {}
+
+Network::Network(WorldMemory& world, std::uint64_t seed)
+    : Network{&world.buffers, &world.arena, seed} {}
+
+Network::Network(BufferPool* pool, std::pmr::memory_resource* mem,
+                 std::uint64_t seed)
+    : pool_{pool != nullptr ? pool : &owned_pool_},
+      mem_{mem},
+      loop_{mem},
+      rng_{seed},
+      base_delay_{std::chrono::microseconds{200}},
+      hosts_{mem},
+      hosts_by_name_{mem},
+      routes_{mem},
+      flight_{mem},
+      flight_free_{mem} {}
+
+Network::~Network() {
+  // Reverse creation order, exactly like the old vector<unique_ptr<Host>>.
+  for (auto it = hosts_.rbegin(); it != hosts_.rend(); ++it) {
+    Host* host = *it;
+    host->~Host();
+    mem_->deallocate(host, sizeof(Host), alignof(Host));
+  }
+  hosts_.clear();
+}
 
 Host& Network::add_host(std::string name) {
-  hosts_.push_back(std::make_unique<Host>(*this, std::move(name)));
-  Host& host = *hosts_.back();
-  hosts_by_name_.emplace(host.name(), &host);  // first name registration wins
-  return host;
+  void* storage = mem_->allocate(sizeof(Host), alignof(Host));
+  Host* host = ::new (storage) Host(*this, std::move(name));
+  hosts_.push_back(host);
+  hosts_by_name_.emplace(host->name(), host);  // first name registration wins
+  return *host;
 }
 
 Host* Network::find_host(const std::string& name) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "simnet/event_loop.h"
 #include "simnet/host.h"
 #include "simnet/netem.h"
+#include "simnet/scenario_pool.h"
 #include "util/rng.h"
 
 namespace lazyeye::simnet {
@@ -36,7 +38,15 @@ struct NetworkStats {
 
 class Network {
  public:
+  /// Standalone world: owns its BufferPool, containers use the global
+  /// allocator. The long-lived path for tests and persistent deployments.
   explicit Network(std::uint64_t seed = 1);
+  /// World-pooled cell construction: payload blocks recycle through
+  /// `world.buffers` and every container (loop tables, host lists, routes,
+  /// flight slots) draws from `world.arena` — a warm lease builds the whole
+  /// Network without touching the heap, and teardown is the arena reset.
+  Network(WorldMemory& world, std::uint64_t seed);
+  ~Network();
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -46,10 +56,15 @@ class Network {
   /// Pool backing packet payloads in this world. Hosts and protocol stacks
   /// build their send buffers from it so steady-state traffic recycles a
   /// bounded set of blocks.
-  BufferPool& buffer_pool() { return buffer_pool_; }
+  BufferPool& buffer_pool() { return *pool_; }
 
   /// Convenience: an empty pooled payload buffer.
-  Buffer make_buffer() { return Buffer{&buffer_pool_}; }
+  Buffer make_buffer() { return Buffer{pool_}; }
+
+  /// Memory resource this world's containers draw from (the lease's arena
+  /// for pooled worlds, the global resource otherwise). Stacks and other
+  /// per-world satellites allocate their tables from it.
+  std::pmr::memory_resource* memory() const { return mem_; }
 
   /// Creates a host attached to this network. The Network owns it.
   Host& add_host(std::string name);
@@ -74,26 +89,34 @@ class Network {
   void register_address(const IpAddress& addr, Host& host);
 
  private:
+  Network(BufferPool* pool, std::pmr::memory_resource* mem,
+          std::uint64_t seed);
+
   std::uint32_t acquire_flight_slot();
 
   // Declared first so it is destroyed LAST: pending loop callbacks and
   // parked flight packets own pool-backed Buffers whose destructors release
-  // blocks into this pool during ~Network.
-  BufferPool buffer_pool_;
+  // blocks into the pool during ~Network. (Pooled worlds point pool_ at the
+  // lease's BufferPool instead, which outlives the arena by construction.)
+  BufferPool owned_pool_;
+  BufferPool* pool_;
+  std::pmr::memory_resource* mem_;
   EventLoop loop_;
   Rng rng_;
   SimTime base_delay_;
   NetemQdisc qdisc_;
-  std::vector<std::unique_ptr<Host>> hosts_;
-  /// Name -> host index kept in add_host order (first registration wins,
+  /// Hosts are constructed in mem_ storage and destroyed (reverse order) by
+  /// ~Network, so ownership is identical on both construction paths.
+  std::pmr::vector<Host*> hosts_;
+  /// Name -> host kept in add_host order (first registration wins,
   /// matching the old linear scan's duplicate-name behaviour).
-  std::unordered_map<std::string, Host*> hosts_by_name_;
-  std::unordered_map<IpAddress, Host*> routes_;
+  std::pmr::unordered_map<std::string, Host*> hosts_by_name_;
+  std::pmr::unordered_map<IpAddress, Host*> routes_;
   /// Parking lot for packets between send() and delivery. Slots are
   /// recycled through flight_free_, so steady-state traffic allocates
   /// nothing once the in-flight high-water mark is reached.
-  std::vector<Packet> flight_;
-  std::vector<std::uint32_t> flight_free_;
+  std::pmr::vector<Packet> flight_;
+  std::pmr::vector<std::uint32_t> flight_free_;
   NetworkStats stats_;
   std::uint64_t next_packet_id_ = 1;
 };

@@ -28,37 +28,50 @@ LocalTestbed::LocalTestbed(TestbedOptions options)
 
 namespace {
 
-/// One fully assembled scenario: fresh network, server+dns+client nodes,
-/// echo web server, client capture. Destroyed after each run.
+/// One fully assembled scenario: server+dns+client nodes, echo web server,
+/// client capture — everything arena-created inside a pooled world lease.
+/// Destroying the Scenario releases the lease; the arena runs finalizers in
+/// reverse creation order (capture, client, auth, stacks, then the Network
+/// itself), then rewinds for the next cell on this worker thread.
 struct Scenario {
-  simnet::Network net;
+  simnet::WorldLease lease;
+  simnet::Network* net = nullptr;
   simnet::Host* client_host = nullptr;
   simnet::Host* server_host = nullptr;
-  std::unique_ptr<transport::TcpStack> server_tcp;
-  std::unique_ptr<transport::QuicStack> server_quic;
-  std::unique_ptr<dns::AuthServer> auth;
+  transport::TcpStack* server_tcp = nullptr;
+  transport::QuicStack* server_quic = nullptr;
+  dns::AuthServer* auth = nullptr;
   dns::Zone* zone = nullptr;
-  std::unique_ptr<clients::SimulatedClient> client;
-  std::unique_ptr<capture::PacketCapture> capture;
+  clients::SimulatedClient* client = nullptr;
+  capture::PacketCapture* capture = nullptr;
   simnet::Endpoint last_peer;
-
-  explicit Scenario(std::uint64_t seed) : net{seed} {}
 };
 
 std::unique_ptr<Scenario> build_scenario(
     const clients::ClientProfile& profile,
     const TestbedOptions& options, std::uint64_t run_id) {
-  auto sc = std::make_unique<Scenario>(options.seed * 7919 + run_id);
+  auto sc = std::make_unique<Scenario>();
+  simnet::Arena& arena = sc->lease.arena();
+  sc->net = arena.create<simnet::Network>(sc->lease.memory(),
+                                          options.seed * 7919 + run_id);
 
-  sc->server_host = &sc->net.add_host("server");
-  sc->server_host->add_address(IpAddress::must_parse("10.0.0.80"));
-  sc->server_host->add_address(IpAddress::must_parse("2001:db8::80"));
-  sc->client_host = &sc->net.add_host("client");
-  sc->client_host->add_address(IpAddress::must_parse("10.0.0.2"));
-  sc->client_host->add_address(IpAddress::must_parse("2001:db8::2"));
+  // Fixed world literals parsed once per process, not once per cell.
+  static const IpAddress server_v4 = IpAddress::must_parse("10.0.0.80");
+  static const IpAddress server_v6 = IpAddress::must_parse("2001:db8::80");
+  static const IpAddress client_v4 = IpAddress::must_parse("10.0.0.2");
+  static const IpAddress client_v6 = IpAddress::must_parse("2001:db8::2");
+  static const dns::DnsName zone_origin =
+      dns::DnsName::must_parse("he-test.lab");
+
+  sc->server_host = &sc->net->add_host("server");
+  sc->server_host->add_address(server_v4);
+  sc->server_host->add_address(server_v6);
+  sc->client_host = &sc->net->add_host("client");
+  sc->client_host->add_address(client_v4);
+  sc->client_host->add_address(client_v6);
 
   // Web server module: answers with the client's source address.
-  sc->server_tcp = std::make_unique<transport::TcpStack>(*sc->server_host);
+  sc->server_tcp = arena.create<transport::TcpStack>(*sc->server_host);
   sc->server_tcp->listen(443,
                          [sp = sc.get()](std::uint64_t,
                                          const simnet::Endpoint& peer) {
@@ -70,7 +83,7 @@ std::unique_ptr<Scenario> build_scenario(
         sp->server_tcp->send_data(
             conn_id, std::vector<std::uint8_t>{body.begin(), body.end()});
       });
-  sc->server_quic = std::make_unique<transport::QuicStack>(*sc->server_host);
+  sc->server_quic = arena.create<transport::QuicStack>(*sc->server_host);
   sc->server_quic->listen(443);
   sc->server_quic->set_data_handler(
       [sp = sc.get()](std::uint64_t conn_id, std::span<const std::uint8_t>) {
@@ -81,22 +94,23 @@ std::unique_ptr<Scenario> build_scenario(
 
   // DNS module: authoritative server on the server node (IPv4 transport so
   // DNS itself is unaffected by the IPv6 shaping).
-  sc->auth = std::make_unique<dns::AuthServer>(*sc->server_host);
-  sc->zone = &sc->auth->add_zone(dns::DnsName::must_parse("he-test.lab"));
+  sc->auth = arena.create<dns::AuthServer>(*sc->server_host);
+  sc->zone = &sc->auth->add_zone(zone_origin);
 
+  static const std::vector<simnet::Endpoint> dns_servers{{server_v4, 53}};
   dns::StubOptions stub_options;
-  stub_options.servers = {{IpAddress::must_parse("10.0.0.80"), 53}};
+  stub_options.servers = dns_servers;
   clients::ClientProfile run_profile = profile;
   if (options.dns_timeout_override) {
     run_profile.dns_timeout = *options.dns_timeout_override;
   }
-  sc->client = std::make_unique<clients::SimulatedClient>(
+  sc->client = arena.create<clients::SimulatedClient>(
       *sc->client_host, std::move(run_profile), stub_options,
       options.seed * 31 + run_id);
   sc->client->reset_state();  // fresh container per run (§4.3)
 
   // Packet capture module on the client node.
-  sc->capture = std::make_unique<capture::PacketCapture>(*sc->client_host);
+  sc->capture = arena.create<capture::PacketCapture>(*sc->client_host);
   return sc;
 }
 
@@ -113,10 +127,11 @@ RunRecord analyze(const clients::ClientProfile& profile, Scenario& sc,
   const capture::PacketCapture& cap = *sc.capture;
   record.established_family = capture::established_family(cap);
   record.observed_cad = capture::infer_cad(cap);
-  record.observed_rd = capture::infer_resolution_delay(cap);
-  record.a_wait_gap = capture::a_response_to_v6_syn_gap(cap);
-
+  // Decode the capture's DNS packets once and share the exchange list
+  // across every DNS-derived metric (it used to be re-parsed per metric).
   const auto exchanges = capture::dns_exchanges(cap);
+  record.observed_rd = capture::infer_resolution_delay(cap, exchanges);
+  record.a_wait_gap = capture::a_response_to_v6_syn_gap(cap, exchanges);
   for (const auto& ex : exchanges) {
     if (ex.qtype == dns::RrType::kAaaa || ex.qtype == dns::RrType::kA) {
       record.aaaa_query_first = ex.qtype == dns::RrType::kAaaa;
@@ -288,6 +303,11 @@ RunRecord LocalTestbed::run_spec(const clients::ClientProfile& profile,
   const auto nonce =
       lazyeye::str_format("%llu", static_cast<unsigned long long>(run_id));
 
+  // Test-name stems parsed once per process, not once per cell.
+  static const dns::DnsName cad_stem = dns::DnsName::must_parse("cad.he-test.lab");
+  static const dns::DnsName rd_stem = dns::DnsName::must_parse("rd.he-test.lab");
+  static const dns::DnsName sel_stem = dns::DnsName::must_parse("sel.he-test.lab");
+
   dns::DnsName name;
   SimTime configured_delay{0};
   if (const auto* cad = spec.get_if<campaign::CadCase>()) {
@@ -302,18 +322,18 @@ RunRecord LocalTestbed::run_spec(const clients::ClientProfile& profile,
         v6_tcp, simnet::NetemSpec::delay_only(cad->v6_delay), "delay v6");
 
     // Unique name per run to rule out caching (nonce label).
-    name = dns::make_test_name(dns::DnsName::must_parse("cad.he-test.lab"),
+    name = dns::make_test_name(cad_stem,
                                nonce, {});
     sc->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
     sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
   } else if (const auto* rd = spec.get_if<campaign::ResolutionDelayCase>()) {
     configured_delay = rd->dns_delay;
-    name = dns::make_test_name(dns::DnsName::must_parse("rd.he-test.lab"),
+    name = dns::make_test_name(rd_stem,
                                nonce, {{rd->delayed_type, rd->dns_delay}});
     sc->zone->add_a(name, *simnet::Ipv4Address::parse("10.0.0.80"));
     sc->zone->add_aaaa(name, *simnet::Ipv6Address::parse("2001:db8::80"));
   } else if (const auto* sel = spec.get_if<campaign::AddressSelectionCase>()) {
-    name = dns::make_test_name(dns::DnsName::must_parse("sel.he-test.lab"),
+    name = dns::make_test_name(sel_stem,
                                nonce, {});
     // All records point to unresponsive addresses (no host owns them).
     for (int i = 1; i <= sel->per_family; ++i) {
@@ -329,10 +349,10 @@ RunRecord LocalTestbed::run_spec(const clients::ClientProfile& profile,
   }
 
   clients::FetchResult fetch;
-  sc->client->fetch(name, 443, [&](const clients::FetchResult& r) {
-    fetch = r;
+  sc->client->fetch(name, 443, [&](clients::FetchResult r) {
+    fetch = std::move(r);
   });
-  sc->net.loop().run();
+  sc->net->loop().run();
   return analyze(profile, *sc, configured_delay, spec.repetition, fetch);
 }
 

@@ -10,6 +10,22 @@
 
 namespace lazyeye::transport {
 
+/// Classic connection four-tuple from this stack's point of view. Inbound
+/// packets carry the mirrored form ({dst, src} of the packet).
+struct FourTuple {
+  simnet::Endpoint local;
+  simnet::Endpoint remote;
+  auto operator<=>(const FourTuple&) const = default;
+};
+
+/// Hash for TupleIndex probing: mixes the two endpoint hashes so that
+/// connections differing only in ephemeral port spread across the table.
+inline std::size_t four_tuple_hash(const FourTuple& t) {
+  const std::size_t a = std::hash<simnet::Endpoint>{}(t.local);
+  const std::size_t b = std::hash<simnet::Endpoint>{}(t.remote);
+  return a * 0x9e3779b97f4a7c15ULL ^ (b + 0x517cc1b727220a95ULL);
+}
+
 enum class TransportProtocol : std::uint8_t { kTcp, kQuic };
 
 constexpr const char* transport_protocol_name(TransportProtocol p) {

@@ -17,7 +17,10 @@ bool is_quic_payload(std::span<const std::uint8_t> payload) {
   return type == 'I' || type == 'H' || type == 'D' || type == 'C';
 }
 
-QuicStack::QuicStack(simnet::Host& host) : host_{host} {}
+QuicStack::QuicStack(simnet::Host& host)
+    : host_{host},
+      connections_{host.network().memory()},
+      index_{host.network().memory()} {}
 
 QuicStack::~QuicStack() {
   for (const auto& [port, handler] : listeners_) host_.udp_unbind(port);
@@ -56,6 +59,7 @@ std::uint64_t QuicStack::connect(const simnet::Endpoint& remote,
   conn.on_connect = std::move(handler);
   const std::uint16_t local_port = conn.tuple.local.port;
   auto [it, inserted] = connections_.emplace(id, std::move(conn));
+  index_.insert(&it->second);
   host_.udp_bind(local_port, [this, local_port](const Packet& p) {
     on_datagram(local_port, p);
   });
@@ -106,8 +110,14 @@ void QuicStack::fail_connect(std::uint64_t id, const std::string& error) {
   result.remote = conn.tuple.remote;
   result.started = conn.started;
   result.completed = host_.network().loop().now();
+  index_.erase(&conn);
   connections_.erase(it);
   if (handler) handler(result);
+}
+
+void QuicStack::remove_connection(ConnectionState& conn) {
+  index_.erase(&conn);
+  connections_.erase(conn.id);
 }
 
 void QuicStack::send_packet(const FourTuple& tuple, char type,
@@ -122,10 +132,7 @@ void QuicStack::send_packet(const FourTuple& tuple, char type,
 }
 
 QuicStack::ConnectionState* QuicStack::find_by_tuple(const FourTuple& tuple) {
-  for (auto& [id, conn] : connections_) {
-    if (conn.tuple == tuple) return &conn;
-  }
-  return nullptr;
+  return index_.find(tuple);
 }
 
 void QuicStack::on_datagram(std::uint16_t local_port, const Packet& packet) {
@@ -154,14 +161,15 @@ void QuicStack::on_datagram(std::uint16_t local_port, const Packet& packet) {
       server_conn.state = State::kEstablished;
       server_conn.tuple = tuple;
       server_conn.started = host_.network().loop().now();
-      connections_.emplace(id, std::move(server_conn));
+      auto [sit, sinserted] = connections_.emplace(id, std::move(server_conn));
+      index_.insert(&sit->second);
       if (listener->second) listener->second(id, tuple.remote);
     }
     send_packet(tuple, kHandshake);
     if (action == AcceptAction::kAcceptThenReset) {
       send_packet(tuple, kClose);
       if (ConnectionState* created = find_by_tuple(tuple)) {
-        connections_.erase(created->id);
+        remove_connection(*created);
       }
     }
     return;
@@ -175,7 +183,7 @@ void QuicStack::on_datagram(std::uint16_t local_port, const Packet& packet) {
     if (conn->state == State::kInitialSent) {
       fail_connect(conn->id, "refused");
     } else {
-      connections_.erase(conn->id);
+      remove_connection(*conn);
     }
     return;
   }

@@ -9,7 +9,10 @@ using simnet::Packet;
 using simnet::Protocol;
 using simnet::TcpFlags;
 
-TcpStack::TcpStack(simnet::Host& host) : host_{host} {
+TcpStack::TcpStack(simnet::Host& host)
+    : host_{host},
+      connections_{host.network().memory()},
+      index_{host.network().memory()} {
   host_.set_protocol_handler(Protocol::kTcp,
                              [this](const Packet& p) { on_packet(p); });
 }
@@ -44,6 +47,7 @@ std::uint64_t TcpStack::connect(const simnet::Endpoint& remote,
   conn.started = host_.network().loop().now();
   conn.on_connect = std::move(handler);
   auto [it, inserted] = connections_.emplace(id, std::move(conn));
+  index_.insert(&it->second);
   send_syn(it->second);
   return id;
 }
@@ -88,8 +92,14 @@ void TcpStack::fail_connect(std::uint64_t id, const std::string& error) {
   result.remote = conn.tuple.remote;
   result.started = conn.started;
   result.completed = host_.network().loop().now();
+  index_.erase(&conn);
   connections_.erase(it);
   if (handler) handler(result);
+}
+
+void TcpStack::remove_connection(ConnectionState& conn) {
+  index_.erase(&conn);
+  connections_.erase(conn.id);
 }
 
 void TcpStack::send_flags(const FourTuple& tuple, TcpFlags flags,
@@ -104,10 +114,7 @@ void TcpStack::send_flags(const FourTuple& tuple, TcpFlags flags,
 }
 
 TcpStack::ConnectionState* TcpStack::find_by_tuple(const FourTuple& tuple) {
-  for (auto& [id, conn] : connections_) {
-    if (conn.tuple == tuple) return &conn;
-  }
-  return nullptr;
+  return index_.find(tuple);
 }
 
 void TcpStack::on_packet(const Packet& packet) {
@@ -139,12 +146,13 @@ void TcpStack::on_packet(const Packet& packet) {
     server_conn.state = State::kSynReceived;
     server_conn.tuple = tuple;
     server_conn.started = host_.network().loop().now();
-    connections_.emplace(id, std::move(server_conn));
+    auto [sit, sinserted] = connections_.emplace(id, std::move(server_conn));
+    index_.insert(&sit->second);
     send_flags(tuple, TcpFlags{.syn = true, .ack = true});
     if (action == AcceptAction::kAcceptThenReset) {
       // Mid-handshake reset: the SYN-ACK is on the wire, the RST chases it.
       send_flags(tuple, TcpFlags{.rst = true});
-      connections_.erase(id);
+      remove_connection(sit->second);
     }
     return;
   }
@@ -161,7 +169,7 @@ void TcpStack::on_packet(const Packet& packet) {
     if (conn->state == State::kSynSent) {
       fail_connect(conn->id, "refused");
     } else {
-      connections_.erase(conn->id);
+      remove_connection(*conn);
     }
     return;
   }
@@ -203,7 +211,7 @@ void TcpStack::on_packet(const Packet& packet) {
       return;
     case State::kEstablished:
       if (packet.tcp.fin) {
-        connections_.erase(conn->id);
+        remove_connection(*conn);
         return;
       }
       if (!packet.payload.empty() && data_handler_) {
@@ -236,6 +244,7 @@ void TcpStack::close(std::uint64_t conn_id) {
   if (it->second.state == State::kEstablished) {
     send_flags(it->second.tuple, TcpFlags{.ack = true, .fin = true});
   }
+  index_.erase(&it->second);
   connections_.erase(it);
 }
 

@@ -9,12 +9,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory_resource>
 #include <span>
 #include <vector>
 
 #include "simnet/host.h"
 #include "simnet/network.h"
 #include "transport/connection.h"
+#include "transport/tuple_index.h"
 
 namespace lazyeye::transport {
 
@@ -79,12 +81,6 @@ class TcpStack {
   std::size_t established_count() const;
 
  private:
-  struct FourTuple {
-    simnet::Endpoint local;
-    simnet::Endpoint remote;
-    auto operator<=>(const FourTuple&) const = default;
-  };
-
   enum class State { kSynSent, kSynReceived, kEstablished };
 
   struct ConnectionState {
@@ -105,9 +101,16 @@ class TcpStack {
   void send_syn(ConnectionState& conn);
   void fail_connect(std::uint64_t id, const std::string& error);
   ConnectionState* find_by_tuple(const FourTuple& tuple);
+  /// Unlinks the connection from the tuple index and the id map.
+  void remove_connection(ConnectionState& conn);
 
   simnet::Host& host_;
-  std::map<std::uint64_t, ConnectionState> connections_;
+  /// Id-keyed, node-based: entries are pointer-stable, which the tuple
+  /// index relies on. Nodes draw from the owning world's memory resource.
+  std::pmr::map<std::uint64_t, ConnectionState> connections_;
+  /// Four-tuple -> connection demux for the per-packet path (replaces the
+  /// old linear scan; same lowest-id-match semantics).
+  TupleIndex<ConnectionState> index_;
   std::map<std::uint16_t, AcceptHandler> listeners_;
   DataHandler data_handler_;
   AcceptInterposer accept_interposer_;

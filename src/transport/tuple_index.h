@@ -1,0 +1,124 @@
+// Four-tuple -> connection hash index shared by the TCP and QUIC stacks.
+//
+// Both stacks keep connections in an id-keyed map and used to answer
+// "which connection owns this inbound packet?" with a linear scan over every
+// live connection — O(n) per packet, which dominated cells with many
+// parallel attempts (the paper's address-selection grids open dozens).
+//
+// TupleIndex is an open-addressing table (power-of-two capacity, linear
+// probing, backward-shift deletion — no tombstones) holding raw pointers
+// into the stacks' node-based connection maps, whose entries are
+// pointer-stable. Semantics intentionally mirror the old scan:
+//
+//   * find() returns the LOWEST-ID connection matching the tuple, exactly
+//     like a linear scan over the id-ordered std::map did, so duplicate
+//     tuples (however unlikely) resolve identically.
+//   * erase() removes one exact (tuple, pointer) entry; other connections
+//     sharing the tuple stay indexed.
+//
+// `Conn` must expose `.tuple` (a FourTuple) and `.id` (uint64). The table
+// draws from a std::pmr::memory_resource so arena-backed worlds index
+// without touching the global heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory_resource>
+#include <vector>
+
+#include "transport/connection.h"
+
+namespace lazyeye::transport {
+
+template <typename Conn>
+class TupleIndex {
+ public:
+  explicit TupleIndex(
+      std::pmr::memory_resource* memory = std::pmr::get_default_resource())
+      : slots_{memory} {}
+
+  std::size_t size() const { return size_; }
+
+  void insert(Conn* conn) {
+    if (slots_.empty()) rehash(kInitialCapacity);
+    // Keep load factor under 3/4 so probe chains stay short.
+    if ((size_ + 1) * 4 > slots_.size() * 3) rehash(slots_.size() * 2);
+    insert_no_grow(conn);
+    ++size_;
+  }
+
+  /// Lowest-id connection matching `tuple`, or nullptr.
+  Conn* find(const FourTuple& tuple) const {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    Conn* best = nullptr;
+    for (std::size_t i = four_tuple_hash(tuple) & mask; slots_[i] != nullptr;
+         i = (i + 1) & mask) {
+      Conn* c = slots_[i];
+      if (c->tuple == tuple && (best == nullptr || c->id < best->id)) {
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  /// Removes the entry for exactly `conn` (matched by pointer). No-op if the
+  /// connection was never indexed.
+  void erase(Conn* conn) {
+    if (slots_.empty()) return;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = four_tuple_hash(conn->tuple) & mask;
+    while (slots_[i] != conn) {
+      if (slots_[i] == nullptr) return;  // not indexed
+      i = (i + 1) & mask;
+    }
+    slots_[i] = nullptr;
+    --size_;
+    // Backward-shift: close the hole so later probes never stop early.
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      Conn* c = slots_[j];
+      if (c == nullptr) return;
+      const std::size_t home = four_tuple_hash(c->tuple) & mask;
+      // Move c into the hole unless its home lies in (i, j] cyclically —
+      // i.e. unless the hole sits before c's own probe start.
+      const bool home_in_hole_range =
+          (i < j) ? (home > i && home <= j) : (home > i || home <= j);
+      if (!home_in_hole_range) {
+        slots_[i] = c;
+        slots_[j] = nullptr;
+        i = j;
+      }
+    }
+  }
+
+  void clear() {
+    for (auto& s : slots_) s = nullptr;
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  void insert_no_grow(Conn* conn) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = four_tuple_hash(conn->tuple) & mask;
+    while (slots_[i] != nullptr) i = (i + 1) & mask;
+    slots_[i] = conn;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::pmr::vector<Conn*> old = std::move(slots_);
+    slots_ = std::pmr::vector<Conn*>{old.get_allocator()};
+    slots_.assign(new_capacity, nullptr);
+    for (Conn* c : old) {
+      if (c != nullptr) insert_no_grow(c);
+    }
+  }
+
+  std::pmr::vector<Conn*> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lazyeye::transport

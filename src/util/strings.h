@@ -12,6 +12,24 @@ namespace lazyeye {
 /// Splits on a single character; keeps empty fields.
 std::vector<std::string> split(std::string_view s, char sep);
 
+/// Allocation-free split: invokes `fn(field)` for each (possibly empty)
+/// string_view field, in order. `fn` returning false stops the walk and
+/// makes for_each_split return false. Hot parsers use this instead of
+/// split() to avoid materialising a vector of std::string temporaries.
+template <typename Fn>
+bool for_each_split(std::string_view s, char sep, Fn&& fn) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, start);
+    const std::string_view field =
+        pos == std::string_view::npos ? s.substr(start)
+                                      : s.substr(start, pos - start);
+    if (!fn(field)) return false;
+    if (pos == std::string_view::npos) return true;
+    start = pos + 1;
+  }
+}
+
 /// ASCII lowercase copy.
 std::string to_lower(std::string_view s);
 

@@ -92,7 +92,10 @@ RepetitionOutcome WebTool::run_repetition(const clients::ClientProfile& profile,
   const std::size_t buckets = config_.delays.size();
 
   // ---- Persistent deployment (one world for the whole repetition). --------
-  simnet::Network net{spec.world_seed()};
+  // Leased, arena-backed world: consecutive repetitions on this worker
+  // thread rebuild into the same warm chunks.
+  simnet::WorldLease lease;
+  simnet::Network net{lease.memory(), spec.world_seed()};
   simnet::Host& server = net.add_host("webtool-server");
   simnet::Host& client_host = net.add_host("client");
   client_host.add_address(IpAddress::must_parse("10.0.0.2"));
@@ -181,8 +184,8 @@ RepetitionOutcome WebTool::run_repetition(const clients::ClientProfile& profile,
   for (std::size_t i = 0; i < buckets; ++i) {
     clients::FetchResult fetch;
     bool done = false;
-    client.fetch(domains[i], 443, [&](const clients::FetchResult& r) {
-      fetch = r;
+    client.fetch(domains[i], 443, [&](clients::FetchResult r) {
+      fetch = std::move(r);
       done = true;
     });
     net.loop().run();

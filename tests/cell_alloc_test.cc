@@ -1,0 +1,83 @@
+// Per-cell setup/teardown allocation regression test.
+//
+// The arena/pool cell-lifecycle overhaul brought one warm small-cell CAD run
+// (build world, one fetch, tear down) from ~406 heap allocations to ~80.
+// This test holds that win with a count-based gate, the same approach as the
+// PR 5 zero-alloc data-path check: global operator new counting, a warm-up
+// phase that fills the thread's scenario pool / buffer pools / DNS message
+// pools to their high-water marks, then a measured run of cells. Counting
+// (not timing) keeps the gate deterministic on 1-core CI runners and under
+// sanitizers.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "clients/profiles.h"
+#include "testbed/testbed.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace lazyeye {
+namespace {
+
+// 5x under the ~406-allocation baseline the overhaul started from. A warm
+// cell measures ~80 today; the budget leaves a little slack for library
+// variation without letting a per-cell cost creep back in.
+constexpr std::uint64_t kPerCellBudget = 81;
+
+TEST(CellAllocTest, WarmSmallCellStaysUnderBudget) {
+  const auto profile = clients::chromium_profile("Chrome", "130.0", "10-2024");
+  testbed::LocalTestbed bed;
+
+  // Warm-up: first cells grow the pooled arenas, buffer pools and
+  // thread-local DNS message pools to this workload's high-water marks.
+  for (int i = 0; i < 16; ++i) {
+    bed.run_cad_case(profile, ms(50), i);
+  }
+
+  // Measure a batch (not a single cell) so one-off lazy initialisations
+  // hiding in libraries average out instead of failing the gate flakily.
+  constexpr std::uint64_t kCells = 32;
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < kCells; ++i) {
+    bed.run_cad_case(profile, ms(50), static_cast<int>(16 + i));
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  const std::uint64_t per_cell = (after - before) / kCells;
+  EXPECT_LE(per_cell, kPerCellBudget)
+      << "warm per-cell allocations regressed: " << per_cell << " > budget "
+      << kPerCellBudget << " (total " << (after - before) << " over "
+      << kCells << " cells)";
+}
+
+// The run itself must still mean something: a cell that silently stopped
+// doing work would pass any allocation gate.
+TEST(CellAllocTest, MeasuredCellsProduceRealRuns) {
+  const auto profile = clients::chromium_profile("Chrome", "130.0", "10-2024");
+  testbed::LocalTestbed bed;
+  const auto record = bed.run_cad_case(profile, ms(50), 0);
+  EXPECT_TRUE(record.fetch_ok);
+  EXPECT_TRUE(record.established_family.has_value());
+}
+
+}  // namespace
+}  // namespace lazyeye

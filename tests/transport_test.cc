@@ -2,8 +2,12 @@
 // RST/refusal, blackhole timeouts, aborts, data transfer.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "simnet/network.h"
 #include "transport/quic.h"
+#include "transport/tuple_index.h"
 #include "transport/tcp.h"
 
 namespace lazyeye::transport {
@@ -280,6 +284,144 @@ TEST_F(TransportFixture, TcpAndQuicCoexistOnSameHost) {
   net.loop().run();
   EXPECT_TRUE(tcp_result.ok);
   EXPECT_TRUE(quic_result.ok);
+}
+
+// ---------------------------------------------------------- tuple index ----
+// The open-addressing four-tuple index replaced the per-packet linear scan;
+// these tests pin its semantics to the scan it replaced: lowest-id wins on
+// duplicate tuples, erase removes exactly one connection, and slots freed by
+// a close are immediately reusable.
+
+struct FakeConn {
+  FourTuple tuple;
+  std::uint64_t id = 0;
+};
+
+FourTuple tuple_for(std::uint16_t local_port, std::uint16_t remote_port) {
+  FourTuple t;
+  t.local = {IpAddress::must_parse("10.0.0.1"), local_port};
+  t.remote = {IpAddress::must_parse("10.0.0.2"), remote_port};
+  return t;
+}
+
+TEST(TupleIndexTest, FindAfterInsertAndErase) {
+  TupleIndex<FakeConn> index;
+  FakeConn a{tuple_for(1000, 443), 1};
+  FakeConn b{tuple_for(1001, 443), 2};
+  EXPECT_EQ(index.find(a.tuple), nullptr);
+
+  index.insert(&a);
+  index.insert(&b);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.find(a.tuple), &a);
+  EXPECT_EQ(index.find(b.tuple), &b);
+
+  index.erase(&a);
+  EXPECT_EQ(index.find(a.tuple), nullptr);
+  EXPECT_EQ(index.find(b.tuple), &b);
+  index.erase(&a);  // double-erase is a no-op
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(TupleIndexTest, DuplicateTuplesResolveToLowestId) {
+  // The old id-ordered linear scan returned the lowest-id match; duplicate
+  // tuples must keep resolving identically, whichever insertion order.
+  TupleIndex<FakeConn> index;
+  FakeConn high{tuple_for(1000, 443), 7};
+  FakeConn low{tuple_for(1000, 443), 3};
+  index.insert(&high);
+  index.insert(&low);
+  EXPECT_EQ(index.find(high.tuple), &low);
+
+  index.erase(&low);
+  EXPECT_EQ(index.find(high.tuple), &high);
+}
+
+TEST(TupleIndexTest, CollidingHashesProbeCorrectly) {
+  // Many tuples land in a 16-slot initial table, forcing probe chains and
+  // backward-shift deletions through shared clusters. Verify every survivor
+  // stays findable after each erase — the classic tombstone-free pitfall.
+  TupleIndex<FakeConn> index;
+  std::vector<FakeConn> conns;
+  conns.reserve(64);
+  for (std::uint16_t i = 0; i < 64; ++i) {
+    conns.push_back(FakeConn{tuple_for(2000 + i, 443), i + 1u});
+  }
+  for (auto& c : conns) index.insert(&c);
+
+  // Erase every third connection and re-verify the rest each time.
+  for (std::size_t victim = 0; victim < conns.size(); victim += 3) {
+    index.erase(&conns[victim]);
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      if (i % 3 == 0 && i <= victim) {
+        EXPECT_EQ(index.find(conns[i].tuple), nullptr);
+      } else {
+        EXPECT_EQ(index.find(conns[i].tuple), &conns[i]) << "conn " << i;
+      }
+    }
+  }
+}
+
+TEST(TupleIndexTest, ManyConnectionStress) {
+  // Grow through several rehashes, then churn: close half, reopen with new
+  // ids on the same tuples (port reuse after close), and confirm lookups.
+  TupleIndex<FakeConn> index;
+  constexpr std::size_t kConns = 1024;
+  std::vector<FakeConn> conns;
+  conns.reserve(kConns * 2);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    conns.push_back(FakeConn{
+        tuple_for(static_cast<std::uint16_t>(1024 + i),
+                  static_cast<std::uint16_t>(443 + (i % 7))),
+        i + 1});
+    index.insert(&conns.back());
+  }
+  EXPECT_EQ(index.size(), kConns);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    ASSERT_EQ(index.find(conns[i].tuple), &conns[i]);
+  }
+
+  // Close the even half...
+  for (std::size_t i = 0; i < kConns; i += 2) index.erase(&conns[i]);
+  EXPECT_EQ(index.size(), kConns / 2);
+
+  // ...and reconnect on the same tuples with fresh (higher) ids.
+  for (std::size_t i = 0; i < kConns; i += 2) {
+    conns.push_back(FakeConn{conns[i].tuple, kConns + i + 1});
+    index.insert(&conns.back());
+  }
+  EXPECT_EQ(index.size(), kConns);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    FakeConn* found = index.find(conns[i].tuple);
+    ASSERT_NE(found, nullptr) << "conn " << i;
+    if (i % 2 == 0) {
+      EXPECT_EQ(found->id, kConns + i + 1) << "reused tuple " << i;
+    } else {
+      EXPECT_EQ(found, &conns[i]);
+    }
+  }
+}
+
+TEST_F(TransportFixture, ManyParallelConnectionsKeepDistinctTuples) {
+  // End-to-end index coverage: dozens of parallel attempts (the address-
+  // selection grid shape) must each complete a distinct handshake with data
+  // flowing to the right connection — any index mixup would cross-deliver.
+  server->listen(443);
+  constexpr int kAttempts = 40;
+  int completed = 0;
+  std::vector<std::uint64_t> conn_ids;
+  for (int i = 0; i < kAttempts; ++i) {
+    client->connect({IpAddress::must_parse("10.0.0.2"), 443}, {},
+                    [&](const ConnectResult& r) {
+                      ASSERT_TRUE(r.ok) << r.error;
+                      conn_ids.push_back(r.connection_id);
+                      ++completed;
+                    });
+  }
+  net.loop().run();
+  EXPECT_EQ(completed, kAttempts);
+  std::set<std::uint64_t> distinct{conn_ids.begin(), conn_ids.end()};
+  EXPECT_EQ(distinct.size(), conn_ids.size());
 }
 
 }  // namespace
