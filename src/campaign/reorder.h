@@ -1,0 +1,92 @@
+// ReorderBuffer: spec-order delivery of out-of-order cell completions.
+//
+// Workers finish cells in arbitrary order; the sink contract (sink.h)
+// promises delivery in spec order, serialised. This class owns that
+// invariant: complete() parks the finished cell, then drains every
+// consecutively-ready cell to the sink while holding the buffer mutex — so
+// the mutex doubles as the sink's serialisation capability. Sinks
+// (SketchSink, CollectingSink, ...) stay lock-free because every cell()
+// call happens under this one lock.
+//
+// Extracted from CampaignRunner::run_streaming so the pending map, emit
+// cursor, and failure latch are GUARDED_BY a named mutex that clang
+// -Wthread-safety can check, instead of loose locals captured by lambdas
+// (which the analysis cannot follow).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "campaign/scenario.h"
+#include "campaign/sink.h"
+#include "util/mutex.h"
+
+namespace lazyeye::campaign {
+
+/// Reorders completed cells into spec order and streams them to a sink.
+/// Thread-safe: complete() may be called concurrently from any worker.
+template <typename R>
+class ReorderBuffer {
+ public:
+  /// `backed` is the materialised spec vector for view()/of() streams (specs
+  /// are delivered straight out of it, no per-cell copy), or nullptr for
+  /// lazy streams (each completion carries its own generated spec).
+  explicit ReorderBuffer(const std::vector<ScenarioSpec>* backed)
+      : backed_{backed} {}
+
+  /// Records cell `index` as complete and delivers it — and every later
+  /// cell already parked behind it — to `sink` in spec order. Returns the
+  /// new next-undelivered index for claim-gate pacing. If the sink throws,
+  /// delivery latches off (the campaign is failing; no worker may deliver a
+  /// moved-from cell) and the exception propagates to the caller.
+  std::size_t complete(std::size_t index, ScenarioSpec spec, R outcome,
+                       ResultSink<R>& sink) EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    pending_.emplace(index,
+                     PendingCell{std::move(spec), std::move(outcome)});
+    while (!delivery_failed_) {
+      const auto ready = pending_.find(next_to_emit_);
+      if (ready == pending_.end()) break;
+      PendingCell cell = std::move(ready->second);
+      pending_.erase(ready);
+      const std::size_t i = next_to_emit_++;
+      try {
+        sink.cell(backed_ != nullptr ? (*backed_)[i] : cell.spec,
+                  std::move(cell.outcome));
+      } catch (...) {
+        delivery_failed_ = true;
+        throw;
+      }
+    }
+    if (pending_.size() > high_water_) high_water_ = pending_.size();
+    return next_to_emit_;
+  }
+
+  /// Max completed cells ever parked awaiting an earlier one. Call after
+  /// the campaign drained (it reads under the lock, but the interesting
+  /// value is the final one).
+  std::size_t high_water() const EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    return high_water_;
+  }
+
+ private:
+  struct PendingCell {
+    ScenarioSpec spec;  // empty for backed streams
+    R outcome;
+  };
+
+  const std::vector<ScenarioSpec>* const backed_;
+  mutable util::Mutex mutex_;
+  /// Finished cells awaiting an earlier cell's delivery, keyed by index.
+  std::map<std::size_t, PendingCell> pending_ GUARDED_BY(mutex_);
+  /// Next index the sink has not seen yet (== cells delivered so far).
+  std::size_t next_to_emit_ GUARDED_BY(mutex_) = 0;
+  /// Latched on the first sink throw; stops all further delivery.
+  bool delivery_failed_ GUARDED_BY(mutex_) = false;
+  std::size_t high_water_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace lazyeye::campaign

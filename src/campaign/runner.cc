@@ -2,8 +2,9 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.h"
 
 namespace lazyeye::campaign {
 
@@ -34,10 +35,10 @@ int CampaignRunner::run_indexed(std::size_t count,
   // (done, total) calls, so the claim cannot move outside it — which also
   // means a plain counter under the mutex is all the synchronisation left.
   std::size_t done = 0;
-  std::mutex progress_mutex;
+  util::Mutex progress_mutex;
   const bool report = static_cast<bool>(options_.progress);
   auto report_progress = [&] {
-    std::lock_guard<std::mutex> lock{progress_mutex};
+    util::MutexLock lock{progress_mutex};
     options_.progress(++done, count);
   };
 
@@ -52,7 +53,7 @@ int CampaignRunner::run_indexed(std::size_t count,
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  util::Mutex error_mutex;
 
   auto worker_body = [&] {
     while (!failed.load(std::memory_order_relaxed)) {
@@ -68,7 +69,7 @@ int CampaignRunner::run_indexed(std::size_t count,
         if (report) report_progress();
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock{error_mutex};
+          util::MutexLock lock{error_mutex};
           if (!first_error) first_error = std::current_exception();
         }
         failed.store(true, std::memory_order_relaxed);

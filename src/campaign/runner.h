@@ -19,18 +19,17 @@
 //     cell, so matrix size never dictates memory high-water.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <map>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "campaign/reorder.h"
 #include "campaign/scenario.h"
 #include "campaign/sink.h"
 #include "campaign/spec_stream.h"
 #include "campaign/worker_pool.h"
+#include "util/mutex.h"
 
 namespace lazyeye::campaign {
 
@@ -83,8 +82,8 @@ class CampaignRunner {
   /// The worker count a matrix of `jobs` cells would actually use.
   int resolved_workers(std::size_t jobs) const;
 
-  RunStats last_run_stats() const {
-    std::lock_guard<std::mutex> lock{stats_mutex_};
+  RunStats last_run_stats() const EXCLUDES(stats_mutex_) {
+    util::MutexLock lock{stats_mutex_};
     return stats_;
   }
 
@@ -103,43 +102,15 @@ class CampaignRunner {
   void run_streaming(const SpecStream& specs,
                      const std::function<R(const ScenarioSpec&)>& executor,
                      ResultSink<R>& sink) const {
-    struct PendingCell {
-      ScenarioSpec spec;  // stays empty for backed streams (see below)
-      R outcome;
-    };
     // Streams backed by a materialised matrix (view()/of()) deliver specs
     // straight out of that vector — no per-cell ScenarioSpec copy on the
     // v1-style vector entry points. Only truly lazy streams generate and
     // carry a spec per cell.
     const std::vector<ScenarioSpec>* backed = specs.backing();
-    std::map<std::size_t, PendingCell> pending;  // finished, awaiting delivery
-    std::mutex emit_mutex;
-    std::size_t next_to_emit = 0;
-    bool delivery_failed = false;
+    ReorderBuffer<R> reorder{backed};
     ClaimGate gate{options_.max_reorder_ahead};
     RunStats run_stats;  // published to stats_ only when the run completes
     run_stats.cells = specs.size();
-
-    // Caller holds emit_mutex. Claims each ready cell before delivering: if
-    // the sink throws, no other worker's drain may re-deliver it (it would
-    // be moved-from), and delivery stops for good — the exception surfaces
-    // as the campaign's first error.
-    auto drain_ready = [&](ResultSink<R>& out) {
-      while (!delivery_failed) {
-        const auto ready = pending.find(next_to_emit);
-        if (ready == pending.end()) break;
-        PendingCell cell = std::move(ready->second);
-        pending.erase(ready);
-        const std::size_t index = next_to_emit++;
-        try {
-          out.cell(backed != nullptr ? (*backed)[index] : cell.spec,
-                   std::move(cell.outcome));
-        } catch (...) {
-          delivery_failed = true;
-          throw;
-        }
-      }
-    };
 
     sink.begin(specs.size());
     run_stats.workers_used = run_indexed(
@@ -148,17 +119,17 @@ class CampaignRunner {
           ScenarioSpec spec;  // generated per cell only for lazy streams
           if (backed == nullptr) spec = specs.at(i);
           R outcome = executor(backed != nullptr ? (*backed)[i] : spec);
-          std::lock_guard<std::mutex> lock{emit_mutex};
-          pending.emplace(i, PendingCell{std::move(spec), std::move(outcome)});
-          drain_ready(sink);
-          if (pending.size() > run_stats.reorder_high_water) {
-            run_stats.reorder_high_water = pending.size();
-          }
-          gate.advance(next_to_emit);
+          // complete() drains every ready cell to the sink under the
+          // reorder mutex and hands back the new emit cursor. advance() is
+          // monotonic, so pacing the gate with a value read outside the
+          // reorder lock is safe — a stale (smaller) cursor is ignored.
+          gate.advance(reorder.complete(i, std::move(spec),
+                                        std::move(outcome), sink));
         },
         &gate);
+    run_stats.reorder_high_water = reorder.high_water();
     {
-      std::lock_guard<std::mutex> lock{stats_mutex_};
+      util::MutexLock lock{stats_mutex_};
       stats_ = run_stats;
     }
     sink.end();
@@ -207,32 +178,34 @@ class CampaignRunner {
 
     /// Blocks until index may run. Returns false when the campaign failed
     /// while waiting (the caller must not run the cell).
-    bool wait_for_claim(std::size_t index) {
+    bool wait_for_claim(std::size_t index) EXCLUDES(mutex_) {
       if (max_ahead_ == 0) return true;
-      std::unique_lock<std::mutex> lock{mutex_};
-      cv_.wait(lock, [&] {
-        // Saturating form of index <= window_base_ + max_ahead_ (a huge
-        // cap like SIZE_MAX must mean "unbounded", not wrap to zero).
-        return aborted_ || index <= max_ahead_ ||
-               index - max_ahead_ <= window_base_;
-      });
+      util::MutexLock lock{mutex_};
+      // Saturating form of index <= window_base_ + max_ahead_ (a huge
+      // cap like SIZE_MAX must mean "unbounded", not wrap to zero).
+      while (!aborted_ && index > max_ahead_ &&
+             index - max_ahead_ > window_base_) {
+        cv_.wait(mutex_);
+      }
       return !aborted_;
     }
 
-    void advance(std::size_t next_to_emit) {
+    /// Monotonic: a next_to_emit at or below the current window base is a
+    /// no-op, so callers may pass cursors read outside the emit lock.
+    void advance(std::size_t next_to_emit) EXCLUDES(mutex_) {
       if (max_ahead_ == 0) return;
       {
-        std::lock_guard<std::mutex> lock{mutex_};
+        util::MutexLock lock{mutex_};
         if (next_to_emit <= window_base_) return;
         window_base_ = next_to_emit;
       }
       cv_.notify_all();
     }
 
-    void abort() {
+    void abort() EXCLUDES(mutex_) {
       if (max_ahead_ == 0) return;
       {
-        std::lock_guard<std::mutex> lock{mutex_};
+        util::MutexLock lock{mutex_};
         aborted_ = true;
       }
       cv_.notify_all();
@@ -240,10 +213,11 @@ class CampaignRunner {
 
    private:
     const std::size_t max_ahead_;  // 0 = unbounded, gate is a no-op
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::size_t window_base_ = 0;  // next undelivered cell
-    bool aborted_ = false;
+    util::Mutex mutex_;
+    util::CondVar cv_;
+    /// Next undelivered cell.
+    std::size_t window_base_ GUARDED_BY(mutex_) = 0;
+    bool aborted_ GUARDED_BY(mutex_) = false;
   };
 
   /// Non-template core: runs job(0..count-1) across the pool, pacing claims
@@ -254,8 +228,9 @@ class CampaignRunner {
                   ClaimGate* gate) const;
 
   RunnerOptions options_;
-  mutable std::mutex stats_mutex_;  // guards stats_ (see last_run_stats)
-  mutable RunStats stats_;
+  mutable util::Mutex stats_mutex_;
+  /// See last_run_stats(): last completed run wins.
+  mutable RunStats stats_ GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace lazyeye::campaign

@@ -13,6 +13,11 @@
 //   - cell(spec, outcome) exactly once per cell, in spec order, serialised
 //     (never concurrently) — but possibly from different worker threads.
 //   - end() once after the last cell; skipped when an executor throws.
+//
+// The serialisation is concrete, not just documented: every cell() call is
+// made while holding the ReorderBuffer's mutex (reorder.h), so sink state
+// (SketchSink's sketches, CollectingSink's vectors) needs no locking of its
+// own — the reorder mutex is the sink's capability.
 #pragma once
 
 #include <cstddef>

@@ -42,21 +42,25 @@ WorkerPool& WorkerPool::shared() {
 }
 
 WorkerPool::~WorkerPool() {
+  // Swap the thread table out under the lock (it is GUARDED_BY state_mutex_
+  // and join must not hold it — workers re-acquire it on their way out).
+  std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock{state_mutex_};
+    util::MutexLock lock{state_mutex_};
     stopping_ = true;
+    threads.swap(threads_);
   }
   work_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  for (std::thread& t : threads) t.join();
 }
 
 int WorkerPool::threads_started() const {
-  std::lock_guard<std::mutex> lock{state_mutex_};
+  util::MutexLock lock{state_mutex_};
   return static_cast<int>(threads_.size());
 }
 
 std::uint64_t WorkerPool::jobs_run() const {
-  std::lock_guard<std::mutex> lock{state_mutex_};
+  util::MutexLock lock{state_mutex_};
   return jobs_run_;
 }
 
@@ -73,7 +77,7 @@ void WorkerPool::run_job(int helpers, const std::function<void()>& body) {
     // queueing would self-deadlock. Run the inner campaign on transient
     // threads instead — the pre-pool behaviour, paid only on recursion.
     {
-      std::lock_guard<std::mutex> lock{state_mutex_};
+      util::MutexLock lock{state_mutex_};
       ++jobs_run_;
     }
     std::vector<std::thread> transient;
@@ -91,12 +95,12 @@ void WorkerPool::run_job(int helpers, const std::function<void()>& body) {
   }
   // One campaign at a time per pool: a concurrent second campaign parks
   // here instead of interleaving with the first one's claim cursor.
-  std::lock_guard<std::mutex> job_lock{job_mutex_};
+  util::MutexLock job_lock{job_mutex_};
   std::vector<const WorkerPool*> job_pools = t_running_pools;
   job_pools.push_back(this);
   if (helpers <= 0) {
     {
-      std::lock_guard<std::mutex> lock{state_mutex_};
+      util::MutexLock lock{state_mutex_};
       ++jobs_run_;
     }
     ScopedRunningPools scope{std::move(job_pools)};
@@ -104,7 +108,7 @@ void WorkerPool::run_job(int helpers, const std::function<void()>& body) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock{state_mutex_};
+    util::MutexLock lock{state_mutex_};
     ensure_threads(helpers);
     body_ = &body;
     job_pools_ = &job_pools;  // outlives the job: run_job waits for active_==0
@@ -118,32 +122,35 @@ void WorkerPool::run_job(int helpers, const std::function<void()>& body) {
     ScopedRunningPools scope{job_pools};
     body();  // the calling thread is participant 0
   }
-  std::unique_lock<std::mutex> lock{state_mutex_};
-  done_cv_.wait(lock, [this] { return active_ == 0; });
+  util::MutexLock lock{state_mutex_};
+  while (active_ != 0) done_cv_.wait(state_mutex_);
   body_ = nullptr;
   job_pools_ = nullptr;
 }
 
 void WorkerPool::worker_main() {
   std::uint64_t seen_job = 0;
-  std::unique_lock<std::mutex> lock{state_mutex_};
+  state_mutex_.lock();
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return stopping_ || (job_seq_ != seen_job && open_slots_ > 0);
-    });
-    if (stopping_) return;
+    while (!stopping_ && (job_seq_ == seen_job || open_slots_ <= 0)) {
+      work_cv_.wait(state_mutex_);
+    }
+    if (stopping_) {
+      state_mutex_.unlock();
+      return;
+    }
     // Claim one participant slot of the current campaign. Which threads end
     // up participating is irrelevant: results only depend on cell seeds.
     seen_job = job_seq_;
     --open_slots_;
     const std::function<void()>* body = body_;
     std::vector<const WorkerPool*> pools = *job_pools_;  // copied under lock
-    lock.unlock();
+    state_mutex_.unlock();
     {
       ScopedRunningPools scope{std::move(pools)};
       (*body)();
     }
-    lock.lock();
+    state_mutex_.lock();
     if (--active_ == 0) done_cv_.notify_all();
   }
 }

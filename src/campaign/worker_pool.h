@@ -15,12 +15,12 @@
 // same threads; runners can be pointed at a private pool via RunnerOptions.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace lazyeye::campaign {
 
@@ -55,24 +55,30 @@ class WorkerPool {
 
  private:
   void worker_main();
-  void ensure_threads(int wanted);  // callers hold state_mutex_
+  void ensure_threads(int wanted) REQUIRES(state_mutex_);
 
-  mutable std::mutex state_mutex_;
-  std::condition_variable work_cv_;   // parked workers wait here
-  std::condition_variable done_cv_;   // the campaign thread waits here
-  std::vector<std::thread> threads_;
-  const std::function<void()>* body_ = nullptr;
+  mutable util::Mutex state_mutex_;
+  util::CondVar work_cv_;  // parked workers wait here
+  util::CondVar done_cv_;  // the campaign thread waits here
+  std::vector<std::thread> threads_ GUARDED_BY(state_mutex_);
+  const std::function<void()>* body_ GUARDED_BY(state_mutex_) = nullptr;
   /// Running-pool set of the current job's launching thread (plus this
   /// pool); installed on every worker for the body's duration so nested
   /// campaigns are detected across pool hops (see worker_pool.cc).
-  const std::vector<const WorkerPool*>* job_pools_ = nullptr;
-  std::uint64_t job_seq_ = 0;   // bumped per campaign; workers track it
-  int open_slots_ = 0;          // participants this campaign still wants
-  int active_ = 0;              // participants currently inside body
-  std::uint64_t jobs_run_ = 0;
-  bool stopping_ = false;
+  const std::vector<const WorkerPool*>* job_pools_ GUARDED_BY(state_mutex_) =
+      nullptr;
+  /// Bumped per campaign; workers track it.
+  std::uint64_t job_seq_ GUARDED_BY(state_mutex_) = 0;
+  /// Participants this campaign still wants.
+  int open_slots_ GUARDED_BY(state_mutex_) = 0;
+  /// Participants currently inside body.
+  int active_ GUARDED_BY(state_mutex_) = 0;
+  std::uint64_t jobs_run_ GUARDED_BY(state_mutex_) = 0;
+  bool stopping_ GUARDED_BY(state_mutex_) = false;
 
-  std::mutex job_mutex_;  // serialises whole campaigns on this pool
+  /// Serialises whole campaigns on this pool; always acquired before
+  /// state_mutex_ when both are taken.
+  util::Mutex job_mutex_ ACQUIRED_BEFORE(state_mutex_);
 };
 
 }  // namespace lazyeye::campaign

@@ -164,7 +164,7 @@ void Host::deliver(const Packet& p) {
 }
 
 void Host::notify_taps(const Packet& p, TapDirection dir) {
-  for (const auto& [id, tap] : taps_) tap(p, dir);
+  for (auto& [id, tap] : taps_) tap(p, dir);
 }
 
 }  // namespace lazyeye::simnet

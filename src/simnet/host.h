@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory_resource>
 #include <optional>
 #include <string>
@@ -35,7 +34,9 @@ class Host {
  public:
   using UdpHandler = InlineFunction<void(const Packet&)>;
   using ProtocolHandler = InlineFunction<void(const Packet&)>;
-  using Tap = std::function<void(const Packet&, TapDirection)>;
+  /// Inline like every other simnet callable: capture taps fire per packet,
+  /// and the capture layer's closures are pointer-sized.
+  using Tap = InlineFunction<void(const Packet&, TapDirection)>;
 
   Host(Network& net, std::string name);
   Host(const Host&) = delete;

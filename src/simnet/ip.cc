@@ -187,10 +187,19 @@ std::size_t IpAddress::hash() const {
 }
 
 std::string Endpoint::to_string() const {
+  // Append form: gcc 12's -Wrestrict misfires on `"literal" + string`
+  // chains (PR 105651), and CI builds -Werror.
+  std::string out;
   if (addr.is_v6()) {
-    return "[" + addr.to_string() + "]:" + std::to_string(port);
+    out += '[';
+    out += addr.to_string();
+    out += "]:";
+  } else {
+    out += addr.to_string();
+    out += ':';
   }
-  return addr.to_string() + ":" + std::to_string(port);
+  out += std::to_string(port);
+  return out;
 }
 
 }  // namespace lazyeye::simnet

@@ -18,8 +18,12 @@ std::string Packet::summary() const {
     if (tcp.ack) letters += "A";
     if (tcp.rst) letters += "R";
     if (tcp.fin) letters += "F";
-    if (letters.empty()) letters = ".";
-    flags = " [" + letters + "]";
+    // Append-only forms: gcc 12's -Wrestrict misfires on inlined string
+    // assigns/concats of literals (PR 105651), and CI builds -Werror.
+    if (letters.empty()) letters += '.';
+    flags += " [";
+    flags += letters;
+    flags += ']';
   }
   return lazyeye::str_format(
       "%s %s -> %s%s len=%zu", protocol_name(proto), src.to_string().c_str(),

@@ -49,18 +49,25 @@ std::string TextTable::render() const {
     return out;
   };
 
+  // Append-only string building: gcc 12's -Wrestrict misfires on inlined
+  // `"literal" + std::string` chains (PR 105651), and CI builds -Werror.
   std::string out = "|";
   for (std::size_t c = 0; c < headers_.size(); ++c) {
-    out += " " + pad(headers_[c], c) + " |";
+    out += ' ';
+    out += pad(headers_[c], c);
+    out += " |";
   }
-  out += "\n" + rule();
+  out += '\n';
+  out += rule();
   for (const Row& row : rows_) {
     if (row.separator_before) out += rule();
     out += "|";
     for (std::size_t c = 0; c < headers_.size(); ++c) {
-      out += " " + pad(row.cells[c], c) + " |";
+      out += ' ';
+      out += pad(row.cells[c], c);
+      out += " |";
     }
-    out += "\n";
+    out += '\n';
   }
   return out;
 }

@@ -1,0 +1,64 @@
+// Portable clang thread-safety annotation macros.
+//
+// Wraps the attributes behind __has_attribute so the same headers compile
+// under GCC (which ignores the analysis) and clang with -Wthread-safety
+// (which enforces it — the CI static-analysis job builds with
+// -Wthread-safety -Werror). Apply them through the util::Mutex /
+// util::MutexLock / util::CondVar wrappers in util/mutex.h rather than on
+// raw std::mutex, which carries no capability attribute.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define LAZYEYE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LAZYEYE_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a class to be a capability (lockable resource).
+#define CAPABILITY(x) LAZYEYE_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY LAZYEYE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define GUARDED_BY(x) LAZYEYE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) LAZYEYE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (and keeps it held).
+#define REQUIRES(...) \
+  LAZYEYE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define EXCLUDES(...) LAZYEYE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability (held on return, not on entry).
+#define ACQUIRE(...) \
+  LAZYEYE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define RELEASE(...) \
+  LAZYEYE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define TRY_ACQUIRE(...) \
+  LAZYEYE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (for accessors).
+#define RETURN_CAPABILITY(x) LAZYEYE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Capabilities that must be acquired *before* this one (ordering).
+#define ACQUIRED_BEFORE(...) \
+  LAZYEYE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Capabilities that must be acquired *after* this one (ordering).
+#define ACQUIRED_AFTER(...) \
+  LAZYEYE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: the function's locking is correct but inexpressible.
+/// Every use needs a comment saying why the analysis cannot follow it.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LAZYEYE_THREAD_ANNOTATION(no_thread_safety_analysis)

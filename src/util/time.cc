@@ -22,7 +22,13 @@ std::string trim_zeros(double v, const char* unit) {
 std::string format_duration(SimTime t) {
   const std::int64_t n = t.count();
   if (n == 0) return "0ms";
-  if (n < 0) return "-" + format_duration(-t);
+  if (n < 0) {
+    // Append form: gcc 12's -Wrestrict misfires on `"literal" + string`
+    // (PR 105651), and CI builds -Werror.
+    std::string out{"-"};
+    out += format_duration(-t);
+    return out;
+  }
   if (n % 1'000'000'000 == 0 || n >= 10'000'000'000) {
     return trim_zeros(to_sec(t), "s");
   }

@@ -1,0 +1,64 @@
+// Fixture: lookalikes that must NOT be flagged by any rule, even when
+// scanned under src/simnet/ where every rule is in scope.
+//
+// Words that are fine in comments: steady_clock, rand(), std::function,
+// malloc, new, delete — prose is not code.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Pool {
+  void free(void* block);  // member named `free` is pool API, not libc
+  void* data = nullptr;
+};
+
+struct Packet {
+  std::string summary() const { return "rand() steady_clock new delete"; }
+};
+
+struct World {
+  Pool pool;
+  std::unordered_map<std::string, int> index;
+
+  int lookup(const std::string& key) const {
+    const auto it = index.find(key);  // find/count on unordered is fine
+    return it == index.end() ? 0 : it->second;
+  }
+
+  bool known(const std::string& key) const { return index.count(key) > 0; }
+
+  World(const World&) = delete;             // deleted function, not raw delete
+  World& operator=(const World&) = delete;  // ditto
+  World() = default;
+};
+
+struct Host {
+  // A member function named `time` is legal; only the global/std call is
+  // banned.
+  long time_budget = 0;
+  long time() const { return time_budget; }
+};
+
+inline void* construct_in(void* storage) {
+  return ::new (storage) Packet{};  // placement new does not allocate
+}
+
+inline void recycle(Pool& pool, void* block) {
+  pool.free(block);  // member call, not libc free
+}
+
+inline long read_host(const Host& h) { return h.time(); }
+
+inline std::vector<std::string> sorted_names(const World& w,
+                                             std::vector<std::string> keys) {
+  // Deterministic pattern: iterate the *ordered* key list, look up each.
+  std::vector<std::string> out;
+  for (const std::string& k : keys) {
+    if (w.known(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: the same sources as nondeterminism_violation.cc, each carrying a
+// reasoned suppression — the file must scan clean.
+#include "util/time.h"
+
+namespace fixture {
+
+long wall_epoch() {
+  return std::time(nullptr);  // lazylint: nondeterminism-ok(fixture exercises same-line suppression)
+}
+
+int entropy() {
+  // lazylint: nondeterminism-ok(fixture exercises preceding-line suppression)
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();  // lazylint: nondeterminism-ok(fixture)
+}
+
+double jitter_seed() {
+  const auto now = std::chrono::steady_clock::now();  // lazylint: nondeterminism-ok(fixture)
+  return static_cast<double>(now.time_since_epoch().count());
+}
+
+const char* config_home() {
+  return getenv("HOME");  // lazylint: nondeterminism-ok(fixture)
+}
+
+unsigned twister() {
+  std::mt19937 gen{42};  // lazylint: nondeterminism-ok(fixture)
+  return gen();
+}
+
+}  // namespace fixture

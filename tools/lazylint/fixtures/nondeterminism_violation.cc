@@ -1,0 +1,29 @@
+// Fixture: every statement below must be flagged by `nondeterminism`.
+#include "util/time.h"
+
+namespace fixture {
+
+long wall_epoch() {
+  return std::time(nullptr);  // banned call form
+}
+
+int entropy() {
+  std::random_device rd;  // banned identifier
+  return static_cast<int>(rd()) + rand();  // banned unqualified call
+}
+
+double jitter_seed() {
+  const auto now = std::chrono::steady_clock::now();  // banned identifier
+  return static_cast<double>(now.time_since_epoch().count());
+}
+
+const char* config_home() {
+  return getenv("HOME");  // banned identifier
+}
+
+unsigned twister() {
+  std::mt19937 gen{42};  // banned identifier (std RNG, not the seeded Rng)
+  return gen();
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: pointer-keyed ordered containers with reasoned suppressions —
+// must scan clean.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Host;
+
+struct World {
+  std::map<Host*, int> host_ranks;  // lazylint: ptr-order-ok(never iterated, lookup only)
+  // lazylint: ptr-order-ok(debug-only structure, not in any output path)
+  std::set<const Host*> visited;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: every container below must be flagged by `ptr-order`.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Host;
+
+struct World {
+  std::map<Host*, int> host_ranks;        // ordered by address
+  std::set<const Host*> visited;          // ordered by address
+};
+
+bool before(const Host* a, const Host* b) {
+  return std::less<const Host*>{}(a, b);  // address comparison
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: raw allocations with reasoned suppressions (cold paths,
+// process-lifetime singletons) — must scan clean under src/simnet/.
+#include <cstdlib>
+
+namespace fixture {
+
+struct Node {
+  int value = 0;
+};
+
+Node* make_node() {
+  return new Node{};  // lazylint: raw-alloc-ok(cold path, runs once per process)
+}
+
+void drop_node(Node* n) {
+  // lazylint: raw-alloc-ok(paired with the cold-path new above)
+  delete n;
+}
+
+void* scratch(std::size_t bytes) {
+  return std::malloc(bytes);  // lazylint: raw-alloc-ok(fixture)
+}
+
+void release(void* p) {
+  free(p);  // lazylint: raw-alloc-ok(fixture)
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: every allocation below must be flagged by `raw-alloc` when the
+// file is scanned under src/simnet/ (pooled hot-path scope).
+#include <cstdlib>
+
+namespace fixture {
+
+struct Node {
+  int value = 0;
+};
+
+Node* make_node() {
+  return new Node{};  // raw new
+}
+
+void drop_node(Node* n) {
+  delete n;  // raw delete
+}
+
+void* scratch(std::size_t bytes) {
+  return std::malloc(bytes);  // raw malloc
+}
+
+void release(void* p) {
+  free(p);  // raw free
+}
+
+Node* try_node() {
+  return new (std::nothrow) Node{};  // nothrow form still allocates
+}
+
+}  // namespace fixture

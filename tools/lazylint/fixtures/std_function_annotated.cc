@@ -1,0 +1,16 @@
+// Fixture: std::function in the InlineFunction zone with reasoned
+// suppressions — must scan clean under src/simnet/.
+#include <functional>
+
+namespace fixture {
+
+struct Dispatcher {
+  std::function<void(int)> on_event;  // lazylint: std-function-ok(cold config path, never per-packet)
+};
+
+// lazylint: std-function-ok(registration-time only; stored as InlineFunction)
+void install(Dispatcher& d, std::function<void(int)> handler) {
+  d.on_event = handler;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: every std::function below must be flagged by `std-function` when
+// the file is scanned under src/simnet/ (InlineFunction-mandated zone).
+#include <functional>
+
+namespace fixture {
+
+struct Dispatcher {
+  std::function<void(int)> on_event;  // heap-spills per capture
+};
+
+void install(Dispatcher& d, std::function<void(int)> handler) {
+  d.on_event = handler;
+}
+
+}  // namespace fixture

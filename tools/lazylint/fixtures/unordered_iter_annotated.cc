@@ -1,0 +1,33 @@
+// Fixture: unordered iteration with reasoned suppressions (e.g. the result
+// feeds a sort before anything observable) — must scan clean.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Row {
+  std::unordered_map<std::string, int> counts;
+};
+
+int sum_counts(const Row& row) {
+  int total = 0;
+  // lazylint: unordered-iter-ok(sum is order-independent)
+  for (const auto& [name, value] : row.counts) {
+    total += static_cast<int>(name.size()) + value;
+  }
+  return total;
+}
+
+std::vector<int> snapshot(const std::unordered_set<int>& live_ids) {
+  std::vector<int> out;
+  for (auto it = live_ids.begin(); it != live_ids.end(); ++it) {  // lazylint: unordered-iter-ok(sorted before return)
+    out.push_back(*it);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: every loop below must be flagged by `unordered-iter`.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Row {
+  std::unordered_map<std::string, int> counts;
+};
+
+int sum_counts(const Row& row) {
+  int total = 0;
+  for (const auto& [name, value] : row.counts) {  // range-for, hash order
+    total += static_cast<int>(name.size()) + value;
+  }
+  return total;
+}
+
+std::vector<int> snapshot(const std::unordered_set<int>& live_ids) {
+  std::vector<int> out;
+  for (auto it = live_ids.begin(); it != live_ids.end(); ++it) {  // iterator walk
+    out.push_back(*it);
+  }
+  return out;
+}
+
+int first_key(const std::unordered_map<int, int>& table) {
+  return begin(table)->first;  // free-function iterator walk
+}
+
+}  // namespace fixture

@@ -1,0 +1,64 @@
+// lazylint CLI: scans the repo tree and exits non-zero on any finding.
+//
+// Usage:
+//   lazylint [--root <dir>] [--list-rules]
+//
+// Scans src/, bench/, tests/, and examples/ under --root (default: the
+// current directory) and prints one `file:line: rule: message` line per
+// finding. See tools/lazylint/lint.h for the rule set and the inline
+// suppression syntax.
+#include <cstdio>
+#include <string>
+
+#include "lint.h"
+
+namespace {
+
+void print_rules() {
+  using lazyeye::lint::Rule;
+  constexpr struct {
+    Rule rule;
+    const char* summary;
+  } kRules[] = {
+      {Rule::kNondeterminism,
+       "wall clocks / entropy / environment reads in src/ (util/ exempt)"},
+      {Rule::kUnorderedIter,
+       "iteration over unordered containers (hash-order leaks)"},
+      {Rule::kPtrOrder, "ordered containers/comparators keyed by raw pointer"},
+      {Rule::kRawAlloc,
+       "raw new/delete/malloc in src/{simnet,dns,transport} hot paths"},
+      {Rule::kStdFunction, "std::function in src/simnet (InlineFunction zone)"},
+  };
+  for (const auto& r : kRules) {
+    std::printf("%-15s %s\n",
+                std::string{lazyeye::lint::rule_name(r.rule)}.c_str(),
+                r.summary);
+  }
+  std::printf("\nsuppress with: // lazylint: <rule>-ok(<reason>)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    } else {
+      std::fprintf(stderr, "usage: lazylint [--root <dir>] [--list-rules]\n");
+      return 2;
+    }
+  }
+
+  const lazyeye::lint::TreeReport report = lazyeye::lint::scan_tree(root);
+  const std::string rendered =
+      lazyeye::lint::format_findings(report.findings);
+  std::fputs(rendered.c_str(), stdout);
+  std::printf("lazylint: %zu finding%s in %d files\n", report.findings.size(),
+              report.findings.size() == 1 ? "" : "s", report.files_scanned);
+  return report.findings.empty() ? 0 : 1;
+}
