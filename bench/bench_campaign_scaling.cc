@@ -80,6 +80,11 @@ struct WorkerPoint {
   double runs_per_sec = 0.0;
   double cells_per_sec_per_core = 0.0;  // runs_per_sec / workers
   double speedup = 1.0;
+  // Fault-isolation counters (runner.h RunStats): all zero on this clean
+  // workload, surfaced so the perf archive records the health of every run.
+  std::size_t cells_failed = 0;
+  std::size_t cells_retried = 0;
+  std::size_t cells_quarantined = 0;
 };
 
 struct CellCostPoint {
@@ -236,9 +241,11 @@ void write_json(const std::string& path, bool smoke, std::size_t cells,
     std::fprintf(f,
                  "    {\"workers\": %d, \"wall_ms\": %.3f, "
                  "\"runs_per_sec\": %.3f, \"cells_per_sec_per_core\": %.3f, "
-                 "\"speedup\": %.3f}%s\n",
+                 "\"speedup\": %.3f, \"cells_failed\": %zu, "
+                 "\"cells_retried\": %zu, \"cells_quarantined\": %zu}%s\n",
                  p.workers, p.wall_ms, p.runs_per_sec,
-                 p.cells_per_sec_per_core, p.speedup,
+                 p.cells_per_sec_per_core, p.speedup, p.cells_failed,
+                 p.cells_retried, p.cells_quarantined,
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
@@ -303,8 +310,8 @@ int main(int argc, char** argv) {
               smoke ? " (smoke mode)" : "", specs.size(),
               sweep.values().size(), repetitions,
               std::thread::hardware_concurrency());
-  std::printf("%8s %12s %12s %16s %10s\n", "workers", "wall [ms]", "runs/sec",
-              "cells/s/core", "speedup");
+  std::printf("%8s %12s %12s %16s %10s %14s\n", "workers", "wall [ms]",
+              "runs/sec", "cells/s/core", "speedup", "faults f/r/q");
 
   std::vector<WorkerPoint> points;
   double serial_seconds = 0.0;
@@ -361,10 +368,16 @@ int main(int argc, char** argv) {
     point.runs_per_sec = specs.size() / seconds;
     point.cells_per_sec_per_core = point.runs_per_sec / workers;
     point.speedup = serial_seconds / seconds;
+    const campaign::CampaignRunner::RunStats stats = runner.last_run_stats();
+    point.cells_failed = stats.cells_failed;
+    point.cells_retried = stats.cells_retried;
+    point.cells_quarantined = stats.cells_quarantined;
     points.push_back(point);
-    std::printf("%8d %12.1f %12.1f %16.1f %9.2fx\n", workers, point.wall_ms,
-                point.runs_per_sec, point.cells_per_sec_per_core,
-                point.speedup);
+    std::printf("%8d %12.1f %12.1f %16.1f %9.2fx %6zu/%zu/%zu\n", workers,
+                point.wall_ms, point.runs_per_sec,
+                point.cells_per_sec_per_core, point.speedup,
+                point.cells_failed, point.cells_retried,
+                point.cells_quarantined);
   }
 
   std::printf("\nAll worker counts produced byte-identical records and "

@@ -1,0 +1,49 @@
+// FailureReport: the replayable record of a quarantined campaign cell.
+//
+// Per-cell fault isolation (runner.h) turns "one bad cell aborts the whole
+// matrix" into "the bad cell is retried with bounded backoff, then
+// quarantined into this report while the campaign finishes". Because every
+// cell's world derives from its spec alone, the report's (seed, id, label)
+// triple is a complete replay handle: re-running the executor on
+// specs.at(index) reproduces the failure bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lazyeye::campaign {
+
+struct FailureReport {
+  /// Cell index in the spec stream (== spec position; resume-safe handle).
+  std::uint64_t index = 0;
+  /// The spec's envelope fields, copied so the report outlives the stream.
+  std::uint64_t spec_id = 0;
+  std::uint64_t seed = 0;
+  std::string label;
+  std::string client;
+  /// Executor attempts made (1 + retries performed for this cell).
+  int attempts = 0;
+  /// True when the cell was quarantined for exceeding cell_timeout rather
+  /// than throwing.
+  bool timed_out = false;
+  /// what() of the final failure (or the timeout description).
+  std::string error;
+
+  /// The one-line replay: everything needed to re-run this exact cell.
+  std::string replay_line() const {
+    std::string out;
+    out.append("replay: index=");
+    out.append(std::to_string(index));
+    out.append(" seed=");
+    out.append(std::to_string(seed));
+    out.append(" label='");
+    out.append(label);
+    out.append("' attempts=");
+    out.append(std::to_string(attempts));
+    out.append(timed_out ? " (timeout): " : ": ");
+    out.append(error);
+    return out;
+  }
+};
+
+}  // namespace lazyeye::campaign

@@ -1,0 +1,281 @@
+// Journaled campaign execution: crash-safe runs that resume exactly.
+//
+// run_journaled() wraps any CampaignRunner campaign in a CellJournal
+// (journal.h): every delivered cell appends one record through the ordered
+// delivery path, so the journal is always an in-order prefix of the cell
+// range and a crashed run resumes from "first unjournaled cell". Two resume
+// modes, picked by whether a codec is supplied:
+//
+//   codec mode    cell records carry the encoded result; resume replays the
+//                 decoded results into a fresh sink before running the tail.
+//                 Exact for every sink (the sink sees the same cell stream
+//                 an uninterrupted run would deliver).
+//   snapshot mode no codec; cell records are empty markers and the sink's
+//                 save_state() blob is journaled every snapshot_every cells.
+//                 Resume restores the latest snapshot and re-runs the cells
+//                 after it (deterministic executors make this exact too).
+//                 Right for sinks whose state is tiny next to the results —
+//                 SketchSink journals O(metrics) bytes per snapshot instead
+//                 of O(cells) result records.
+//
+// Either way the aggregate output — CollectingSink bytes, SketchSink
+// fingerprint — is identical to an uninterrupted run at any worker count:
+// delivery order is spec order regardless of where the crash fell.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "campaign/journal.h"
+#include "campaign/runner.h"
+#include "campaign/scenario.h"
+#include "campaign/sink.h"
+#include "campaign/spec_stream.h"
+
+namespace lazyeye::campaign {
+
+/// Result byte codec for codec-mode journaling. encode() must be a pure
+/// function of (spec, outcome); decode() returns nullopt on malformed bytes
+/// (which fails the resume loudly — never silently skips a cell).
+template <typename R>
+struct JournalCodec {
+  std::function<std::string(const ScenarioSpec&, const R&)> encode;
+  std::function<std::optional<R>(std::string_view)> decode;
+};
+
+struct JournalOptions {
+  std::string path;
+  /// journal_identity() of the spec stream; a resumed journal must match.
+  std::uint64_t identity = 0;
+  /// Cell range [cell_begin, cell_end) this journal covers — the whole
+  /// stream by default (cell_end 0 means specs.size()); shards set a
+  /// sub-range (shard.h).
+  std::uint64_t cell_begin = 0;
+  std::uint64_t cell_end = 0;
+  /// Snapshot cadence in delivered cells (snapshot mode); 0 disables
+  /// periodic snapshots (a final one is still written before kComplete).
+  std::uint64_t snapshot_every = 0;
+  JournalFsync fsync = JournalFsync::kSnapshot;
+};
+
+/// What a journaled run did.
+struct JournaledRun {
+  bool resumed = false;           // an intact journal was found
+  bool already_complete = false;  // journal had kComplete: nothing ran
+  std::uint64_t cells_replayed = 0;  // delivered from the journal
+  std::uint64_t cells_run = 0;       // executed by this process
+};
+
+/// Sink wrapper that appends one journal record per delivered cell, AFTER
+/// forwarding to the wrapped sink — a record therefore proves its cell was
+/// emitted (the in-order-prefix invariant). Calls arrive serialised under
+/// the reorder mutex like any sink's; the writer has its own lock for the
+/// thread-safety analysis (journal.h).
+template <typename R>
+class JournalingSink final : public ResultSink<R> {
+ public:
+  JournalingSink(ResultSink<R>& inner, JournalWriter& writer,
+                 const JournalCodec<R>* codec, std::uint64_t cell_begin,
+                 std::uint64_t next_index, std::uint64_t snapshot_every)
+      : inner_{inner},
+        writer_{writer},
+        codec_{codec},
+        cell_begin_{cell_begin},
+        next_index_{next_index},
+        snapshot_every_{snapshot_every} {}
+
+  /// begin()/end() are driven by run_journaled on the wrapped sink directly
+  /// (replay happens between begin() and the tail run).
+  void begin(std::size_t) override {}
+  void end() override {}
+
+  void cell(const ScenarioSpec& spec, R outcome) override {
+    std::string payload;  // empty in snapshot mode
+    if (codec_ != nullptr) payload = codec_->encode(spec, outcome);
+    inner_.cell(spec, std::move(outcome));
+    writer_.append_cell(next_index_++, payload);
+    maybe_snapshot();
+  }
+
+  void cell_failed(const ScenarioSpec& spec,
+                   const FailureReport& report) override {
+    inner_.cell_failed(spec, report);
+    writer_.append_quarantine(next_index_++, report.attempts,
+                              report.timed_out, report.error);
+    maybe_snapshot();
+  }
+
+ private:
+  void maybe_snapshot() {
+    if (snapshot_every_ == 0) return;
+    const std::uint64_t cells = next_index_ - cell_begin_;
+    if (cells % snapshot_every_ != 0) return;
+    std::string state;
+    if (inner_.save_state(state)) writer_.append_snapshot(cells, state);
+  }
+
+  ResultSink<R>& inner_;
+  JournalWriter& writer_;
+  const JournalCodec<R>* codec_;
+  const std::uint64_t cell_begin_;
+  std::uint64_t next_index_;
+  const std::uint64_t snapshot_every_;
+};
+
+namespace journal_detail {
+
+template <typename R>
+FailureReport report_from(const JournalLoad::Cell& cell,
+                          const ScenarioSpec& spec) {
+  FailureReport report;
+  report.index = cell.index;
+  report.spec_id = spec.id;
+  report.seed = spec.seed;
+  report.label = spec.label;
+  report.client = spec.client;
+  report.attempts = cell.attempts;
+  report.timed_out = cell.timed_out;
+  report.error = cell.payload;
+  return report;
+}
+
+/// Codec-mode replay: re-delivers every journaled cell to the sink, exactly
+/// as the original run did. Throws JournalError on undecodable bytes.
+template <typename R>
+std::uint64_t replay_journal(const JournalLoad& load, const SpecStream& specs,
+                             ResultSink<R>& sink,
+                             const JournalCodec<R>& codec) {
+  const std::vector<ScenarioSpec>* backed = specs.backing();
+  std::uint64_t replayed = 0;
+  for (const JournalLoad::Cell& cell : load.cells) {
+    ScenarioSpec generated;
+    if (backed == nullptr) generated = specs.at(cell.index);
+    const ScenarioSpec& spec =
+        backed != nullptr ? (*backed)[cell.index] : generated;
+    if (cell.quarantined) {
+      sink.cell_failed(spec, report_from<R>(cell, spec));
+    } else {
+      std::optional<R> outcome = codec.decode(cell.payload);
+      if (!outcome.has_value()) {
+        throw JournalError(
+            "journal cell record failed to decode (result schema changed?); "
+            "refusing to resume");
+      }
+      sink.cell(spec, std::move(*outcome));
+    }
+    ++replayed;
+  }
+  return replayed;
+}
+
+}  // namespace journal_detail
+
+/// Runs cells [cell_begin, cell_end) of the stream with a crash journal at
+/// options.path, resuming any intact journal found there. See the header
+/// comment for the two resume modes. The wrapped sink receives the full
+/// begin / cells-in-order / end lifecycle whether or not a resume happened.
+template <typename R>
+JournaledRun run_journaled(const CampaignRunner& runner,
+                           const SpecStream& specs,
+                           const std::function<R(const ScenarioSpec&)>& executor,
+                           ResultSink<R>& sink, const JournalOptions& options,
+                           const JournalCodec<R>* codec = nullptr) {
+  const std::uint64_t cell_begin = options.cell_begin;
+  const std::uint64_t cell_end =
+      options.cell_end == 0 ? specs.size() : options.cell_end;
+  if (cell_begin > cell_end || cell_end > specs.size()) {
+    throw JournalError("journal cell range outside the spec stream");
+  }
+  const std::uint64_t range = cell_end - cell_begin;
+
+  JournaledRun out;
+  JournalLoad load = load_journal(options.path);
+  if (load.exists) {
+    if (load.identity != options.identity) {
+      throw JournalError(
+          "journal identity mismatch: this journal was written by a "
+          "different spec stream (id/shape/seed changed); refusing to skip "
+          "cells it cannot vouch for");
+    }
+    if (load.cell_begin != cell_begin || load.cell_end != cell_end) {
+      throw JournalError(
+          "journal covers a different cell range than this run");
+    }
+    out.resumed = true;
+  }
+
+  sink.begin(static_cast<std::size_t>(range));
+
+  std::uint64_t resume = cell_begin;
+  std::uint64_t keep_bytes = load.valid_bytes;
+  if (load.exists) {
+    if (codec != nullptr) {
+      out.cells_replayed =
+          journal_detail::replay_journal<R>(load, specs, sink, *codec);
+      resume = load.resume_index();
+    } else {
+      // Snapshot mode: cells past the latest snapshot have no payload to
+      // replay, so restore the snapshot and re-run everything after it
+      // (truncating their marker records keeps the prefix invariant).
+      if (load.snapshot_cells > 0 || !load.snapshot_state.empty()) {
+        if (!sink.restore_state(load.snapshot_state)) {
+          throw JournalError(
+              "sink rejected the journal snapshot (sink configuration "
+              "changed?); refusing to resume");
+        }
+        out.cells_replayed = load.snapshot_cells;
+      }
+      resume = cell_begin + out.cells_replayed;
+      keep_bytes = load.snapshot_valid_bytes;
+    }
+  }
+
+  if (load.complete) {
+    // Codec mode replayed everything above; snapshot mode wrote a final
+    // full-state snapshot just before kComplete, so resume == cell_end.
+    if (resume != cell_end) {
+      throw JournalError(
+          "journal marked complete but its cells cannot be reproduced "
+          "(snapshot-mode journal without a full-state snapshot); refusing "
+          "to hand back partial output");
+    }
+    out.already_complete = true;
+    sink.end();
+    return out;
+  }
+
+  JournalWriter writer =
+      load.exists
+          ? JournalWriter::append(options.path, keep_bytes, options.fsync)
+          : JournalWriter::create(options.path, options.identity, cell_begin,
+                                  cell_end, options.fsync);
+
+  if (resume < cell_end) {
+    JournalingSink<R> journaling{sink,   writer, codec,
+                                 cell_begin, resume, options.snapshot_every};
+    runner.run_range<R>(specs, static_cast<std::size_t>(resume),
+                        static_cast<std::size_t>(cell_end), executor,
+                        journaling);
+    out.cells_run = cell_end - resume;
+  }
+
+  if (codec == nullptr) {
+    // Final snapshot: makes a completed snapshot-mode journal replayable
+    // without re-running anything (merge/inspect tooling, and the
+    // already_complete path above).
+    std::string state;
+    if (sink.save_state(state)) {
+      writer.append_snapshot(range, state);
+    }
+  }
+  writer.append_complete(range);
+  sink.end();
+  return out;
+}
+
+}  // namespace lazyeye::campaign

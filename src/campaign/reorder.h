@@ -16,9 +16,11 @@
 
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "campaign/failure.h"
 #include "campaign/scenario.h"
 #include "campaign/sink.h"
 #include "util/mutex.h"
@@ -33,8 +35,12 @@ class ReorderBuffer {
   /// `backed` is the materialised spec vector for view()/of() streams (specs
   /// are delivered straight out of it, no per-cell copy), or nullptr for
   /// lazy streams (each completion carries its own generated spec).
-  explicit ReorderBuffer(const std::vector<ScenarioSpec>* backed)
-      : backed_{backed} {}
+  /// `first` is the index delivery starts at — 0 for a fresh campaign, the
+  /// journal's resume_index() for a resumed one (earlier cells were
+  /// delivered by a previous process and must not be re-emitted).
+  explicit ReorderBuffer(const std::vector<ScenarioSpec>* backed,
+                         std::size_t first = 0)
+      : backed_{backed}, next_to_emit_{first} {}
 
   /// Records cell `index` as complete and delivers it — and every later
   /// cell already parked behind it — to `sink` in spec order. Returns the
@@ -43,25 +49,19 @@ class ReorderBuffer {
   /// moved-from cell) and the exception propagates to the caller.
   std::size_t complete(std::size_t index, ScenarioSpec spec, R outcome,
                        ResultSink<R>& sink) EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    pending_.emplace(index,
-                     PendingCell{std::move(spec), std::move(outcome)});
-    while (!delivery_failed_) {
-      const auto ready = pending_.find(next_to_emit_);
-      if (ready == pending_.end()) break;
-      PendingCell cell = std::move(ready->second);
-      pending_.erase(ready);
-      const std::size_t i = next_to_emit_++;
-      try {
-        sink.cell(backed_ != nullptr ? (*backed_)[i] : cell.spec,
-                  std::move(cell.outcome));
-      } catch (...) {
-        delivery_failed_ = true;
-        throw;
-      }
-    }
-    if (pending_.size() > high_water_) high_water_ = pending_.size();
-    return next_to_emit_;
+    return park(index,
+                PendingCell{std::move(spec), std::move(outcome), std::nullopt},
+                sink);
+  }
+
+  /// Quarantine variant: cell `index` produced no outcome; the sink sees
+  /// cell_failed(spec, report) in its spec-order slot instead of cell().
+  std::size_t complete_failed(std::size_t index, ScenarioSpec spec,
+                              FailureReport report, ResultSink<R>& sink)
+      EXCLUDES(mutex_) {
+    return park(index,
+                PendingCell{std::move(spec), std::nullopt, std::move(report)},
+                sink);
   }
 
   /// Max completed cells ever parked awaiting an earlier one. Call after
@@ -74,16 +74,44 @@ class ReorderBuffer {
 
  private:
   struct PendingCell {
-    ScenarioSpec spec;  // empty for backed streams
-    R outcome;
+    ScenarioSpec spec;         // empty for backed streams
+    std::optional<R> outcome;  // nullopt: quarantined, report is set
+    std::optional<FailureReport> report;
   };
+
+  std::size_t park(std::size_t index, PendingCell parked, ResultSink<R>& sink)
+      EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    pending_.emplace(index, std::move(parked));
+    while (!delivery_failed_) {
+      const auto ready = pending_.find(next_to_emit_);
+      if (ready == pending_.end()) break;
+      PendingCell cell = std::move(ready->second);
+      pending_.erase(ready);
+      const std::size_t i = next_to_emit_++;
+      const ScenarioSpec& spec =
+          backed_ != nullptr ? (*backed_)[i] : cell.spec;
+      try {
+        if (cell.outcome.has_value()) {
+          sink.cell(spec, std::move(*cell.outcome));
+        } else {
+          sink.cell_failed(spec, *cell.report);
+        }
+      } catch (...) {
+        delivery_failed_ = true;
+        throw;
+      }
+    }
+    if (pending_.size() > high_water_) high_water_ = pending_.size();
+    return next_to_emit_;
+  }
 
   const std::vector<ScenarioSpec>* const backed_;
   mutable util::Mutex mutex_;
   /// Finished cells awaiting an earlier cell's delivery, keyed by index.
   std::map<std::size_t, PendingCell> pending_ GUARDED_BY(mutex_);
-  /// Next index the sink has not seen yet (== cells delivered so far).
-  std::size_t next_to_emit_ GUARDED_BY(mutex_) = 0;
+  /// Next index the sink has not seen yet (cell_begin + cells delivered).
+  std::size_t next_to_emit_ GUARDED_BY(mutex_);
   /// Latched on the first sink throw; stops all further delivery.
   bool delivery_failed_ GUARDED_BY(mutex_) = false;
   std::size_t high_water_ GUARDED_BY(mutex_) = 0;

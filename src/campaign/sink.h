@@ -22,8 +22,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
+#include <string_view>
 #include <utility>
 
+#include "campaign/failure.h"
 #include "campaign/result.h"
 #include "campaign/scenario.h"
 
@@ -39,6 +42,31 @@ class ResultSink {
 
   /// Called once per cell, in spec order, calls serialised.
   virtual void cell(const ScenarioSpec& spec, R outcome) = 0;
+
+  /// Called in place of cell() for a quarantined cell (fault isolation,
+  /// runner.h), same order/serialisation guarantees. Default: drop.
+  virtual void cell_failed(const ScenarioSpec& spec,
+                           const FailureReport& report) {
+    (void)spec;
+    (void)report;
+  }
+
+  /// Snapshot hook for journaled campaigns (journal_sink.h): serialise all
+  /// state accumulated by cell() calls so far into `out` and return true.
+  /// Sinks without a compact state (or none at all) return false — the
+  /// journal then resumes by replay instead of by restore. Called under the
+  /// same serialisation as cell().
+  virtual bool save_state(std::string& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Inverse of save_state: restore from a snapshot taken after the same
+  /// number of cells. Returns false when the blob is not recognised.
+  virtual bool restore_state(std::string_view state) {
+    (void)state;
+    return false;
+  }
 
   /// Called once after the last cell (not called when the campaign throws).
   virtual void end() {}

@@ -33,6 +33,10 @@
 
 namespace lazyeye::campaign {
 
+namespace sketch_detail {
+struct StateReader;  // defined below (binary snapshot codec)
+}
+
 /// P² (piecewise-parabolic) online estimator for a single quantile
 /// (Jain & Chlamtac, CACM 1985). Constant state: five marker heights and
 /// positions. Until five observations arrive the raw samples are kept and
@@ -115,6 +119,12 @@ class P2Quantile {
   /// rationale in the header comment).
   void append_state(std::string& out) const;
 
+  /// Binary state for journal snapshots; load_binary is the exact inverse
+  /// (bit-identical restore). p_ is NOT serialised — it is construction
+  /// configuration, and restore must target an identically-built sketch.
+  void save_binary(std::string& out) const;
+  bool load_binary(sketch_detail::StateReader& in);
+
  private:
   double parabolic(int i, double s) const {
     return q_[i] + s / (n_[i + 1] - n_[i - 1]) *
@@ -171,6 +181,10 @@ class MetricSketch {
   /// quantile sketches) — equal strings iff the states are bit-identical.
   std::string fingerprint() const;
 
+  /// Binary state for journal snapshots (same coverage as fingerprint()).
+  void save_binary(std::string& out) const;
+  bool load_binary(sketch_detail::StateReader& in);
+
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -197,6 +211,60 @@ inline void append_hex_double(std::string& out, double v) {
   append_hex_u64(out, bits);
 }
 
+// Binary state codec for journal snapshots (sink.h save_state/restore_state).
+// Big-endian like the rest of the wire formats; doubles travel as their IEEE
+// bit patterns, so a restored sketch is bit-identical to the saved one.
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+inline void put_double(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Bounds-checked sequential reader with a sticky error flag, mirroring
+/// util::ByteReader but over string_view and with u64/double reads.
+struct StateReader {
+  std::string_view data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint64_t u64() {
+    if (!ok || data.size() - pos < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v = (v << 8) | static_cast<unsigned char>(data[pos + i]);
+    }
+    pos += 8;
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string_view view(std::size_t n) {
+    if (!ok || data.size() - pos < n) {
+      ok = false;
+      return {};
+    }
+    const std::string_view out = data.substr(pos, n);
+    pos += n;
+    return out;
+  }
+};
+
 }  // namespace sketch_detail
 
 inline void P2Quantile::append_state(std::string& out) const {
@@ -205,6 +273,23 @@ inline void P2Quantile::append_state(std::string& out) const {
   for (double v : q_) sketch_detail::append_hex_double(out, v);
   for (double v : n_) sketch_detail::append_hex_double(out, v);
   for (double v : np_) sketch_detail::append_hex_double(out, v);
+}
+
+inline void P2Quantile::save_binary(std::string& out) const {
+  sketch_detail::put_u64(out, count_);
+  for (double v : warmup_) sketch_detail::put_double(out, v);
+  for (double v : q_) sketch_detail::put_double(out, v);
+  for (double v : n_) sketch_detail::put_double(out, v);
+  for (double v : np_) sketch_detail::put_double(out, v);
+}
+
+inline bool P2Quantile::load_binary(sketch_detail::StateReader& in) {
+  count_ = in.u64();
+  for (double& v : warmup_) v = in.f64();
+  for (double& v : q_) v = in.f64();
+  for (double& v : n_) v = in.f64();
+  for (double& v : np_) v = in.f64();
+  return in.ok;
 }
 
 inline std::string MetricSketch::fingerprint() const {
@@ -218,6 +303,24 @@ inline std::string MetricSketch::fingerprint() const {
   p95_.append_state(out);
   p99_.append_state(out);
   return out;
+}
+
+inline void MetricSketch::save_binary(std::string& out) const {
+  sketch_detail::put_u64(out, count_);
+  sketch_detail::put_double(out, sum_);
+  sketch_detail::put_double(out, min_);
+  sketch_detail::put_double(out, max_);
+  p50_.save_binary(out);
+  p95_.save_binary(out);
+  p99_.save_binary(out);
+}
+
+inline bool MetricSketch::load_binary(sketch_detail::StateReader& in) {
+  count_ = in.u64();
+  sum_ = in.f64();
+  min_ = in.f64();
+  max_ = in.f64();
+  return p50_.load_binary(in) && p95_.load_binary(in) && p99_.load_binary(in);
 }
 
 /// Folds named metrics out of the result stream, one MetricSketch each.
@@ -265,6 +368,35 @@ class SketchSink final : public ResultSink<R> {
     return out;
   }
 
+  /// Journal snapshot hook: the complete fold state (cells seen plus every
+  /// metric's sketch, keyed by name so a drifted metric set is detected).
+  bool save_state(std::string& out) const override {
+    out.append("SKS1");
+    sketch_detail::put_u64(out, cells_seen_);
+    sketch_detail::put_u64(out, metrics_.size());
+    for (const Metric& m : metrics_) {
+      sketch_detail::put_u64(out, m.name.size());
+      out.append(m.name);
+      m.sketch.save_binary(out);
+    }
+    return true;
+  }
+
+  bool restore_state(std::string_view state) override {
+    sketch_detail::StateReader in{state};
+    if (in.view(4) != "SKS1") return false;
+    const std::uint64_t cells = in.u64();
+    if (in.u64() != metrics_.size()) return false;
+    for (Metric& m : metrics_) {
+      const std::uint64_t name_len = in.u64();
+      if (in.view(static_cast<std::size_t>(name_len)) != m.name) return false;
+      if (!m.sketch.load_binary(in)) return false;
+    }
+    if (!in.ok || in.pos != state.size()) return false;
+    cells_seen_ = static_cast<std::size_t>(cells);
+    return true;
+  }
+
  private:
   struct Metric {
     std::string name;
@@ -292,6 +424,32 @@ class TeeSink final : public ResultSink<R> {
   void cell(const ScenarioSpec& spec, R outcome) override {
     first_.cell(spec, outcome);
     second_.cell(spec, std::move(outcome));
+  }
+
+  void cell_failed(const ScenarioSpec& spec,
+                   const FailureReport& report) override {
+    first_.cell_failed(spec, report);
+    second_.cell_failed(spec, report);
+  }
+
+  /// Snapshots both branches (length-prefixed); available only when both
+  /// sinks have snapshot support.
+  bool save_state(std::string& out) const override {
+    std::string a, b;
+    if (!first_.save_state(a) || !second_.save_state(b)) return false;
+    sketch_detail::put_u64(out, a.size());
+    out.append(a);
+    sketch_detail::put_u64(out, b.size());
+    out.append(b);
+    return true;
+  }
+
+  bool restore_state(std::string_view state) override {
+    sketch_detail::StateReader in{state};
+    const std::string_view a = in.view(static_cast<std::size_t>(in.u64()));
+    if (!in.ok || !first_.restore_state(a)) return false;
+    const std::string_view b = in.view(static_cast<std::size_t>(in.u64()));
+    return in.ok && in.pos == state.size() && second_.restore_state(b);
   }
 
   void end() override {

@@ -1,0 +1,140 @@
+#include "conformance/record_codec.h"
+
+#include <cstddef>
+
+namespace lazyeye::conformance {
+
+namespace {
+
+// Big-endian primitives over std::string, mirroring util/bytes.h (which is
+// vector<uint8_t>-based; journal payloads travel as strings).
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+struct Reader {
+  std::string_view data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (!ok || data.size() - pos < 1) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<unsigned char>(data[pos++]);
+  }
+
+  std::uint32_t u32() {
+    if (!ok || data.size() - pos < 4) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v = (v << 8) | static_cast<unsigned char>(data[pos++]);
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!ok || data.size() - pos < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | static_cast<unsigned char>(data[pos++]);
+    }
+    return v;
+  }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!ok || data.size() - pos < len) {
+      ok = false;
+      return {};
+    }
+    std::string out{data.substr(pos, len)};
+    pos += len;
+    return out;
+  }
+};
+
+}  // namespace
+
+void encode_record(const ConformanceRecord& record, std::string& out) {
+  put_str(out, record.client);
+  put_u8(out, static_cast<std::uint8_t>(record.fault.kind));
+  put_u64(out, record.fault.seed);
+  put_u32(out, record.fault.stream);
+  put_u32(out, record.fault.index);
+  put_u8(out, static_cast<std::uint8_t>(record.fault.target_family));
+  put_u64(out, static_cast<std::uint64_t>(record.fault.spike.count()));
+  put_u32(out, static_cast<std::uint32_t>(record.fetches));
+  put_u8(out, record.fetch_ok ? 1 : 0);
+  put_u8(out, record.first_fetch_ok ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(record.verdicts.size()));
+  for (const Verdict& verdict : record.verdicts) {
+    put_str(out, verdict.rule);
+    put_u8(out, static_cast<std::uint8_t>(verdict.outcome));
+    put_str(out, verdict.evidence);
+  }
+}
+
+std::optional<ConformanceRecord> decode_record(std::string_view bytes) {
+  Reader in{bytes};
+  ConformanceRecord record;
+  record.client = in.str();
+  const std::uint8_t kind = in.u8();
+  if (kind >= kFaultKindCount) return std::nullopt;
+  record.fault.kind = static_cast<FaultKind>(kind);
+  record.fault.seed = in.u64();
+  record.fault.stream = in.u32();
+  record.fault.index = in.u32();
+  const std::uint8_t family = in.u8();
+  if (family > static_cast<std::uint8_t>(simnet::Family::kIpv6)) {
+    return std::nullopt;
+  }
+  record.fault.target_family = static_cast<simnet::Family>(family);
+  record.fault.spike = SimTime{static_cast<std::int64_t>(in.u64())};
+  record.fetches = static_cast<int>(in.u32());
+  record.fetch_ok = in.u8() != 0;
+  record.first_fetch_ok = in.u8() != 0;
+  const std::uint32_t verdict_count = in.u32();
+  if (!in.ok || verdict_count > 1024) return std::nullopt;
+  record.verdicts.reserve(verdict_count);
+  for (std::uint32_t i = 0; i < verdict_count; ++i) {
+    Verdict verdict;
+    verdict.rule = in.str();
+    const std::uint8_t outcome = in.u8();
+    if (outcome > static_cast<std::uint8_t>(RuleOutcome::kInapplicable)) {
+      return std::nullopt;
+    }
+    verdict.outcome = static_cast<RuleOutcome>(outcome);
+    verdict.evidence = in.str();
+    record.verdicts.push_back(std::move(verdict));
+  }
+  if (!in.ok || in.pos != bytes.size()) return std::nullopt;
+  return record;
+}
+
+}  // namespace lazyeye::conformance

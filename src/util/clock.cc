@@ -1,0 +1,23 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lazyeye::util {
+
+std::uint64_t monotonic_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void sleep_for_ms(std::uint64_t millis) {
+  if (millis == 0) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds{millis});
+}
+
+}  // namespace lazyeye::util

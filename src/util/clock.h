@@ -1,0 +1,25 @@
+// Wall-clock escape hatch for the crash-resilience layer.
+//
+// Everything *measured* in this repo runs on SimTime, and lazylint bans
+// wall clocks across src/ — but the fault-isolation machinery in the
+// campaign runner legitimately needs real time: detecting a cell that
+// overran its RunnerOptions::cell_timeout and pacing retry backoff are
+// statements about the host, not about the simulated world. Those two uses
+// are funnelled through this header, which lives in src/util/ exactly
+// because util/ is the one directory the nondeterminism lint exempts.
+// Nothing here may ever feed a measurement result or a sink.
+#pragma once
+
+#include <cstdint>
+
+namespace lazyeye::util {
+
+/// Monotonic wall-clock nanoseconds since an arbitrary epoch. Only valid
+/// for measuring intervals on this host (cell timeout accounting).
+std::uint64_t monotonic_now_ns();
+
+/// Blocks the calling thread for ~`millis` wall milliseconds (retry
+/// backoff). 0 yields the thread.
+void sleep_for_ms(std::uint64_t millis);
+
+}  // namespace lazyeye::util

@@ -1,0 +1,59 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the journal's
+// record-framing checksum.
+//
+// Header-only and constexpr-table-driven so the campaign journal, the shard
+// merge step, and the tests all agree on one implementation. Not a hot
+// path: the journal writes one small record per *cell*, not per packet.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lazyeye::util {
+
+namespace crc_detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace crc_detail
+
+/// Incremental form: feed `crc32_init()` through `crc32_update` calls and
+/// finish with `crc32_final` (standard init/xorout of ~0).
+constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+constexpr std::uint32_t crc32_update(std::uint32_t state,
+                                     const unsigned char* data,
+                                     std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    state = crc_detail::kCrc32Table[(state ^ data[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a byte string.
+inline std::uint32_t crc32(std::string_view data) {
+  return crc32_final(crc32_update(
+      crc32_init(), reinterpret_cast<const unsigned char*>(data.data()),
+      data.size()));
+}
+
+}  // namespace lazyeye::util

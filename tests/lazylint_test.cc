@@ -147,6 +147,41 @@ TEST(LazylintRules, StdFunctionOutOfScopeOutsideSimnet) {
   EXPECT_TRUE(findings.empty()) << render(findings);
 }
 
+TEST(LazylintRules, UnseededRngViolationsAllCaught) {
+  const auto findings =
+      scan_fixture("unseeded_rng_violation.cc", "src/campaign/fixture.cc");
+  EXPECT_EQ(count_rule(findings, Rule::kUnseededRng), 6u) << render(findings);
+  EXPECT_EQ(findings.size(), 6u) << render(findings);
+}
+
+TEST(LazylintRules, UnseededRngAnnotatedScansClean) {
+  const auto findings =
+      scan_fixture("unseeded_rng_annotated.cc", "src/campaign/fixture.cc");
+  EXPECT_TRUE(findings.empty()) << render(findings);
+}
+
+TEST(LazylintRules, UnseededRngControlHasNoFalsePositives) {
+  // Engine class definitions, init-list-seeded members, `Rng fork();`
+  // declarations, reference params, and seeded constructions stay legal.
+  const auto findings =
+      scan_fixture("unseeded_rng_control.cc", "src/campaign/fixture.cc");
+  EXPECT_TRUE(findings.empty()) << render(findings);
+}
+
+TEST(LazylintRules, UnseededRngInScopeInUtil) {
+  // Unlike nondeterminism, the rule covers src/util/ — the engine
+  // implementations must thread seeds explicitly too.
+  const auto findings =
+      scan_fixture("unseeded_rng_violation.cc", "src/util/fixture.cc");
+  EXPECT_EQ(count_rule(findings, Rule::kUnseededRng), 6u) << render(findings);
+}
+
+TEST(LazylintRules, UnseededRngOutOfScopeInTests) {
+  const auto findings =
+      scan_fixture("unseeded_rng_violation.cc", "tests/fixture.cc");
+  EXPECT_TRUE(findings.empty()) << render(findings);
+}
+
 TEST(LazylintRules, CleanFixtureHasNoFalsePositives) {
   // Scanned under src/simnet/ where every rule is in scope; the fixture is
   // all lookalikes (banned words in comments/strings, placement new,

@@ -1,0 +1,38 @@
+// Fixture: the same sources as unseeded_rng_violation.cc, each carrying a
+// reasoned suppression — the file must scan clean.
+#include <cstdint>
+#include <random>
+
+#include "util/rng.h"
+
+namespace fixture {
+
+std::uint64_t splitmix_temporary() {
+  return SplitMix64{}.next();  // lazylint: unseeded-rng-ok(fixture exercises same-line suppression)
+}
+
+std::uint64_t named_empty_brace() {
+  // lazylint: unseeded-rng-ok(fixture exercises preceding-line suppression)
+  SplitMix64 mix{};
+  return mix.next();
+}
+
+std::uint64_t paren_temporary() {
+  return lazyeye::Rng().next_u64();  // lazylint: unseeded-rng-ok(fixture)
+}
+
+int std_engine_bare_declaration() {
+  std::minstd_rand eng;  // lazylint: unseeded-rng-ok(fixture)
+  return static_cast<int>(eng());
+}
+
+double std_engine_empty_brace() {
+  std::ranlux48 lux{};  // lazylint: unseeded-rng-ok(fixture)
+  return static_cast<double>(lux());
+}
+
+std::uint64_t temporary_as_argument(std::uint64_t (*f)(SplitMix64)) {
+  return f(SplitMix64{});  // lazylint: unseeded-rng-ok(fixture)
+}
+
+}  // namespace fixture

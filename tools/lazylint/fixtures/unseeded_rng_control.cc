@@ -1,0 +1,56 @@
+// Fixture: engine lookalikes that must NOT be flagged by `unseeded-rng`,
+// scanned under src/ where the rule is in scope. These mirror the legal
+// patterns in the real tree: the engine class definitions themselves,
+// seeded-by-init-list members, function declarations returning an engine,
+// reference parameters, and explicitly seeded constructions.
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+// Class definition, constructor declarations, and a method *returning* an
+// engine by value (`Rng fork();` in util/rng.h is this shape).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_{seed} {}
+  Rng(const Rng&) = default;
+  Rng fork();
+  std::uint64_t next_u64();
+
+ private:
+  std::uint64_t state_;
+};
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_{seed} {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+// Bare member declarations of the repo engines are legal: they have no
+// default constructor, so the ctor init list must seed them.
+struct Mixer {
+  explicit Mixer(std::uint64_t seed) : rng_{seed}, mix_{seed} {}
+  Rng rng_;
+  SplitMix64 mix_;
+};
+
+// Reference/pointer parameters are seeded by the caller.
+inline std::uint64_t draw(Rng& rng) { return rng.next_u64(); }
+inline std::uint64_t peek(const SplitMix64* mix);
+void reseed(std::minstd_rand& eng, std::uint64_t seed);
+
+// Explicitly seeded constructions in every syntactic form.
+inline std::uint64_t seeded_forms(std::uint64_t seed) {
+  SplitMix64 mix{seed ^ 0x9e3779b97f4a7c15ULL};
+  Rng rng{mix.next()};
+  std::minstd_rand eng(static_cast<unsigned>(seed));
+  return rng.next_u64() + Rng{mix.next()}.next_u64() + eng();
+}
+
+inline Rng Rng::fork() { return Rng{next_u64()}; }
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: every construction below must be flagged by `unseeded-rng`.
+#include <cstdint>
+#include <random>
+
+#include "util/rng.h"
+
+namespace fixture {
+
+std::uint64_t splitmix_temporary() {
+  return SplitMix64{}.next();  // empty-brace temporary, no seed
+}
+
+std::uint64_t named_empty_brace() {
+  SplitMix64 mix{};  // declared with an empty init list, no seed
+  return mix.next();
+}
+
+std::uint64_t paren_temporary() {
+  return lazyeye::Rng().next_u64();  // empty-paren temporary, no seed
+}
+
+int std_engine_bare_declaration() {
+  std::minstd_rand eng;  // default-constructs from a silent fixed seed
+  return static_cast<int>(eng());
+}
+
+double std_engine_empty_brace() {
+  std::ranlux48 lux{};  // ditto, brace form
+  return static_cast<double>(lux());
+}
+
+std::uint64_t temporary_as_argument(std::uint64_t (*f)(SplitMix64)) {
+  return f(SplitMix64{});  // empty-brace temporary in a call argument
+}
+
+}  // namespace fixture

@@ -598,6 +598,126 @@ void check_raw_alloc(FileScan& scan) {
 }
 
 // ------------------------------------------------------------------------
+// Rule: unseeded-rng.
+
+// The repo's engines require an explicit seed by construction (no default
+// ctor), so here the rule is a source-level tripwire against anyone adding
+// a default-seeded path later; the std engines below *do* default-construct
+// from a fixed implementation seed today. (mt19937/mt19937_64 are already
+// banned outright by the nondeterminism rule.)
+constexpr std::string_view kRepoEngines[] = {"SplitMix64", "Rng"};
+constexpr std::string_view kStdEngines[] = {
+    "minstd_rand",   "minstd_rand0", "default_random_engine",
+    "knuth_b",       "ranlux24",     "ranlux48",
+    "ranlux24_base", "ranlux48_base",
+};
+
+/// True when the first non-ws char after `open` closes the group — i.e. the
+/// constructor argument list is empty.
+bool empty_group(std::string_view code, std::size_t open, char close) {
+  const std::size_t p = skip_ws(code, open + 1);
+  return p < code.size() && code[p] == close;
+}
+
+/// True when an `Engine(...)` / `Engine{...}` token at `pos` sits in
+/// expression position (a temporary is being constructed) rather than in a
+/// declaration (constructor declarations inside the engine's own class body,
+/// `Engine() = default;`, etc.).
+bool engine_expression_context(std::string_view code, std::size_t pos) {
+  const std::size_t p = prev_nonws(code, pos);
+  if (p == std::string_view::npos) return false;
+  // Step back over a `qual::` prefix (`util::Rng{}`) and judge the token in
+  // front of the qualifier instead.
+  if (code[p] == ':' && p > 0 && code[p - 1] == ':') {
+    const std::size_t q = prev_nonws(code, p - 1);
+    if (q == std::string_view::npos || !ident_char(code[q])) return false;
+    std::size_t begin = q;
+    while (begin > 0 && ident_char(code[begin - 1])) --begin;
+    return engine_expression_context(code, begin);
+  }
+  const char c = code[p];
+  if (c == '=' || c == '(' || c == ',') return true;
+  if (!ident_char(c)) return false;
+  std::size_t begin = p;
+  while (begin > 0 && ident_char(code[begin - 1])) --begin;
+  const std::string_view tok = code.substr(begin, p + 1 - begin);
+  return tok == "return" || tok == "co_return" || tok == "co_yield";
+}
+
+/// Scans for constructions of one engine type. `default_seeds` marks std
+/// engines whose *bare* declaration (`std::minstd_rand eng;`) already
+/// constructs from a silent default seed; the repo engines have no default
+/// ctor, so a bare declaration there is a member seeded by its ctor init
+/// list and stays legal.
+void check_engine(FileScan& scan, std::string_view word, bool default_seeds) {
+  const std::string_view code = scan.code;
+  for (std::size_t pos = find_ident(code, word); pos != std::string_view::npos;
+       pos = find_ident(code, word, pos + 1)) {
+    if (is_member_access(code, pos)) continue;
+    // `class Rng {`, `using Rng;`, forward declarations, friend decls.
+    const std::size_t prev = prev_nonws(code, pos);
+    if (prev != std::string_view::npos && ident_char(code[prev])) {
+      std::size_t begin = prev;
+      while (begin > 0 && ident_char(code[begin - 1])) --begin;
+      const std::string_view tok = code.substr(begin, prev + 1 - begin);
+      if (tok == "class" || tok == "struct" || tok == "typename" ||
+          tok == "using" || tok == "friend") {
+        continue;
+      }
+    }
+    const std::size_t after = skip_ws(code, pos + word.size());
+    if (after >= code.size()) continue;
+    const char c = code[after];
+    if (c == '(' || c == '{') {
+      // Temporary or constructor declaration. Only an *empty* argument list
+      // in expression position is an unseeded construction.
+      if (!empty_group(code, after, c == '(' ? ')' : '}')) continue;
+      if (!engine_expression_context(code, pos)) continue;
+      scan.emit(Rule::kUnseededRng, pos,
+                cat({"'", word,
+                     "' temporary constructed without a seed; derive one "
+                     "from the campaign (seed, stream, index) tuple"}));
+      continue;
+    }
+    // `Rng&` / `Rng*` parameters, `Rng;` type mentions, `Rng::` scope
+    // accesses, `Rng>` template args are not constructions.
+    if (!ident_char(c)) continue;
+    std::size_t name_end = after;
+    while (name_end < code.size() && ident_char(code[name_end])) ++name_end;
+    const std::size_t next = skip_ws(code, name_end);
+    if (next >= code.size()) continue;
+    if (code[next] == '{') {
+      if (empty_group(code, next, '}')) {
+        scan.emit(Rule::kUnseededRng, pos,
+                  cat({"'", word, " ", code.substr(after, name_end - after),
+                       "{}' is declared without a seed; derive one from the "
+                       "campaign (seed, stream, index) tuple"}));
+      }
+      continue;
+    }
+    if (code[next] == ';' && default_seeds) {
+      scan.emit(Rule::kUnseededRng, pos,
+                cat({"'", word, " ", code.substr(after, name_end - after),
+                     ";' default-constructs from a silent implementation "
+                     "seed; pass an explicit seed derived from the campaign "
+                     "(seed, stream, index) tuple"}));
+    }
+    // `Engine name(args)` is seeded, `Engine name()` is a function
+    // declaration, `Engine name,` / `Engine name)` are parameters the
+    // caller seeds.
+  }
+}
+
+void check_unseeded_rng(FileScan& scan) {
+  for (const std::string_view word : kRepoEngines) {
+    check_engine(scan, word, /*default_seeds=*/false);
+  }
+  for (const std::string_view word : kStdEngines) {
+    check_engine(scan, word, /*default_seeds=*/true);
+  }
+}
+
+// ------------------------------------------------------------------------
 // Rule: std-function.
 
 void check_std_function(FileScan& scan) {
@@ -643,6 +763,7 @@ struct RuleScope {
   bool ptr_order = false;
   bool raw_alloc = false;
   bool std_function = false;
+  bool unseeded_rng = false;
 };
 
 RuleScope scope_for(std::string_view path) {
@@ -660,6 +781,9 @@ RuleScope scope_for(std::string_view path) {
                                  [&](std::string_view f) { return f == path; });
   scope.std_function = starts_with(path, "src/simnet/") &&
                        path != "src/simnet/inline_callback.h";
+  // Unlike nondeterminism, src/util/ is in scope: the engine implementations
+  // themselves must thread seeds explicitly.
+  scope.unseeded_rng = starts_with(path, "src/");
   return scope;
 }
 
@@ -672,6 +796,7 @@ std::string_view rule_name(Rule rule) {
     case Rule::kPtrOrder: return "ptr-order";
     case Rule::kRawAlloc: return "raw-alloc";
     case Rule::kStdFunction: return "std-function";
+    case Rule::kUnseededRng: return "unseeded-rng";
     case Rule::kSuppression: return "suppression";
   }
   return "unknown";
@@ -680,7 +805,7 @@ std::string_view rule_name(Rule rule) {
 bool rule_from_name(std::string_view name, Rule& out) {
   constexpr Rule kAll[] = {Rule::kNondeterminism, Rule::kUnorderedIter,
                            Rule::kPtrOrder, Rule::kRawAlloc,
-                           Rule::kStdFunction};
+                           Rule::kStdFunction, Rule::kUnseededRng};
   for (const Rule r : kAll) {
     if (rule_name(r) == name) {
       out = r;
@@ -723,6 +848,7 @@ std::vector<Finding> scan_source(std::string_view rel_path,
   if (scope.ptr_order) check_ptr_order(scan);
   if (scope.raw_alloc) check_raw_alloc(scan);
   if (scope.std_function) check_std_function(scan);
+  if (scope.unseeded_rng) check_unseeded_rng(scan);
 
   report_suppression_problems(scan);
 

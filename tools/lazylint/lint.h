@@ -22,6 +22,12 @@
 //                   source-level gate.
 //   std-function    src/simnet — InlineFunction is mandated on the event and
 //                   dispatch paths; std::function heap-spills per capture.
+//   unseeded-rng    src/ — every RNG engine construction (SplitMix64, Rng,
+//                   and the std engines the nondeterminism rule does not
+//                   already ban) must carry an explicit seed argument; a
+//                   default-constructed engine draws from a silent
+//                   implementation seed and breaks (seed, stream, index)
+//                   replay.
 //
 // Suppression is inline only:  // lazylint: <rule>-ok(<reason>)
 // on the offending line, or on an immediately preceding comment-only line.
@@ -42,6 +48,7 @@ enum class Rule {
   kPtrOrder,
   kRawAlloc,
   kStdFunction,
+  kUnseededRng,
   kSuppression,  // malformed / unused suppression annotations
 };
 
