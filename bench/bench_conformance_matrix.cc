@@ -20,6 +20,7 @@
 #include "campaign/worker_pool.h"
 #include "clients/profiles.h"
 #include "conformance/checker.h"
+#include "conformance/schedule.h"
 
 using namespace lazyeye;
 
@@ -87,6 +88,60 @@ int main(int argc, char** argv) {
   std::printf("\nAll worker counts produced a byte-identical verdict table "
               "(%d violations across %zu cells).\n",
               baseline_violations, specs.size());
+
+  // Compound-schedule cells through the same pool: generated FaultSchedules
+  // (multi-entry, windowed, triggered) against every profile, with the same
+  // byte-identity requirement across worker counts.
+  const std::size_t schedule_count = smoke ? 8 : 24;
+  std::vector<campaign::ScenarioSpec> schedule_specs;
+  schedule_specs.reserve(schedule_count * profiles.size());
+  for (std::uint32_t index = 0; index < schedule_count; ++index) {
+    const conformance::FaultSchedule schedule =
+        conformance::FaultSchedule::generate(1, 0xFA, index);
+    for (const auto& profile : profiles) {
+      schedule_specs.push_back(harness.schedule_spec(profile, schedule, 2));
+      schedule_specs.back().id = schedule_specs.size() - 1;
+    }
+  }
+
+  std::printf("\nSchedule cells: %zu generated schedules x %zu clients = %zu "
+              "cells (2 fetches each)\n\n",
+              schedule_count, profiles.size(), schedule_specs.size());
+  std::printf("%8s %12s %12s %12s\n", "workers", "wall [ms]", "cells/sec",
+              "violations");
+
+  std::string schedule_baseline;
+  int schedule_violations = 0;
+  for (const int workers : worker_counts) {
+    campaign::RunnerOptions options;
+    options.workers = workers;
+    options.pool = &pool;
+    const campaign::CampaignRunner runner{options};
+
+    conformance::VerdictTableSink sink;
+    const auto start = std::chrono::steady_clock::now();
+    registry.run(runner, schedule_specs, sink);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const double seconds = std::chrono::duration<double>(elapsed).count();
+
+    if (workers == worker_counts.front()) {
+      schedule_baseline = sink.text();
+      schedule_violations = sink.total_violations();
+    } else if (sink.text() != schedule_baseline) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: schedule-cell verdict table at %d "
+                   "workers differs from %d-worker baseline\n",
+                   workers, worker_counts.front());
+      return 1;
+    }
+
+    std::printf("%8d %12.1f %12.1f %12d\n", workers, seconds * 1e3,
+                schedule_specs.size() / seconds, sink.total_violations());
+  }
+
+  std::printf("\nAll worker counts produced a byte-identical schedule-cell "
+              "table (%d violations across %zu cells).\n",
+              schedule_violations, schedule_specs.size());
 
   if (!table_path.empty()) {
     std::FILE* f = std::fopen(table_path.c_str(), "w");

@@ -6,7 +6,7 @@ const char* case_kind_name(CaseKind kind) {
   // Adding a CasePayload alternative bumps kCaseKindCount and breaks this
   // assert; the switch below has no default, so -Wswitch flags the missing
   // enumerator too. Both fire at compile time — no stale names at runtime.
-  static_assert(kCaseKindCount == 6,
+  static_assert(kCaseKindCount == 7,
                 "new case kind: extend case_kind_name and CaseTraits");
   switch (kind) {
     case CaseKind::kCad: return CaseTraits<CadCase>::kName;
@@ -17,6 +17,7 @@ const char* case_kind_name(CaseKind kind) {
     case CaseKind::kWebRepetition: return CaseTraits<WebRepetitionCase>::kName;
     case CaseKind::kResolverCell: return CaseTraits<ResolverCellCase>::kName;
     case CaseKind::kConformance: return CaseTraits<ConformanceCase>::kName;
+    case CaseKind::kSchedule: return CaseTraits<ScheduleCase>::kName;
   }
   return "?";  // unreachable for in-range values; keeps UB away for casts
 }

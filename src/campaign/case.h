@@ -16,6 +16,7 @@
 #include <variant>
 
 #include "conformance/fault.h"
+#include "conformance/schedule.h"
 #include "dns/rr.h"
 #include "util/time.h"
 
@@ -62,12 +63,22 @@ struct ConformanceCase {
   int fetches = 1;
 };
 
+/// One compound-schedule conformance cell: several windowed/triggered
+/// faults (conformance/schedule.h) against the envelope's client, rules
+/// evaluated like a ConformanceCase. Generated schedules replay from their
+/// (seed, stream, index) triple; mutated ones through the schedule codec.
+struct ScheduleCase {
+  conformance::FaultSchedule schedule;
+  int fetches = 1;
+};
+
 /// The closed set of case payloads a ScenarioSpec can carry. Adding an
 /// alternative here is the *only* step that opens a new case kind; every
 /// switch/name table below is tied to this list at compile time.
 using CasePayload = std::variant<CadCase, ResolutionDelayCase,
                                  AddressSelectionCase, WebRepetitionCase,
-                                 ResolverCellCase, ConformanceCase>;
+                                 ResolverCellCase, ConformanceCase,
+                                 ScheduleCase>;
 
 /// Discriminator mirroring CasePayload's alternative order (executor
 /// registries index their tables by it).
@@ -78,6 +89,7 @@ enum class CaseKind {
   kWebRepetition,
   kResolverCell,
   kConformance,
+  kSchedule,
 };
 
 inline constexpr std::size_t kCaseKindCount = std::variant_size_v<CasePayload>;
@@ -137,6 +149,11 @@ struct CaseTraits<ConformanceCase> {
   static constexpr CaseKind kKind = CaseKind::kConformance;
   static constexpr const char* kName = "conformance";
 };
+template <>
+struct CaseTraits<ScheduleCase> {
+  static constexpr CaseKind kKind = CaseKind::kSchedule;
+  static constexpr const char* kName = "schedule";
+};
 
 // CaseKind values, variant indices, and trait kinds must stay aligned:
 // kind_of() below is a plain index cast.
@@ -152,6 +169,8 @@ static_assert(case_index<ResolverCellCase> ==
               static_cast<std::size_t>(CaseTraits<ResolverCellCase>::kKind));
 static_assert(case_index<ConformanceCase> ==
               static_cast<std::size_t>(CaseTraits<ConformanceCase>::kKind));
+static_assert(case_index<ScheduleCase> ==
+              static_cast<std::size_t>(CaseTraits<ScheduleCase>::kKind));
 
 inline CaseKind kind_of(const CasePayload& payload) {
   return static_cast<CaseKind>(payload.index());

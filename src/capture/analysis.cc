@@ -60,10 +60,12 @@ std::vector<ConnectionAttempt> connection_attempts(
     if (cp.egress() && cp.packet.is_syn()) {
       if (ConnectionAttempt* existing = find(cp.packet.src, cp.packet.dst)) {
         ++existing->syn_count;
+        existing->last_syn = cp.time;
         continue;
       }
       ConnectionAttempt attempt;
       attempt.first_syn = cp.time;
+      attempt.last_syn = cp.time;
       attempt.local = cp.packet.src;
       attempt.remote = cp.packet.dst;
       attempt.syn_count = 1;

@@ -17,6 +17,7 @@ namespace lazyeye::capture {
 /// One connection attempt (unique client port + destination).
 struct ConnectionAttempt {
   SimTime first_syn{0};
+  SimTime last_syn{0};  // latest egress SYN (== first_syn without retransmits)
   simnet::Endpoint local;
   simnet::Endpoint remote;
   int syn_count = 0;

@@ -54,6 +54,24 @@ campaign::ScenarioSpec ConformanceHarness::case_spec(
   return spec;
 }
 
+campaign::ScenarioSpec ConformanceHarness::schedule_spec(
+    const clients::ClientProfile& profile, const FaultSchedule& schedule,
+    int fetches) const {
+  campaign::ScenarioSpec spec;
+  // Like case_spec: the schedule is the whole replay handle. rng_seed()
+  // folds the entry content, so a mutated schedule runs a distinct world
+  // while equal schedules always collide onto the same one.
+  spec.seed = schedule.rng_seed();
+  spec.id = schedule.index;
+  spec.repetition = 0;
+  spec.grid_index = static_cast<int>(schedule.entries.size());
+  spec.client = profile.display_name();
+  spec.payload = campaign::ScheduleCase{schedule, fetches};
+  spec.label = lazyeye::str_format("sched %s n=%zu", spec.client.c_str(),
+                                   schedule.entries.size());
+  return spec;
+}
+
 std::vector<campaign::ScenarioSpec> ConformanceHarness::differential_specs(
     const std::vector<clients::ClientProfile>& profiles,
     int repetitions) const {
@@ -98,14 +116,17 @@ struct World {
   transport::QuicStack* server_quic = nullptr;
   dns::AuthServer* auth = nullptr;
   FaultInjector* injector = nullptr;
+  ScheduleInjector* schedule_injector = nullptr;
   clients::SimulatedClient* client = nullptr;
   capture::PacketCapture* capture = nullptr;
   dns::DnsName name;
 };
 
+/// Exactly one of `plan` / `schedule` is set — the cell's fault source.
 std::unique_ptr<World> build_world(const clients::ClientProfile& profile,
                                    const ConformanceOptions& options,
-                                   const FaultPlan& plan,
+                                   const FaultPlan* plan,
+                                   const FaultSchedule* schedule,
                                    std::uint64_t cell_seed) {
   auto w = std::make_unique<World>();
   simnet::Arena& arena = w->lease.arena();
@@ -154,10 +175,18 @@ std::unique_ptr<World> build_world(const clients::ClientProfile& profile,
                                "2001:db8:dead::%d", i)));
   }
 
-  w->injector = arena.create<FaultInjector>(plan);
-  w->injector->attach(*w->auth);
-  w->injector->attach(*w->server_tcp);
-  w->injector->attach(*w->server_quic);
+  if (plan != nullptr) {
+    w->injector = arena.create<FaultInjector>(*plan);
+    w->injector->attach(*w->auth);
+    w->injector->attach(*w->server_tcp);
+    w->injector->attach(*w->server_quic);
+  } else {
+    w->schedule_injector =
+        arena.create<ScheduleInjector>(*schedule, w->net->loop());
+    w->schedule_injector->attach(*w->auth);
+    w->schedule_injector->attach(*w->server_tcp);
+    w->schedule_injector->attach(*w->server_quic);
+  }
 
   dns::StubOptions stub_options;
   stub_options.servers = {{IpAddress::must_parse("10.0.0.80"), 53}};
@@ -174,13 +203,21 @@ std::unique_ptr<World> build_world(const clients::ClientProfile& profile,
 ConformanceRecord ConformanceHarness::run_spec(
     const clients::ClientProfile& profile,
     const campaign::ScenarioSpec& spec) const {
-  const auto* cell = spec.get_if<campaign::ConformanceCase>();
-  if (cell == nullptr) {
+  const FaultPlan* plan = nullptr;
+  const FaultSchedule* schedule = nullptr;
+  int fetches = 1;
+  if (const auto* cell = spec.get_if<campaign::ConformanceCase>()) {
+    plan = &cell->fault;
+    fetches = cell->fetches;
+  } else if (const auto* cell2 = spec.get_if<campaign::ScheduleCase>()) {
+    schedule = &cell2->schedule;
+    fetches = cell2->fetches;
+  } else {
     throw std::invalid_argument(
         lazyeye::str_format("ConformanceHarness::run_spec: unsupported case %s",
                             campaign::case_name(spec.payload)));
   }
-  auto w = build_world(profile, options_, cell->fault, spec.seed);
+  auto w = build_world(profile, options_, plan, schedule, spec.seed);
 
   clients::FetchResult first_fetch;
   clients::FetchResult last_fetch;
@@ -194,7 +231,7 @@ ConformanceRecord ConformanceHarness::run_spec(
     last_fetch = std::move(r);
     first_done = true;
     first_completed = w->net->loop().now();
-    if (cell->fetches >= 2) {
+    if (fetches >= 2) {
       w->client->fetch(w->name, 443, [&](clients::FetchResult r2) {
         last_fetch = std::move(r2);
       });
@@ -203,7 +240,7 @@ ConformanceRecord ConformanceHarness::run_spec(
   w->net->loop().run();
 
   RuleContext ctx;
-  ctx.fetches = cell->fetches;
+  ctx.fetches = fetches;
   ctx.first_fetch_ok =
       first_done && first_fetch.connection.ok && first_fetch.response_received;
   ctx.first_fetch_completed = first_completed;
@@ -224,8 +261,9 @@ ConformanceRecord ConformanceHarness::run_spec(
 
   ConformanceRecord record;
   record.client = profile.display_name();
-  record.fault = cell->fault;
-  record.fetches = cell->fetches;
+  if (plan != nullptr) record.fault = *plan;
+  if (schedule != nullptr) record.schedule = *schedule;
+  record.fetches = fetches;
   record.fetch_ok = last_fetch.connection.ok && last_fetch.response_received;
   record.first_fetch_ok = ctx.first_fetch_ok;
   record.verdicts = evaluate_rules(ctx);
@@ -236,6 +274,12 @@ ConformanceRecord ConformanceHarness::replay(
     const clients::ClientProfile& profile, const FaultPlan& plan,
     int fetches) const {
   return run_spec(profile, case_spec(profile, plan, fetches));
+}
+
+ConformanceRecord ConformanceHarness::replay_schedule(
+    const clients::ClientProfile& profile, const FaultSchedule& schedule,
+    int fetches) const {
+  return run_spec(profile, schedule_spec(profile, schedule, fetches));
 }
 
 // ---- VerdictTableSink ------------------------------------------------------
@@ -258,15 +302,36 @@ void VerdictTableSink::cell(const campaign::ScenarioSpec& spec,
                             ConformanceRecord record) {
   (void)spec;
   ++cells_;
+  const std::string fault_column =
+      record.schedule
+          ? lazyeye::str_format("schedule[%zu]", record.schedule->entries.size())
+          : std::string{fault_kind_name(record.fault.kind)};
   text_ += lazyeye::str_format(
-      "%-28s %-18s %-7s %s\n", record.client.c_str(),
-      fault_kind_name(record.fault.kind), record.symbols().c_str(),
-      record.fetch_ok ? "ok" : "fail");
+      "%-28s %-18s %-7s %s\n", record.client.c_str(), fault_column.c_str(),
+      record.symbols().c_str(), record.fetch_ok ? "ok" : "fail");
   for (const Verdict& v : record.verdicts) {
     if (v.outcome != RuleOutcome::kViolate) continue;
     ++total_violations_;
     text_ += lazyeye::str_format("    V %s: %s\n", v.rule.c_str(),
                                  v.evidence.c_str());
+    if (record.schedule) {
+      const FaultSchedule& s = *record.schedule;
+      // Triple form when the schedule is its triple's generate() output;
+      // hex form (always exact) for mutated/minimized schedules.
+      if (s == FaultSchedule::generate(s.seed, s.stream, s.index)) {
+        text_ += lazyeye::str_format(
+            "      repro: ./build/example_conformance_probe \"%s\" "
+            "--schedule %llu %u %u\n",
+            record.client.c_str(), static_cast<unsigned long long>(s.seed),
+            static_cast<unsigned>(s.stream), static_cast<unsigned>(s.index));
+      } else {
+        text_ += lazyeye::str_format(
+            "      repro: ./build/example_conformance_probe \"%s\" "
+            "--schedule-hex %s\n",
+            record.client.c_str(), schedule_to_hex(s).c_str());
+      }
+      continue;
+    }
     text_ += lazyeye::str_format(
         "      repro: ./build/example_conformance_probe \"%s\" %s %llu %u %u\n",
         record.client.c_str(), fault_kind_name(record.fault.kind),

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "clients/profiles.h"
 #include "conformance/fault.h"
 #include "conformance/rules.h"
+#include "conformance/schedule.h"
 
 namespace lazyeye::conformance {
 
@@ -32,6 +34,9 @@ namespace lazyeye::conformance {
 struct ConformanceRecord {
   std::string client;
   FaultPlan fault;
+  /// Set for compound-schedule cells (ScheduleCase); `fault` stays at its
+  /// default then and the schedule is the replay handle instead.
+  std::optional<FaultSchedule> schedule;
   int fetches = 1;
   bool fetch_ok = false;        // the cell's final fetch
   bool first_fetch_ok = false;  // the first fetch (== fetch_ok when fetches=1)
@@ -62,6 +67,13 @@ class ConformanceHarness {
                                    const FaultPlan& plan,
                                    int fetches = 1) const;
 
+  /// One compound-schedule cell: the spec's seed is the schedule's
+  /// rng_seed() (triple + entry content), so campaign, hunt, and both probe
+  /// replay paths build byte-identical worlds for equal schedules.
+  campaign::ScenarioSpec schedule_spec(const clients::ClientProfile& profile,
+                                       const FaultSchedule& schedule,
+                                       int fetches = 1) const;
+
   /// The differential matrix: every fault kind (kNone control first) against
   /// every profile. Fault-kind-major; stream = kind id, index = cell index
   /// within the kind (profile-major, repetition-minor). All cells use
@@ -79,27 +91,38 @@ class ConformanceHarness {
   ConformanceRecord replay(const clients::ClientProfile& profile,
                            const FaultPlan& plan, int fetches = 2) const;
 
+  /// Replays one compound-schedule cell (probe --schedule/--schedule-hex,
+  /// hunt evaluation, corpus reproduction).
+  ConformanceRecord replay_schedule(const clients::ClientProfile& profile,
+                                    const FaultSchedule& schedule,
+                                    int fetches = 2) const;
+
  private:
   ConformanceOptions options_;
 };
 
-/// Plugs ConformanceCase into a campaign registry; `harness` must outlive
-/// the registry, the profile pool is copied into the executor.
+/// Plugs ConformanceCase AND ScheduleCase into a campaign registry (both
+/// dispatch to run_spec, which switches on the payload); `harness` must
+/// outlive the registry, the profile pool is copied into the executor.
 template <typename Outcome>
 void register_conformance_executor(
     campaign::Registry<Outcome>& registry, const ConformanceHarness& harness,
     std::vector<clients::ClientProfile> profiles) {
   auto pool = std::make_shared<const std::vector<clients::ClientProfile>>(
       std::move(profiles));
+  const auto run = [&harness, pool](const campaign::ScenarioSpec& spec) {
+    const clients::ClientProfile& profile = campaign::find_registered(
+        *pool, spec.client,
+        [](const clients::ClientProfile& p) { return p.display_name(); },
+        "conformance");
+    return harness.run_spec(profile, spec);
+  };
   registry.template add<campaign::ConformanceCase>(
-      [&harness, pool](const campaign::ScenarioSpec& spec,
-                       const campaign::ConformanceCase&) {
-        const clients::ClientProfile& profile = campaign::find_registered(
-            *pool, spec.client,
-            [](const clients::ClientProfile& p) { return p.display_name(); },
-            "conformance");
-        return harness.run_spec(profile, spec);
-      });
+      [run](const campaign::ScenarioSpec& spec,
+            const campaign::ConformanceCase&) { return run(spec); });
+  registry.template add<campaign::ScheduleCase>(
+      [run](const campaign::ScenarioSpec& spec,
+            const campaign::ScheduleCase&) { return run(spec); });
 }
 
 /// Streams a verdict table: one fixed-width row per cell plus, for each

@@ -67,6 +67,8 @@ struct FaultPlan {
 
   /// The one-line repro: "fault=<kind> seed=S stream=T index=I".
   std::string repro() const;
+
+  bool operator==(const FaultPlan&) const = default;
 };
 
 // ---- Seeded wire mutators (shared decode-robustness corpus) ---------------

@@ -24,8 +24,8 @@ bool address_qtype(RrType qtype) {
 
 }  // namespace
 
-bool FaultInjector::dns_kind() const {
-  switch (plan_.kind) {
+bool dns_fault_kind(FaultKind kind) {
+  switch (kind) {
     case FaultKind::kDnsTruncate:
     case FaultKind::kDnsCorrupt:
     case FaultKind::kDnsSpoof:
@@ -38,8 +38,8 @@ bool FaultInjector::dns_kind() const {
   }
 }
 
-bool FaultInjector::tcp_kind() const {
-  switch (plan_.kind) {
+bool tcp_fault_kind(FaultKind kind) {
+  switch (kind) {
     case FaultKind::kTcpReset:
     case FaultKind::kTcpAcceptReset:
     case FaultKind::kTcpBlackhole:
@@ -49,53 +49,22 @@ bool FaultInjector::tcp_kind() const {
   }
 }
 
-dns::ResponseInterposer FaultInjector::dns_hook() {
-  return [this](const DnsMessage& query, DnsMessage& response, SimTime& delay,
-                dns::ResponseDirectives& out) {
-    on_dns_response(query, response, delay, out);
-  };
-}
-
-void FaultInjector::attach(dns::AuthServer& server) {
-  if (dns_kind()) server.set_response_interposer(dns_hook());
-}
-
-void FaultInjector::attach(dns::RecursiveResolver& resolver) {
-  if (dns_kind()) resolver.set_response_interposer(dns_hook());
-}
-
-void FaultInjector::attach(transport::TcpStack& tcp) {
-  if (!tcp_kind()) return;
-  tcp.set_accept_interposer(
-      [this](const simnet::Endpoint& peer, std::uint16_t) {
-        return on_accept(peer);
-      });
-}
-
-void FaultInjector::attach(transport::QuicStack& quic) {
-  if (plan_.kind != FaultKind::kQuicDrop) return;
-  quic.set_accept_interposer(
-      [this](const simnet::Endpoint& peer, std::uint16_t) {
-        return on_accept(peer);
-      });
-}
-
-void FaultInjector::on_dns_response(const DnsMessage& query,
-                                    DnsMessage& response, SimTime& delay,
-                                    dns::ResponseDirectives& out) {
+void apply_dns_fault(const FaultPlan& plan, SplitMix64& rng,
+                     const DnsMessage& query, DnsMessage& response,
+                     SimTime& delay, dns::ResponseDirectives& out) {
   const RrType qtype =
       query.questions.empty() ? RrType::kA : query.questions.front().type;
   const bool targeted =
-      address_qtype(qtype) && qtype_family(qtype) == plan_.target_family;
-  switch (plan_.kind) {
+      address_qtype(qtype) && qtype_family(qtype) == plan.target_family;
+  switch (plan.kind) {
     case FaultKind::kDnsTruncate:
-      out.mutate_wire = [this](std::vector<std::uint8_t>& wire) {
-        truncate_wire(wire, rng_);
+      out.mutate_wire = [&rng](std::vector<std::uint8_t>& wire) {
+        truncate_wire(wire, rng);
       };
       break;
     case FaultKind::kDnsCorrupt:
-      out.mutate_wire = [this](std::vector<std::uint8_t>& wire) {
-        corrupt_wire(wire, rng_);
+      out.mutate_wire = [&rng](std::vector<std::uint8_t>& wire) {
+        corrupt_wire(wire, rng);
       };
       break;
     case FaultKind::kDnsSpoof: {
@@ -104,7 +73,7 @@ void FaultInjector::on_dns_response(const DnsMessage& query,
       // extra delay so it reaches the client ahead of the real answer. A
       // compliant resolver/client drops it on the id mismatch.
       DnsMessage spoof = response;
-      spoof.header.id ^= static_cast<std::uint16_t>(1 + rng_.next() % 0xffff);
+      spoof.header.id ^= static_cast<std::uint16_t>(1 + rng.next() % 0xffff);
       spoof.answers.clear();
       spoof.authorities.clear();
       spoof.additionals.clear();
@@ -123,7 +92,7 @@ void FaultInjector::on_dns_response(const DnsMessage& query,
       // Hold the targeted family's answer back past the spike so the other
       // family's answer overtakes it, and scramble in-message record order.
       if (targeted) {
-        delay = delay + plan_.spike;
+        delay = delay + plan.spike;
         std::reverse(response.answers.begin(), response.answers.end());
       }
       break;
@@ -131,22 +100,56 @@ void FaultInjector::on_dns_response(const DnsMessage& query,
       if (targeted) response.answers.clear();  // NODATA-like starvation
       break;
     case FaultKind::kDnsDelaySpike:
-      if (targeted) delay = delay + plan_.spike;
+      if (targeted) delay = delay + plan.spike;
       break;
     default:
       break;
   }
 }
 
-AcceptAction FaultInjector::on_accept(const simnet::Endpoint& peer) const {
-  if (peer.addr.family() != plan_.target_family) return AcceptAction::kAccept;
-  switch (plan_.kind) {
+AcceptAction fault_accept_action(const FaultPlan& plan,
+                                 const simnet::Endpoint& peer) {
+  if (peer.addr.family() != plan.target_family) return AcceptAction::kAccept;
+  switch (plan.kind) {
     case FaultKind::kTcpReset: return AcceptAction::kReset;
     case FaultKind::kTcpAcceptReset: return AcceptAction::kAcceptThenReset;
     case FaultKind::kTcpBlackhole:
     case FaultKind::kQuicDrop: return AcceptAction::kDrop;
     default: return AcceptAction::kAccept;
   }
+}
+
+dns::ResponseInterposer FaultInjector::dns_hook() {
+  return [this](const DnsMessage& query, DnsMessage& response, SimTime& delay,
+                dns::ResponseDirectives& out) {
+    apply_dns_fault(plan_, rng_, query, response, delay, out);
+  };
+}
+
+void FaultInjector::attach(dns::AuthServer& server) {
+  if (dns_fault_kind(plan_.kind)) server.set_response_interposer(dns_hook());
+}
+
+void FaultInjector::attach(dns::RecursiveResolver& resolver) {
+  if (dns_fault_kind(plan_.kind)) {
+    resolver.set_response_interposer(dns_hook());
+  }
+}
+
+void FaultInjector::attach(transport::TcpStack& tcp) {
+  if (!tcp_fault_kind(plan_.kind)) return;
+  tcp.set_accept_interposer(
+      [this](const simnet::Endpoint& peer, std::uint16_t) {
+        return fault_accept_action(plan_, peer);
+      });
+}
+
+void FaultInjector::attach(transport::QuicStack& quic) {
+  if (plan_.kind != FaultKind::kQuicDrop) return;
+  quic.set_accept_interposer(
+      [this](const simnet::Endpoint& peer, std::uint16_t) {
+        return fault_accept_action(plan_, peer);
+      });
 }
 
 }  // namespace lazyeye::conformance

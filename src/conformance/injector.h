@@ -6,6 +6,10 @@
 // lives next to the Testbed/world for the cell's whole run). Hooks are only
 // installed for the layers the plan's kind actually touches — every other
 // layer keeps its null hook and stays on the zero-cost fast path.
+//
+// The per-kind fault semantics live in free functions (apply_dns_fault,
+// fault_accept_action) so the compound-schedule injector (schedule.h) can
+// multiplex several plans through one hook without duplicating them.
 #pragma once
 
 #include "conformance/fault.h"
@@ -16,6 +20,26 @@
 #include "util/rng.h"
 
 namespace lazyeye::conformance {
+
+/// Kind classification: which layer's hook a plan needs.
+bool dns_fault_kind(FaultKind kind);
+bool tcp_fault_kind(FaultKind kind);
+
+/// Applies `plan`'s DNS-side fault to one outgoing response (message edits,
+/// delay stretch, wire mutation, extra spoof datagrams). `rng` is the plan's
+/// mutation stream; the mutate_wire closure it may install captures `rng` by
+/// reference, so the generator must outlive the directives' execution.
+/// No-op for non-DNS kinds. Overwrites out.mutate_wire when it installs one
+/// — multiplexing callers chain the previous closure themselves.
+void apply_dns_fault(const FaultPlan& plan, SplitMix64& rng,
+                     const dns::DnsMessage& query, dns::DnsMessage& response,
+                     SimTime& delay, dns::ResponseDirectives& out);
+
+/// What `plan` does to an inbound handshake from `peer`: kReset/kDrop/
+/// kAcceptThenReset for the transport kinds when the peer matches the
+/// target family, kAccept otherwise (including all non-transport kinds).
+transport::AcceptAction fault_accept_action(const FaultPlan& plan,
+                                            const simnet::Endpoint& peer);
 
 class FaultInjector {
  public:
@@ -31,13 +55,7 @@ class FaultInjector {
   void attach(transport::QuicStack& quic);
 
  private:
-  bool dns_kind() const;
-  bool tcp_kind() const;
   dns::ResponseInterposer dns_hook();
-  void on_dns_response(const dns::DnsMessage& query,
-                       dns::DnsMessage& response, SimTime& delay,
-                       dns::ResponseDirectives& out);
-  transport::AcceptAction on_accept(const simnet::Endpoint& peer) const;
 
   FaultPlan plan_;
   SplitMix64 rng_;

@@ -2,106 +2,39 @@
 
 #include <cstddef>
 
+#include "conformance/wire.h"
+
 namespace lazyeye::conformance {
 
-namespace {
-
-// Big-endian primitives over std::string, mirroring util/bytes.h (which is
-// vector<uint8_t>-based; journal payloads travel as strings).
-
-void put_u8(std::string& out, std::uint8_t v) {
-  out.push_back(static_cast<char>(v));
-}
-
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int shift = 24; shift >= 0; shift -= 8) {
-    out.push_back(static_cast<char>((v >> shift) & 0xFF));
-  }
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int shift = 56; shift >= 0; shift -= 8) {
-    out.push_back(static_cast<char>((v >> shift) & 0xFF));
-  }
-}
-
-void put_str(std::string& out, std::string_view s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.append(s);
-}
-
-struct Reader {
-  std::string_view data;
-  std::size_t pos = 0;
-  bool ok = true;
-
-  std::uint8_t u8() {
-    if (!ok || data.size() - pos < 1) {
-      ok = false;
-      return 0;
-    }
-    return static_cast<unsigned char>(data[pos++]);
-  }
-
-  std::uint32_t u32() {
-    if (!ok || data.size() - pos < 4) {
-      ok = false;
-      return 0;
-    }
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v = (v << 8) | static_cast<unsigned char>(data[pos++]);
-    }
-    return v;
-  }
-
-  std::uint64_t u64() {
-    if (!ok || data.size() - pos < 8) {
-      ok = false;
-      return 0;
-    }
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v = (v << 8) | static_cast<unsigned char>(data[pos++]);
-    }
-    return v;
-  }
-
-  std::string str() {
-    const std::uint32_t len = u32();
-    if (!ok || data.size() - pos < len) {
-      ok = false;
-      return {};
-    }
-    std::string out{data.substr(pos, len)};
-    pos += len;
-    return out;
-  }
-};
-
-}  // namespace
-
 void encode_record(const ConformanceRecord& record, std::string& out) {
-  put_str(out, record.client);
-  put_u8(out, static_cast<std::uint8_t>(record.fault.kind));
-  put_u64(out, record.fault.seed);
-  put_u32(out, record.fault.stream);
-  put_u32(out, record.fault.index);
-  put_u8(out, static_cast<std::uint8_t>(record.fault.target_family));
-  put_u64(out, static_cast<std::uint64_t>(record.fault.spike.count()));
-  put_u32(out, static_cast<std::uint32_t>(record.fetches));
-  put_u8(out, record.fetch_ok ? 1 : 0);
-  put_u8(out, record.first_fetch_ok ? 1 : 0);
-  put_u32(out, static_cast<std::uint32_t>(record.verdicts.size()));
+  wire::put_str(out, record.client);
+  wire::put_u8(out, static_cast<std::uint8_t>(record.fault.kind));
+  wire::put_u64(out, record.fault.seed);
+  wire::put_u32(out, record.fault.stream);
+  wire::put_u32(out, record.fault.index);
+  wire::put_u8(out, static_cast<std::uint8_t>(record.fault.target_family));
+  wire::put_u64(out, static_cast<std::uint64_t>(record.fault.spike.count()));
+  // Compound-schedule cells carry the schedule inline (length-prefixed so
+  // the record decoder can delegate to the schedule codec).
+  if (record.schedule) {
+    wire::put_u8(out, 1);
+    wire::put_str(out, encode_schedule(*record.schedule));
+  } else {
+    wire::put_u8(out, 0);
+  }
+  wire::put_u32(out, static_cast<std::uint32_t>(record.fetches));
+  wire::put_u8(out, record.fetch_ok ? 1 : 0);
+  wire::put_u8(out, record.first_fetch_ok ? 1 : 0);
+  wire::put_u32(out, static_cast<std::uint32_t>(record.verdicts.size()));
   for (const Verdict& verdict : record.verdicts) {
-    put_str(out, verdict.rule);
-    put_u8(out, static_cast<std::uint8_t>(verdict.outcome));
-    put_str(out, verdict.evidence);
+    wire::put_str(out, verdict.rule);
+    wire::put_u8(out, static_cast<std::uint8_t>(verdict.outcome));
+    wire::put_str(out, verdict.evidence);
   }
 }
 
 std::optional<ConformanceRecord> decode_record(std::string_view bytes) {
-  Reader in{bytes};
+  wire::Reader in{bytes};
   ConformanceRecord record;
   record.client = in.str();
   const std::uint8_t kind = in.u8();
@@ -116,6 +49,13 @@ std::optional<ConformanceRecord> decode_record(std::string_view bytes) {
   }
   record.fault.target_family = static_cast<simnet::Family>(family);
   record.fault.spike = SimTime{static_cast<std::int64_t>(in.u64())};
+  const std::uint8_t has_schedule = in.u8();
+  if (has_schedule > 1) return std::nullopt;
+  if (has_schedule == 1) {
+    auto schedule = decode_schedule(in.str());
+    if (!schedule) return std::nullopt;
+    record.schedule = std::move(*schedule);
+  }
   record.fetches = static_cast<int>(in.u32());
   record.fetch_ok = in.u8() != 0;
   record.first_fetch_ok = in.u8() != 0;
@@ -133,7 +73,7 @@ std::optional<ConformanceRecord> decode_record(std::string_view bytes) {
     verdict.evidence = in.str();
     record.verdicts.push_back(std::move(verdict));
   }
-  if (!in.ok || in.pos != bytes.size()) return std::nullopt;
+  if (!in.exhausted()) return std::nullopt;
   return record;
 }
 

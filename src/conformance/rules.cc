@@ -243,6 +243,47 @@ Verdict eval_restart_cache(const RuleContext& ctx) {
   return v;
 }
 
+Verdict eval_abort_on_winner(const RuleContext& ctx) {
+  Verdict v{"abort-on-winner", RuleOutcome::kInapplicable, ""};
+  if (!ctx.established_time) {
+    v.evidence = "no connection ever won";
+    return v;
+  }
+  if (ctx.attempts.size() < 2) {
+    v.evidence = "no pending attempt beside the winner";
+    return v;
+  }
+  const SimTime won = *ctx.established_time;
+  // RFC 8305 s5: once one attempt succeeds, every other pending attempt
+  // must be cancelled. Cancellation is observable as silence: a client that
+  // keeps an attempt alive re-transmits its SYN (or opens a brand-new
+  // attempt) after the winner's handshake completed.
+  for (std::size_t i = 0; i < ctx.attempts.size(); ++i) {
+    const auto& attempt = ctx.attempts[i];
+    if (attempt.established) continue;  // the winner itself
+    if (attempt.first_syn > won) {
+      v.outcome = RuleOutcome::kViolate;
+      v.evidence = lazyeye::str_format(
+          "attempt %zu (%s) started %s after a connection was established",
+          i, simnet::family_name(attempt.family()),
+          format_duration(attempt.first_syn - won).c_str());
+      return v;
+    }
+    if (attempt.last_syn > won) {
+      v.outcome = RuleOutcome::kViolate;
+      v.evidence = lazyeye::str_format(
+          "attempt %zu (%s) still retransmitting %s after the winner "
+          "established (never aborted)",
+          i, simnet::family_name(attempt.family()),
+          format_duration(attempt.last_syn - won).c_str());
+      return v;
+    }
+  }
+  v.outcome = RuleOutcome::kPass;
+  v.evidence = "all pending attempts went silent once a connection won";
+  return v;
+}
+
 }  // namespace
 
 const std::vector<Rule>& rfc8305_rules() {
@@ -252,6 +293,7 @@ const std::vector<Rule>& rfc8305_rules() {
       {"family-interleave", "RFC 8305 s4", &eval_family_interleave},
       {"losing-family", "RFC 8305 s6", &eval_losing_family},
       {"restart-cache", "RFC 6555 s4.1", &eval_restart_cache},
+      {"abort-on-winner", "RFC 8305 s5", &eval_abort_on_winner},
   };
   return rules;
 }

@@ -59,7 +59,7 @@ struct Rule {
 
 /// The checker's rule set, in fixed table order (stable across runs):
 /// resolution-delay, attempt-spacing, family-interleave, losing-family,
-/// restart-cache.
+/// restart-cache, abort-on-winner.
 const std::vector<Rule>& rfc8305_rules();
 
 /// Runs every rule; verdicts come back in rule-table order.

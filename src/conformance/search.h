@@ -1,0 +1,146 @@
+// Coverage-guided fault hunt over compound schedules (ROADMAP "coverage-
+// guided fault search").
+//
+// The hunt is a seeded, deterministic loop: each candidate FaultSchedule is
+// either freshly generated from the hunt triple or a mutation (add / drop /
+// retime / retarget an entry) of a corpus member; it runs differentially
+// against every client profile; its fitness is *novelty* — the coverage
+// signature (client, rule, verdict symbol, digit-stripped evidence bucket)
+// plus per-rule cross-client verdict diffs — and novel candidates enter the
+// corpus. Candidates that violate a rule are first delta-minimized (drop
+// entries, zero/shrink windows) while the exact set of (client, rule)
+// violations is preserved, so every corpus violation is a smallest-found
+// replayable reproducer.
+//
+// Crash safety: with journal_path set the hunt is a journaled campaign over
+// its candidate indices (campaign/journal.h). One kCell record per
+// candidate carries the proposed schedule, every per-profile record, and
+// the minimized schedule — enough to replay the hunt's state transitions
+// WITHOUT re-running any world. Periodic kSnapshot records checkpoint the
+// whole search state (mutation RNG state, coverage set, corpus), so resume
+// is snapshot + short tail replay. A SIGKILL at any instant resumes to a
+// byte-identical journal and corpus (tests/fault_search_test.cc).
+//
+// Everything the hunt derives — proposals, worlds, verdicts, minimization —
+// is a pure function of (seed, budget, profiles), so two hunts with equal
+// options produce equal corpora on any worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clients/profiles.h"
+#include "conformance/checker.h"
+#include "conformance/schedule.h"
+
+namespace lazyeye::conformance {
+
+struct HuntOptions {
+  /// Hunt seed: roots the proposal stream and every candidate world.
+  std::uint64_t seed = 1;
+  /// Candidate schedules to evaluate.
+  int budget = 64;
+  /// kSnapshot cadence, in candidates (journaled hunts only).
+  int snapshot_every = 16;
+  /// Fetches per cell (2 exercises the restart-cache rule, like the
+  /// differential matrix).
+  int fetches = 2;
+  /// Worker threads for each candidate's per-profile matrix. 1 runs inline
+  /// (fork-safe); results are byte-identical at any width.
+  int workers = 1;
+  /// Journal file ("" = in-memory hunt, no crash safety).
+  std::string journal_path;
+  /// Progress hook: called after candidate `index` is folded into the state
+  /// (and its cell record journaled) but BEFORE any snapshot it is due —
+  /// the kill-9 harness uses it to die at deterministic spots, including
+  /// the gap between a cell and its cadence snapshot.
+  std::function<void(int index)> after_cell;
+  /// World options for every candidate cell.
+  ConformanceOptions conformance;
+};
+
+/// One corpus member: a schedule the hunt kept because it covered something
+/// new. Violating members are stored delta-minimized.
+struct CorpusEntry {
+  FaultSchedule schedule;
+  /// Rule violations across the candidate's per-profile records.
+  int violations = 0;
+  bool minimized = false;
+  /// The first novel signature element that admitted it (diagnostic).
+  std::string novelty;
+
+  bool operator==(const CorpusEntry&) const = default;
+};
+
+struct HuntResult {
+  std::vector<CorpusEntry> corpus;
+  /// Every coverage-signature element ever observed (std::set: iteration
+  /// order is deterministic, per repo lint rules).
+  std::set<std::string> coverage;
+  int candidates = 0;             // evaluated (or replayed) this run
+  int violating_candidates = 0;   // candidates with >= 1 rule violation
+  bool resumed = false;           // a journal with prior progress was loaded
+};
+
+// ---- Coverage signature (unit-tested building blocks) ---------------------
+
+/// Digit runs collapsed to '#': "waited 43 ms (< 250 ms)" and
+/// "waited 57 ms (< 250 ms)" bucket identically.
+std::string evidence_bucket(std::string_view evidence);
+
+/// The candidate's full coverage signature over its per-profile records
+/// (profile order): per-verdict elements plus per-rule cross-client diff
+/// strings. Pure function of the records.
+std::vector<std::string> coverage_signature(
+    const std::vector<ConformanceRecord>& records);
+
+class FaultHunt {
+ public:
+  FaultHunt(HuntOptions options, std::vector<clients::ClientProfile> profiles);
+
+  const HuntOptions& options() const { return options_; }
+
+  /// Runs (or resumes) the hunt. Journaled hunts refuse a journal written
+  /// by different options (identity mismatch) or one that diverges from the
+  /// deterministic proposal stream — both throw campaign::JournalError.
+  HuntResult run();
+
+  /// Deterministic text form of a corpus ("# lazyeye-hunt corpus v1" header
+  /// plus one hex entry line per schedule).
+  static std::string corpus_text(const std::vector<CorpusEntry>& corpus);
+
+  /// Writes corpus_text() to `path` (truncating). Throws std::runtime_error
+  /// when the file cannot be written.
+  static void write_corpus(const std::string& path,
+                           const std::vector<CorpusEntry>& corpus);
+
+  /// Parses a corpus file back. Throws std::runtime_error on unreadable
+  /// files or malformed lines — a corpus that cannot be trusted to replay
+  /// is refused loudly, never silently truncated.
+  static std::vector<CorpusEntry> load_corpus(const std::string& path);
+
+ private:
+  struct State;
+  struct Candidate;
+
+  FaultSchedule propose(State& state, std::uint32_t index) const;
+  std::vector<ConformanceRecord> evaluate(const FaultSchedule& schedule) const;
+  FaultSchedule minimize(const FaultSchedule& schedule,
+                         const std::vector<ConformanceRecord>& baseline) const;
+  void apply(State& state, const Candidate& candidate) const;
+
+  std::string encode_state(const State& state) const;
+  State decode_state(std::string_view bytes) const;
+  std::string encode_candidate(const Candidate& candidate) const;
+  Candidate decode_candidate(std::string_view bytes) const;
+
+  HuntOptions options_;
+  std::vector<clients::ClientProfile> profiles_;
+  ConformanceHarness harness_;
+};
+
+}  // namespace lazyeye::conformance

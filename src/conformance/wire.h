@@ -1,0 +1,91 @@
+// Big-endian string-backed wire primitives shared by the conformance
+// codecs (record_codec.cc, schedule.cc). Mirrors util/bytes.h, which is
+// vector<uint8_t>-based — journal payloads and corpus entries travel as
+// strings, so the conformance layer keeps its own string flavour.
+//
+// Reader is forgiving in shape (`ok` latches false on underrun instead of
+// throwing) so decoders can read a whole struct and validate once at the
+// end, including the exact-length check that rejects trailing garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lazyeye::conformance::wire {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+inline void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+struct Reader {
+  std::string_view data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (!ok || data.size() - pos < 1) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<unsigned char>(data[pos++]);
+  }
+
+  std::uint32_t u32() {
+    if (!ok || data.size() - pos < 4) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v = (v << 8) | static_cast<unsigned char>(data[pos++]);
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!ok || data.size() - pos < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | static_cast<unsigned char>(data[pos++]);
+    }
+    return v;
+  }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!ok || data.size() - pos < len) {
+      ok = false;
+      return {};
+    }
+    std::string out{data.substr(pos, len)};
+    pos += len;
+    return out;
+  }
+
+  /// True only when every read succeeded AND the buffer is fully consumed.
+  bool exhausted() const { return ok && pos == data.size(); }
+};
+
+}  // namespace lazyeye::conformance::wire

@@ -269,6 +269,7 @@ capture::ConnectionAttempt attempt(SimTime at, const char* addr,
                                    bool refused = false) {
   capture::ConnectionAttempt a;
   a.first_syn = at;
+  a.last_syn = at;
   a.remote = {IpAddress::must_parse(addr), 443};
   a.refused = refused;
   return a;
@@ -393,6 +394,54 @@ TEST(RuleTest, RestartCacheFlagsRequeriesAfterTheFirstFetch) {
 
   ctx.fetches = 1;
   EXPECT_EQ(verdict_for(ctx, "restart-cache").outcome,
+            RuleOutcome::kInapplicable);
+}
+
+TEST(RuleTest, AbortOnWinnerFlagsRetransmitsAfterEstablishment) {
+  RuleContext ctx;
+  ctx.established = Family::kIpv6;
+  ctx.established_time = ms(100);
+  ctx.attempts.push_back(attempt(ms(0), "2001:db8::10"));
+  ctx.attempts[0].established = true;
+  ctx.attempts.push_back(attempt(ms(50), "10.0.0.10"));
+  // Loser went silent before the winner established: pass.
+  EXPECT_EQ(verdict_for(ctx, "abort-on-winner").outcome, RuleOutcome::kPass);
+
+  // Loser retransmitted its SYN 400 ms after the winner completed: the
+  // attempt was never aborted.
+  ctx.attempts[1].last_syn = ms(500);
+  ctx.attempts[1].syn_count = 2;
+  EXPECT_EQ(verdict_for(ctx, "abort-on-winner").outcome,
+            RuleOutcome::kViolate);
+}
+
+TEST(RuleTest, AbortOnWinnerFlagsAttemptsStartedAfterEstablishment) {
+  RuleContext ctx;
+  ctx.established = Family::kIpv4;
+  ctx.established_time = ms(60);
+  ctx.attempts.push_back(attempt(ms(0), "10.0.0.10"));
+  ctx.attempts[0].established = true;
+  // A brand-new attempt opened after the winner: violation.
+  ctx.attempts.push_back(attempt(ms(90), "2001:db8::10"));
+  EXPECT_EQ(verdict_for(ctx, "abort-on-winner").outcome,
+            RuleOutcome::kViolate);
+}
+
+TEST(RuleTest, AbortOnWinnerInapplicableWithoutWinnerOrRivals) {
+  RuleContext ctx;
+  // Never established: the clause never triggers.
+  ctx.attempts.push_back(attempt(ms(0), "2001:db8::10"));
+  ctx.attempts.push_back(attempt(ms(50), "10.0.0.10"));
+  EXPECT_EQ(verdict_for(ctx, "abort-on-winner").outcome,
+            RuleOutcome::kInapplicable);
+
+  // Single attempt that won: nothing pending to abort.
+  ctx.attempts.clear();
+  ctx.attempts.push_back(attempt(ms(0), "2001:db8::10"));
+  ctx.attempts[0].established = true;
+  ctx.established = Family::kIpv6;
+  ctx.established_time = ms(30);
+  EXPECT_EQ(verdict_for(ctx, "abort-on-winner").outcome,
             RuleOutcome::kInapplicable);
 }
 
